@@ -1,0 +1,263 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* ABL-SOFT — the paper's softening claim (Section 2): eps = 0.008 AU is
+  "two orders of magnitude smaller than the Hill radius of the
+  protoplanets and therefore the effect on the scattering cross section
+  is negligible."  Measured: protoplanet-driven stirring of nearby
+  planetesimals vs eps.
+* ABL-PRECISION — the GRAPE-6 pipelines are not IEEE double (short
+  internal mantissas, wide accumulators).  Measured: per-force relative
+  error of the emulated format and the energy drift of a full run on
+  the reduced-precision machine.
+* ABL-PIPES — why 6 pipelines x 8 virtual: chip efficiency vs i-block
+  size for alternative VMP choices.
+* ABL-STIR — measured disk self-stirring vs the analytic relaxation
+  model of :mod:`repro.planetesimal.stirring`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import HostDirectBackend, KeplerField, Simulation, TimestepParams
+from repro.grape import Grape6Backend, Grape6Config, Grape6Machine
+from repro.perf import Table, run_scaled_disk
+from repro.planetesimal import (
+    PlanetesimalDiskConfig,
+    StirringModel,
+    build_disk_system,
+    rms_eccentricity_inclination,
+)
+
+from bench_utils import emit, fresh
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_softening_does_not_change_scattering(benchmark):
+    """ABL-SOFT: stirring by the protoplanets is eps-insensitive while
+    eps stays well below the Hill radius, and collapses once eps
+    approaches it."""
+    fresh("ablation_softening")
+
+    from repro.planetesimal import cartesian_to_elements
+
+    def run():
+        rows = []
+        for eps in (0.004, 0.008, 0.016, 0.3):
+            res = run_scaled_disk(
+                HostDirectBackend(eps=eps), n=300, t_end=300.0, seed=41,
+                e_rms=0.001, dt_max=4.0, measure_energy=False,
+            )
+            sys_ = res.sim.system
+            el = cartesian_to_elements(sys_.pos[:300], sys_.vel[:300])
+            near = (np.abs(el.a - 20.0) < 1.5) | (np.abs(el.a - 30.0) < 2.0)
+            ok = el.e < 1.0
+            e_near = float(np.sqrt(np.mean(el.e[near & ok] ** 2)))
+            rows.append((eps, e_near))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        ["eps [AU]", "e_rms near protoplanets (T=300)"],
+        title="ABL-SOFT: softening vs protoplanet stirring (r_H ~ 0.3-0.45 AU)",
+    )
+    for eps, e in rows:
+        table.add_row(eps, round(e, 5))
+    emit(table, "ablation_softening")
+
+    by_eps = dict(rows)
+    # halving/doubling around the paper's 0.008 barely matters (the
+    # paper's "effect on the scattering cross section is negligible")
+    assert by_eps[0.004] == pytest.approx(by_eps[0.016], rel=0.25)
+    assert by_eps[0.008] == pytest.approx(by_eps[0.004], rel=0.25)
+    # softening at the Hill-radius scale *does* suppress stirring
+    assert by_eps[0.3] < 0.7 * by_eps[0.008]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_pipeline_precision_emulation(benchmark):
+    """ABL-PRECISION: the short-mantissa pipeline datapath costs ~1e-4
+    per-force relative error and the integration stays usable."""
+    fresh("ablation_precision")
+
+    def run():
+        from repro.core.forces import acc_jerk
+        from repro.grape.pipeline import ForcePipelineArray
+
+        rng = np.random.default_rng(5)
+        pos = rng.normal(size=(200, 3)) * 10 + 25
+        vel = rng.normal(size=(200, 3)) * 0.1
+        mass = rng.uniform(1e-10, 1e-8, 200)
+        a_ref, _ = acc_jerk(pos[:20], vel[:20], pos, vel, mass, 0.008)
+        emul = ForcePipelineArray(eps=0.008, emulate_precision=True)
+        r = emul.evaluate(pos[:20], vel[:20], pos, vel, mass)
+        force_err = float(np.median(
+            np.linalg.norm(r.acc - a_ref, axis=1) / np.linalg.norm(a_ref, axis=1)
+        ))
+
+        # full run on the reduced-precision machine
+        sys_ = build_disk_system(PlanetesimalDiskConfig(n_planetesimals=100, seed=8))
+        machine = Grape6Machine(
+            Grape6Config.single_node(), eps=0.008, mode="hierarchy",
+            emulate_precision=True,
+        )
+        sim = Simulation(
+            sys_, Grape6Backend(machine),
+            external_field=KeplerField(),
+            timestep_params=TimestepParams(),
+        )
+        from repro.core import energy
+
+        sim.initialize()
+        e0 = energy(sim.system, 0.008, sim.external_field).total
+        sim.evolve(10.0)
+        sim.synchronize(10.0)
+        e1 = energy(sim.system, 0.008, sim.external_field).total
+        run_err = abs(e1 - e0) / abs(e0)
+        return force_err, run_err
+
+    force_err, run_err = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        ["quantity", "value"],
+        title="ABL-PRECISION: 16-bit-mantissa pipeline emulation",
+    )
+    table.add_row("median per-force relative error", f"{force_err:.2e}")
+    table.add_row("energy error, T=10 disk run", f"{run_err:.2e}")
+    emit(table, "ablation_precision")
+
+    # the hardware design point: per-force error ~1e-4..1e-5 is fine
+    assert 1e-7 < force_err < 1e-3
+    # and the integration is still usable for statistical dynamics
+    assert run_err < 1e-4
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_virtual_pipeline_tradeoff(benchmark):
+    """ABL-PIPES: chip utilisation vs block size for VMP alternatives.
+
+    Fewer virtual pipelines waste the chip on small blocks less but
+    demand proportionally more j-memory bandwidth (modelled as cycles
+    per fetched j); GRAPE-6's 6 x 8 = 48 is the balanced point for
+    paper-scale blocks.
+    """
+    fresh("ablation_vmp")
+
+    import repro.grape.pipeline as pl
+
+    def run():
+        rows = []
+        for vmp in (2, 8, 16):
+            old = pl.VMP_FACTOR
+            pl.VMP_FACTOR = vmp
+            try:
+                arr = pl.ForcePipelineArray(n_pipelines=6, eps=0.0)
+                effs = []
+                for block in (12, 48, 384):
+                    n_j = 3516  # paper-scale per-chip j-load
+                    cycles = arr.cycles_for(block, n_j)
+                    # useful interactions vs cycles x 6 pipes
+                    effs.append(block * n_j / (cycles * 6))
+                rows.append((vmp, 6 * vmp, *effs))
+            finally:
+                pl.VMP_FACTOR = old
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        ["VMP", "i-capacity", "util @block=12", "util @block=48", "util @block=384"],
+        title="ABL-PIPES: chip utilisation vs virtual-pipeline factor",
+    )
+    for vmp, cap, *effs in rows:
+        table.add_row(vmp, cap, *(f"{e:.1%}" for e in effs))
+    emit(table, "ablation_vmp")
+
+    by_vmp = {r[0]: r[2:] for r in rows}
+    # tiny blocks favour small VMP (less padding waste)
+    assert by_vmp[2][0] > by_vmp[16][0]
+    # large blocks are insensitive (all near full utilisation)
+    assert by_vmp[2][2] == pytest.approx(by_vmp[16][2], rel=0.1)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_overlap_software_pipelining(benchmark):
+    """ABL-OVERLAP: overlapping host work with the next force pass.
+
+    Production GRAPE drivers software-pipeline the block loop; the
+    model shows how much of the gap between our conservative serial
+    estimate and the hardware's potential that recovers, and that the
+    gain is largest exactly where blocks are small (host-bound)."""
+    fresh("ablation_overlap")
+
+    from repro.constants import PAPER_N_PLANETESIMALS
+    from repro.grape import Grape6TimingModel
+
+    def run():
+        model = Grape6TimingModel(Grape6Config.paper_full_system())
+        n = PAPER_N_PLANETESIMALS + 2
+        rows = []
+        for block in (100, 1000, 3000, 10_000):
+            serial = model.efficiency(block, n, overlap=False)
+            piped = model.efficiency(block, n, overlap=True)
+            rows.append((block, serial, piped))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        ["block", "efficiency (serial)", "efficiency (pipelined)", "gain"],
+        title="ABL-OVERLAP: software pipelining of the block loop (N = 1.8e6)",
+    )
+    for block, s, p in rows:
+        table.add_row(block, f"{s:.1%}", f"{p:.1%}", f"{p / s:.2f}x")
+    emit(table, "ablation_overlap")
+
+    # pipelining never hurts and gives a measurable gain everywhere
+    assert all(p > s for _, s, p in rows)
+    gains = [p / s for _, s, p in rows]
+    assert max(gains) > 1.08
+    # the relative gain is largest for the host-bound small blocks
+    assert gains[0] == max(gains)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_stirring_theory_vs_simulation(benchmark):
+    """ABL-STIR: measured disk self-stirring vs two-body relaxation."""
+    fresh("ablation_stirring")
+
+    def run():
+        n = 300
+        res = run_scaled_disk(
+            HostDirectBackend(eps=0.008), n=n, t_end=400.0, seed=55,
+            e_rms=0.002, protoplanets=[], dt_max=8.0, measure_energy=False,
+        )
+        sys_ = res.sim.system
+        e_meas, i_meas = rms_eccentricity_inclination(sys_.pos, sys_.vel)
+        area = np.pi * (35.0**2 - 15.0**2)
+        sigma = sys_.mass.sum() / area
+        m_eff = float((sys_.mass**2).sum() / sys_.mass.sum())
+        model = StirringModel(surface_density=sigma, particle_mass=m_eff, a=25.0)
+        e_pred = float(model.evolve_e_rms(0.002, np.array([400.0]))[0])
+        return e_meas, i_meas, e_pred
+
+    e_meas, i_meas, e_pred = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        ["quantity", "value"],
+        title="ABL-STIR: self-stirring, simulation vs relaxation theory",
+    )
+    table.add_row("measured e_rms(T=400)", round(e_meas, 5))
+    table.add_row("measured i_rms(T=400)", round(i_meas, 5))
+    table.add_row("theory e_rms(T=400)", round(e_pred, 5))
+    table.add_row("ratio sim/theory", round(e_meas / e_pred, 2))
+    table.add_row("e/i ratio", round(e_meas / i_meas, 2))
+    emit(table, "ablation_stirring")
+
+    # stirring happened, is order-of-magnitude consistent with theory,
+    # and the e/i ratio sits near the ~2 equilibrium
+    assert e_meas > 0.003
+    assert 0.1 < e_meas / e_pred < 10.0
+    assert 1.2 < e_meas / i_meas < 4.0

@@ -1,0 +1,105 @@
+"""BLOCK-PAR — block-size statistics vs N (paper Section 4.2).
+
+Paper: "Even with the blockstep method, the average number of particles
+which can be integrated in parallel might be as few as one hundred or
+less, even for N = 1e5 or larger."  This is the fact that forced the
+entire parallel-pipeline design (48 i-particles per chip, i-parallelism
+across clusters).
+
+We measure the block-size distribution of the scaled disk across N and
+confirm (a) mean blocks are a small fraction of N, and (b) the fraction
+is roughly N-independent, which justifies the extrapolation used in
+PERF-TFLOPS.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HostDirectBackend
+from repro.perf import Table, run_scaled_disk
+
+from bench_utils import emit, fresh
+
+SIZES = (125, 250, 500, 1000)
+
+
+@pytest.mark.benchmark(group="blockstep")
+def test_block_size_distribution_vs_n(benchmark):
+    fresh("blockstep")
+
+    def run():
+        rows = []
+        for n in SIZES:
+            # dt_max = 16 leaves the Aarseth criterion unclipped so the
+            # block structure reflects the physical timescale hierarchy
+            res = run_scaled_disk(
+                HostDirectBackend(eps=0.008), n=n, t_end=20.0, seed=5,
+                dt_max=16.0, measure_energy=False,
+            )
+            stats = res.sim.scheduler.stats
+            rows.append(
+                (res.n, stats.mean_block, stats.median_block(),
+                 stats.min_block, stats.max_block, res.block_fraction)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        ["N", "mean block", "median", "min", "max", "mean/N"],
+        title="BLOCK-PAR: active-block statistics of the scaled disk",
+    )
+    for n, mean, med, mn, mx, frac in rows:
+        table.add_row(n, round(mean, 1), med, mn, mx, round(frac, 4))
+    emit(table, "blockstep")
+
+    fracs = [r[5] for r in rows]
+    # blocks never contain the whole system...
+    assert all(f < 0.9 for f in fracs)
+    # ...and the fraction is roughly scale-free (within 3x across 8x in N),
+    # which is what lets PERF-TFLOPS transfer it to the paper's N
+    assert max(fracs) / min(fracs) < 3.0
+    # mean block grows with N (more parallelism at larger N)
+    means = [r[1] for r in rows]
+    assert means[-1] > means[0]
+    # the fragmentation tail exists: some blocks are tiny (the paper's
+    # "as few as one hundred or less" concern)
+    assert min(r[3] for r in rows) <= 10
+
+
+@pytest.mark.benchmark(group="blockstep")
+def test_cold_disk_fragments_block_structure(benchmark):
+    """A dynamically *cold* disk suffers the most close encounters
+    (shear-dominated encounters with strong gravitational focusing), so
+    its timestep range is the widest and its block structure the most
+    fragmented — the regime the paper says demands individual
+    timesteps."""
+    fresh("blockstep_stirring")
+
+    def run():
+        out = []
+        for e_rms in (0.0, 0.02, 0.08):
+            res = run_scaled_disk(
+                HostDirectBackend(eps=0.008), n=400, t_end=10.0, seed=9,
+                e_rms=e_rms, dt_max=16.0, measure_energy=False,
+            )
+            levels = len(res.sim.scheduler.stats.size_counts)
+            out.append((e_rms, res.sim.scheduler.stats.mean_block, levels,
+                        res.block_steps))
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        ["initial e_rms", "mean block", "distinct block sizes", "block steps"],
+        title="BLOCK-PAR: velocity state vs block structure (cold = focused encounters)",
+    )
+    for e_rms, mean, levels, blocks in out:
+        table.add_row(e_rms, round(mean, 1), levels, blocks)
+    emit(table, "blockstep_stirring")
+
+    # every configuration populates multiple block levels
+    assert all(levels >= 2 for _, _, levels, _ in out)
+    # the cold disk needs at least as many block steps as the hottest
+    assert out[0][3] >= out[-1][3]

@@ -1,0 +1,160 @@
+"""FIG13 — gap formation near the protoplanet orbits (paper Figure 13).
+
+The paper's only science figure: the planetesimal distribution at
+T = 800 and T ~ 1880, with "Gap of the distribution is formed near the
+radius of protoplanets."
+
+Scaling (documented in DESIGN.md / EXPERIMENTS.md): gap clearing
+proceeds at the synodic rate within the protoplanet feeding zone, so at
+laptop scale (N = 500 vs 1.8 million; run length 1e4 vs the paper's
+production span) we compress the clearing timescale by using heavier
+protoplanets (3e-4 Msun vs 1e-5) with the softening scaled in
+proportion (0.05 AU, still ~20x below the Hill radius, preserving the
+paper's eps << r_H scattering argument).  The *morphology* reproduced
+is the paper's: feeding zones around 20 AU and 30 AU depopulate while
+the rest of the ring survives.
+
+Metrics:
+* primary — depletion of the feeding zone (|a - a_proto| < 3 r_H) in
+  semi-major-axis space, the sharp version of the figure's visual gap;
+* secondary — the radial surface-density profile (the figure itself).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import HostDirectBackend, KeplerField, Simulation, TimestepParams
+from repro.perf import Table
+from repro.planetesimal import (
+    PlanetesimalDiskConfig,
+    Protoplanet,
+    build_disk_system,
+    cartesian_to_elements,
+    surface_density_profile,
+)
+from repro.units import hill_radius
+
+from bench_utils import emit, fresh
+
+N_SCALED = 500
+T_SNAPSHOT = 10_000.0
+PROTO_MASS = 3e-4
+EPS = 0.05
+RADII = (20.0, 30.0)
+
+
+def build_sim():
+    protos = [
+        Protoplanet(mass=PROTO_MASS, radius_au=20.0, phase=0.0),
+        Protoplanet(mass=PROTO_MASS, radius_au=30.0, phase=np.pi),
+    ]
+    system = build_disk_system(
+        PlanetesimalDiskConfig(n_planetesimals=N_SCALED, seed=7, protoplanets=protos)
+    )
+    sim = Simulation(
+        system,
+        HostDirectBackend(eps=EPS),
+        external_field=KeplerField(),
+        timestep_params=TimestepParams(eta=0.03, dt_max=2.0),
+    )
+    sim.initialize()
+    return sim
+
+
+def feeding_zone_counts(pos, vel, a_initial):
+    """(initial, current) particle counts within 3 r_H of each radius."""
+    el = cartesian_to_elements(pos, vel)
+    bound = (el.e < 1.0) & (el.a > 0.0)
+    out = {}
+    for radius in RADII:
+        w = 3.0 * float(hill_radius(radius, PROTO_MASS))
+        init = int(np.sum(np.abs(a_initial - radius) < w))
+        now = int(np.sum(bound & (np.abs(el.a - radius) < w)))
+        out[radius] = (init, now)
+    return out
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_gap_formation(benchmark):
+    fresh("fig13_gap")
+
+    state = {}
+
+    def run():
+        sim = build_sim()
+        n = N_SCALED
+        a0 = cartesian_to_elements(sim.system.pos[:n], sim.system.vel[:n]).a.copy()
+        sim.evolve(T_SNAPSHOT)
+        snap = sim.predicted_state()
+        state.update(sim=sim, snap=snap, a0=a0)
+        return sim
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    snap = state["snap"]
+    counts = feeding_zone_counts(
+        snap.pos[:N_SCALED], snap.vel[:N_SCALED], state["a0"]
+    )
+    depletion = {r: 1.0 - now / init for r, (init, now) in counts.items()}
+    survivors = np.sum(
+        cartesian_to_elements(snap.pos[:N_SCALED], snap.vel[:N_SCALED]).e < 1.0
+    )
+
+    table = Table(
+        ["quantity", "paper", "measured (scaled)"],
+        title="FIG13: gap formation near the protoplanet orbits",
+    )
+    table.add_row("N planetesimals", 1_799_998, N_SCALED)
+    table.add_row("protoplanet mass [Msun]", "1e-5 (adopted)", PROTO_MASS)
+    table.add_row("softening [AU]", 0.008, EPS)
+    table.add_row("snapshot time", "800 / ~1880", T_SNAPSHOT)
+    table.add_row("gap @20 AU", "visible (fig 13)", depletion[20.0] > 0.25)
+    table.add_row("gap @30 AU", "visible (fig 13)", depletion[30.0] > 0.2)
+    table.add_row("feeding-zone depletion @20 AU", "deep", round(depletion[20.0], 2))
+    table.add_row("feeding-zone depletion @30 AU", "deep", round(depletion[30.0], 2))
+    table.add_row("disk survives elsewhere", "yes", bool(survivors > 0.8 * N_SCALED))
+    emit(table, "fig13_gap")
+
+    # shape assertions: clear gaps at both protoplanet radii, disk intact
+    assert depletion[20.0] > 0.25
+    assert depletion[30.0] > 0.2
+    # inner gap clears faster (shorter synodic period) — as in the figure,
+    # where the inner gap is the more prominent at fixed time
+    assert depletion[20.0] > depletion[30.0]
+    assert survivors > 0.8 * N_SCALED
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_radial_profile_series(benchmark):
+    """The figure's 1-D content: radial distribution before/after."""
+    fresh("fig13_profile")
+
+    state = {}
+
+    def run():
+        sim = build_sim()
+        state["r0"] = np.hypot(sim.system.pos[:N_SCALED, 0], sim.system.pos[:N_SCALED, 1])
+        sim.evolve(T_SNAPSHOT / 2)  # the "left panel" epoch
+        snap = sim.predicted_state()
+        state["r1"] = np.hypot(snap.pos[:N_SCALED, 0], snap.pos[:N_SCALED, 1])
+        state["sim"] = sim
+        return sim
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    edges = np.linspace(14, 36, 23)
+    h0, _ = np.histogram(state["r0"], bins=edges)
+    h1, _ = np.histogram(state["r1"], bins=edges)
+
+    table = Table(
+        ["r [AU]", "count T=0", "count T=mid"],
+        title="FIG13 series: radial planetesimal counts",
+    )
+    for i in range(len(h0)):
+        table.add_row(f"{0.5 * (edges[i] + edges[i + 1]):.1f}", int(h0[i]), int(h1[i]))
+    emit(table, "fig13_profile")
+
+    # most of the ring survives; total loss is the scattered tail
+    assert h1.sum() > 0.7 * h0.sum()

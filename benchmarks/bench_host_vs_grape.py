@@ -1,0 +1,102 @@
+"""HOST-VS-GRAPE — the division-of-labour premise (Section 4.1/4.3).
+
+"The important advantage of GRAPE architecture is that the speed of
+communication between the host and GRAPE and the speed of calculation
+of the host computer need not to be very high compared to the speed of
+GRAPE hardware.  The reason is simply that GRAPE performs O(N)
+operation per particle per timestep, while the host performs O(1)."
+
+Measured:
+* modelled run time of the same scaled workload on (a) an era host CPU
+  doing everything and (b) host + GRAPE-6, across N — the GRAPE
+  advantage grows linearly with N;
+* the host-work and communication share of the GRAPE step stays a
+  small, N-insensitive fraction (the architectural point).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import HostOnlyBackend
+from repro.constants import PAPER_N_PLANETESIMALS
+from repro.grape import Grape6Config, Grape6TimingModel
+from repro.perf import Table, run_scaled_disk
+
+from bench_utils import emit, fresh
+
+
+@pytest.mark.benchmark(group="hostgrape")
+def test_host_vs_grape_speedup(benchmark):
+    fresh("host_vs_grape")
+
+    def run():
+        rows = []
+        cfg = Grape6Config.single_node()  # 1 host + 4 boards: fair vs 1 host
+        model = Grape6TimingModel(cfg)
+        for n in (256, 512, 1024):
+            backend = HostOnlyBackend(eps=0.008, host_flops=4e8)
+            res = run_scaled_disk(backend, n=n, t_end=5.0, seed=31,
+                                  measure_energy=False)
+            host_seconds = backend.modelled_seconds
+            # price the identical block sequence on the GRAPE node
+            grape_seconds = sum(
+                count * model.block_step(size, res.n).total
+                for size, count in res.sim.scheduler.stats.size_counts.items()
+            )
+            rows.append((res.n, host_seconds, grape_seconds,
+                         host_seconds / grape_seconds))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        ["N", "era-host seconds", "host+GRAPE seconds", "speed-up"],
+        title="HOST-VS-GRAPE: same workload, modelled era hardware",
+    )
+    for n, th, tg, sp in rows:
+        table.add_row(n, round(th, 3), round(tg, 4), round(sp, 1))
+    emit(table, "host_vs_grape")
+
+    speedups = [r[3] for r in rows]
+    # GRAPE wins at every N here and the advantage grows with N
+    assert all(s > 1 for s in speedups)
+    assert speedups[-1] > speedups[0]
+
+
+@pytest.mark.benchmark(group="hostgrape")
+def test_host_share_shrinks_with_n(benchmark):
+    """O(1) host work vs O(N) pipeline work per particle step: the host
+    share of the critical path falls as N grows, which is what lets a
+    PC host drive a 63-Tflops machine."""
+    fresh("host_share")
+
+    def run():
+        model = Grape6TimingModel(Grape6Config.paper_full_system())
+        rows = []
+        for n in (10_000, 100_000, PAPER_N_PLANETESIMALS + 2):
+            block = max(10, n // 600)  # measured-scale block fraction
+            step = model.block_step(block, n)
+            rows.append(
+                (n, block, step.host / step.total,
+                 (step.pci + step.lvds + step.gbe) / step.total,
+                 step.pipe / step.total)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        ["N", "block", "host share", "comm share", "pipeline share"],
+        title="HOST-VS-GRAPE: critical-path composition vs N",
+    )
+    for n, b, hs, cs, ps in rows:
+        table.add_row(n, b, f"{hs:.1%}", f"{cs:.1%}", f"{ps:.1%}")
+    emit(table, "host_share")
+
+    host_shares = [r[2] for r in rows]
+    pipe_shares = [r[4] for r in rows]
+    assert host_shares[-1] < host_shares[0]
+    assert pipe_shares[-1] > pipe_shares[0]
+    # at paper scale the pipelines dominate (GRAPE is the engine)
+    assert pipe_shares[-1] > 0.5

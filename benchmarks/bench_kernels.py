@@ -1,0 +1,125 @@
+"""Kernel micro-benchmarks (statistical timing, pytest-benchmark).
+
+Unlike the experiment benchmarks (single-shot workloads asserting the
+paper's shapes), these time the library's hot kernels properly —
+multiple rounds, statistics — so performance regressions in the
+building blocks are visible across commits:
+
+* direct force+jerk tile (the GRAPE pipeline arithmetic)
+* predictor sweep
+* Hermite corrector
+* timestep quantisation
+* octree build and walk
+* block scheduling
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import Octree
+from repro.core.forces import acc_jerk, acc_only
+from repro.core.hermite import correct
+from repro.core.predictor import predict_positions, predict_velocities
+from repro.core.scheduler import BlockScheduler
+from repro.core.timestep import TimestepParams, quantize
+
+N_SRC = 2000
+N_SINK = 128
+
+
+@pytest.fixture(scope="module")
+def bodies():
+    rng = np.random.default_rng(0)
+    pos = rng.normal(size=(N_SRC, 3)) * 10 + 25
+    vel = rng.normal(size=(N_SRC, 3)) * 0.1
+    mass = rng.uniform(1e-10, 1e-8, N_SRC)
+    acc = rng.normal(size=(N_SRC, 3)) * 1e-3
+    jerk = rng.normal(size=(N_SRC, 3)) * 1e-5
+    return pos, vel, mass, acc, jerk
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_acc_jerk_tile(benchmark, bodies):
+    pos, vel, mass, _, _ = bodies
+    idx = np.arange(N_SINK)
+    result = benchmark(
+        acc_jerk, pos[:N_SINK], vel[:N_SINK], pos, vel, mass, 0.008,
+        self_indices=idx,
+    )
+    assert result[0].shape == (N_SINK, 3)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_acc_only_tile(benchmark, bodies):
+    pos, vel, mass, _, _ = bodies
+    result = benchmark(
+        acc_only, pos[:N_SINK], pos, mass, 0.008,
+        self_indices=np.arange(N_SINK),
+    )
+    assert result.shape == (N_SINK, 3)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_predictor(benchmark, bodies):
+    pos, vel, _, acc, jerk = bodies
+    dt = np.full(N_SRC, 0.125)
+
+    def run():
+        p = predict_positions(pos, vel, acc, jerk, dt)
+        v = predict_velocities(vel, acc, jerk, dt)
+        return p, v
+
+    p, v = benchmark(run)
+    assert p.shape == (N_SRC, 3)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_corrector(benchmark, bodies):
+    pos, vel, _, acc, jerk = bodies
+    n = N_SINK
+    dt = np.full(n, 0.125)
+    acc1 = acc[:n] * 1.01
+    jerk1 = jerk[:n] * 1.01
+    result = benchmark(
+        correct, pos[:n], vel[:n], acc[:n], jerk[:n], acc1, jerk1, dt
+    )
+    assert result[0].shape == (n, 3)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_quantize(benchmark):
+    rng = np.random.default_rng(1)
+    params = TimestepParams(dt_max=1.0, dt_min=2.0**-20)
+    desired = 10.0 ** rng.uniform(-6, 1, N_SRC)
+    t_now = np.zeros(N_SRC)
+    dt = benchmark(quantize, desired, t_now, None, params)
+    assert dt.shape == (N_SRC,)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_scheduler(benchmark):
+    rng = np.random.default_rng(2)
+    t = np.zeros(N_SRC)
+    dt = 2.0 ** rng.integers(-8, 0, N_SRC).astype(float)
+    sched = BlockScheduler()
+    t_next, active = benchmark(sched.next_block, t, dt)
+    assert active.size >= 1
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_tree_build(benchmark, bodies):
+    pos, _, mass, _, _ = bodies
+    tree = benchmark(Octree, pos, mass)
+    assert tree.stats.n_nodes > 0
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_tree_walk(benchmark, bodies):
+    pos, _, mass, _, _ = bodies
+    tree = Octree(pos, mass)
+    acc, _ = benchmark(
+        tree.accelerations, pos[:N_SINK], 0.6, 0.008,
+    )
+    assert acc.shape == (N_SINK, 3)

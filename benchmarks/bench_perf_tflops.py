@@ -1,0 +1,168 @@
+"""PERF-TFLOPS / PERF-WALL — the paper's headline numbers (Section 6).
+
+Paper: 29.5 Tflops sustained on a 63.4 Tflops machine (46.5% of peak),
+~1.1e18 operations, ~10 hours of wall-clock for 1.8 M particles.
+
+Method (three mutually checking views):
+
+1. **Plausible-block sweep** — price the paper's N on the GRAPE-6
+   timing model for mean block sizes bracketing what production
+   planetesimal runs schedule (1e3..1e4 of 1.8e6 particles).  The
+   paper's 29.5 Tflops must fall inside the swept band.
+2. **Implied block size** — invert the model: which mean block size
+   reproduces exactly 29.5 Tflops?  It must be dynamically plausible.
+3. **Scaled-run histogram (upper bracket)** — measure the actual
+   block-size distribution of the scaled disk and price its scaled-up
+   version.  The scaled disk is dynamically quieter than the production
+   system (its timestep hierarchy is shallower), so this estimate is an
+   *upper* bound on the sustained speed — asserted as such.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constants import (
+    FLOPS_PER_INTERACTION,
+    PAPER_ACHIEVED_TFLOPS,
+    PAPER_N_PLANETESIMALS,
+    PAPER_PEAK_TFLOPS,
+    PAPER_TOTAL_BLOCK_STEPS,
+    PAPER_WALL_CLOCK_HOURS,
+)
+from repro.grape import Grape6Backend, Grape6Config, Grape6Machine
+from repro.perf import (
+    Table,
+    extrapolate_from_histogram,
+    extrapolate_sustained,
+    run_scaled_disk,
+)
+
+from bench_utils import emit, fresh
+
+N_PAPER = PAPER_N_PLANETESIMALS + 2
+SWEEP_BLOCKS = (300, 1000, 3000, 10_000, 30_000)
+
+
+def implied_block_size(target_tflops: float) -> int:
+    """Mean block at which the model sustains ``target_tflops``."""
+    cfg = Grape6Config.paper_full_system()
+    lo, hi = 1, N_PAPER
+    for _ in range(60):
+        mid = (lo + hi) // 2
+        if extrapolate_sustained(cfg, N_PAPER, mid).sustained_tflops < target_tflops:
+            lo = mid + 1
+        else:
+            hi = mid
+        if lo >= hi:
+            break
+    return lo
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_tflops_reproduction(benchmark):
+    fresh("perf_tflops")
+    cfg = Grape6Config.paper_full_system()
+
+    def run():
+        sweep = [
+            (b, extrapolate_sustained(cfg, N_PAPER, b)) for b in SWEEP_BLOCKS
+        ]
+        implied = implied_block_size(PAPER_ACHIEVED_TFLOPS)
+
+        machine = Grape6Machine(cfg, eps=0.008, mode="flat")
+        backend = Grape6Backend(machine)
+        res = run_scaled_disk(backend, n=1000, t_end=40.0, seed=3, dt_max=16.0)
+        hist = res.sim.scheduler.stats.size_counts
+        upper = extrapolate_from_histogram(cfg, N_PAPER, hist, n_measured=res.n)
+        return sweep, implied, res, upper
+
+    sweep, implied, res, upper = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    est_mid = dict(sweep)[3000]
+    wall_hours_mid = (
+        PAPER_TOTAL_BLOCK_STEPS / est_mid.mean_block
+    ) * est_mid.step_seconds / 3600.0
+
+    table = Table(
+        ["quantity", "paper", "model (this repro)"],
+        title="PERF-TFLOPS: sustained speed of the 2048-chip GRAPE-6",
+    )
+    table.add_row("peak Tflops", PAPER_PEAK_TFLOPS, round(cfg.peak_flops / 1e12, 1))
+    table.add_row("sustained Tflops (block=3000)", PAPER_ACHIEVED_TFLOPS,
+                  round(est_mid.sustained_tflops, 1))
+    table.add_row("efficiency (block=3000)",
+                  f"{PAPER_ACHIEVED_TFLOPS / PAPER_PEAK_TFLOPS:.1%}",
+                  f"{est_mid.efficiency:.1%}")
+    table.add_row("wall-clock hours (block=3000)", PAPER_WALL_CLOCK_HOURS,
+                  round(wall_hours_mid, 1))
+    table.add_row("total operations", "1.1e18",
+                  f"{PAPER_TOTAL_BLOCK_STEPS * N_PAPER * FLOPS_PER_INTERACTION:.2g}")
+    table.add_row("block implied by 29.5 Tflops", "n/a", implied)
+    table.add_row("scaled-histogram upper bound [Tflops]", "n/a",
+                  round(upper.sustained_tflops, 1))
+    table.add_row("scaled-run energy error", "n/a", res.energy_error)
+    emit(table, "perf_tflops")
+
+    table2 = Table(
+        ["mean block", "sustained Tflops", "efficiency", "step [ms]"],
+        title="PERF-TFLOPS: plausible-block sweep (N = 1.8e6)",
+    )
+    for b, est in sweep:
+        table2.add_row(b, round(est.sustained_tflops, 1), f"{est.efficiency:.1%}",
+                       round(est.step_seconds * 1e3, 2))
+    emit(table2, "perf_tflops")
+
+    b = est_mid.breakdown
+    table3 = Table(
+        ["component", "ms per block (block=3000)"],
+        title="PERF-TFLOPS: modelled per-block critical path",
+    )
+    for key in ("host", "pci", "lvds", "pipe", "gbe"):
+        table3.add_row(key, round(b[key] * 1e3, 3))
+    emit(table3, "perf_tflops")
+
+    # --- shape assertions -------------------------------------------------
+    # peak matches the paper's 63.4 Tflops
+    assert cfg.peak_flops / 1e12 == pytest.approx(63.4, rel=0.02)
+    # the paper's sustained speed lies inside the swept band
+    speeds = [est.sustained_tflops for _, est in sweep]
+    assert speeds[0] < PAPER_ACHIEVED_TFLOPS < speeds[-1]
+    # the block size the model needs for exactly 29.5 Tflops is a
+    # dynamically plausible production value (hundreds..tens of thousands)
+    assert 100 < implied < 100_000
+    # the quiet scaled disk prices out *above* the paper (upper bracket)
+    assert upper.sustained_tflops > PAPER_ACHIEVED_TFLOPS
+    assert upper.sustained_tflops < PAPER_PEAK_TFLOPS
+    # wall-clock of the mid sweep point is the paper's order of magnitude
+    assert 1.0 < wall_hours_mid < 100.0
+    # the scaled run itself must be a valid integration
+    assert res.energy_error < 1e-6
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_efficiency_vs_block_size(benchmark):
+    """Efficiency as a function of block size: why sustained/peak is
+    ~46% and not ~100% (Section 4.2's design constraint)."""
+    fresh("perf_efficiency_curve")
+
+    from repro.grape import Grape6TimingModel
+
+    def run():
+        model = Grape6TimingModel(Grape6Config.paper_full_system())
+        return [(b, model.efficiency(b, N_PAPER)) for b in (10, 100, 1000, 10_000, 100_000)]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        ["block size", "modelled efficiency"],
+        title="PERF: efficiency vs active-block size (N = 1.8e6)",
+    )
+    for b, eff in rows:
+        table.add_row(b, f"{eff:.1%}")
+    emit(table, "perf_efficiency_curve")
+
+    effs = [e for _, e in rows]
+    assert all(e2 > e1 for e1, e2 in zip(effs, effs[1:]))
+    assert effs[0] < 0.1  # tiny blocks waste the machine
+    assert effs[-1] > 0.5  # huge blocks approach peak

@@ -1,0 +1,105 @@
+"""SCALE-NODES — throughput vs machine configuration (paper Section 5).
+
+The paper builds the machine hierarchically: processor board -> node
+(4 boards) -> cluster (4 nodes) -> full system (4 clusters).  This
+benchmark prices a fixed paper-scale workload on each configuration and
+reports sustained speed, efficiency, and parallel speed-up — showing
+that the architecture scales to the full system without the host
+network becoming the bottleneck (the design claim of Section 4.3).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constants import PAPER_N_PLANETESIMALS
+from repro.grape import Grape6Config, Grape6TimingModel
+from repro.perf import Table
+
+from bench_utils import emit, fresh
+
+CONFIGS = [
+    ("1 board (32 chips)", Grape6Config.single_board()),
+    ("1 node (128 chips)", Grape6Config.single_node()),
+    ("1 cluster (512 chips)", Grape6Config.single_cluster()),
+    ("full system (2048 chips)", Grape6Config.paper_full_system()),
+]
+
+N_TOTAL = PAPER_N_PLANETESIMALS + 2
+BLOCK = 3000  # paper-scale mean block
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_scaling_across_configurations(benchmark):
+    fresh("scaling_nodes")
+
+    def run():
+        rows = []
+        for label, cfg in CONFIGS:
+            model = Grape6TimingModel(cfg)
+            step = model.block_step(BLOCK, N_TOTAL)
+            useful = BLOCK * N_TOTAL * 57
+            rows.append(
+                (label, cfg.total_chips, cfg.peak_flops / 1e12,
+                 useful / step.total / 1e12, model.efficiency(BLOCK, N_TOTAL),
+                 step.total)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    base_speed = rows[0][3]
+    base_chips = rows[0][1]
+    table = Table(
+        ["configuration", "chips", "peak Tflops", "sustained Tflops",
+         "efficiency", "speed-up", "ideal"],
+        title="SCALE-NODES: fixed workload across GRAPE-6 configurations",
+    )
+    for label, chips, peak, sustained, eff, _ in rows:
+        table.add_row(
+            label, chips, round(peak, 1), round(sustained, 2),
+            f"{eff:.1%}", round(sustained / base_speed, 1),
+            chips // base_chips,
+        )
+    emit(table, "scaling_nodes")
+
+    speeds = [r[3] for r in rows]
+    # throughput must increase at every level of the hierarchy
+    assert all(s2 > s1 for s1, s2 in zip(speeds, speeds[1:]))
+    # full system speed-up over one board: >= half of the ideal 64x
+    assert speeds[-1] / speeds[0] > 32
+    # and efficiency must not collapse at full scale
+    assert rows[-1][4] > 0.25
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_scaling_block_size_interaction(benchmark):
+    """Larger machines need larger blocks to stay efficient — the
+    fundamental coupling between the scheduler and the hardware."""
+    fresh("scaling_block_interplay")
+
+    def run():
+        out = {}
+        for label, cfg in (CONFIGS[0], CONFIGS[3]):
+            model = Grape6TimingModel(cfg)
+            out[label] = [
+                model.efficiency(b, N_TOTAL) for b in (100, 1000, 10_000)
+            ]
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        ["configuration", "eff @block=100", "eff @block=1000", "eff @block=10000"],
+        title="SCALE-NODES: efficiency vs block size per configuration",
+    )
+    for label, effs in out.items():
+        table.add_row(label, *(f"{e:.1%}" for e in effs))
+    emit(table, "scaling_block_interplay")
+
+    small = out[CONFIGS[0][0]]
+    full = out[CONFIGS[3][0]]
+    # at block=100 the small machine is relatively *more* efficient
+    assert small[0] > full[0]
+    # at block=10000 both are healthy
+    assert full[2] > 0.5

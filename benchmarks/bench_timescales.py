@@ -1,0 +1,112 @@
+"""TIMESCALE — the §3 premise: timescales span many orders of magnitude.
+
+Paper: orbital periods ~100 years vs close-encounter timescales of "a
+few hours" — six orders of magnitude, the fact that rules out shared
+timesteps and tree codes and motivates the whole GRAPE approach.
+
+Two reproductions:
+
+* analytic, from the paper's own numbers — the orbital period at the
+  ring against the two-body timescale of a *contact-scale* encounter
+  between the smallest planetesimals (~100-km bodies): that is where
+  "a few hours" comes from, and the ratio recovers ~1e6;
+* measured, on the scaled disk — the live timestep range and the
+  closest-approach statistics over a run, which shrink toward the
+  paper's regime as the disk gets more packed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import HostDirectBackend
+from repro.core.encounters import encounter_timescale, measure_timescales
+from repro.perf import Table, run_scaled_disk
+from repro.units import code_to_years, orbital_period
+
+from bench_utils import emit, fresh
+
+
+@pytest.mark.benchmark(group="timescale")
+def test_paper_scale_analytic(benchmark):
+    """The six-orders claim from the paper's own parameters."""
+    fresh("timescales_paper")
+
+    from repro.constants import (
+        PAPER_MASS_LO,
+        PAPER_PROTOPLANET_MASS,
+        PAPER_RING_INNER_AU,
+        PAPER_SOFTENING_AU,
+    )
+    from repro.planetesimal import radius_from_mass
+
+    def run():
+        p_orbit = float(orbital_period(PAPER_RING_INNER_AU))
+        # contact encounter between two smallest (~100 km) planetesimals:
+        # the unsoftened timescale the integrator would otherwise face
+        d_contact = 2.0 * float(radius_from_mass(PAPER_MASS_LO))
+        t_contact = float(encounter_timescale(d_contact, 2 * PAPER_MASS_LO))
+        # softened protoplanet encounter: the actual shortest timescale
+        # of the paper's (softened) production run
+        t_soft = float(
+            encounter_timescale(PAPER_SOFTENING_AU, PAPER_PROTOPLANET_MASS)
+        )
+        return p_orbit, t_contact, t_soft
+
+    p_orbit, t_contact, t_soft = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    hours = lambda t: float(code_to_years(t)) * 365.25 * 24.0
+    table = Table(
+        ["quantity", "paper", "computed"],
+        title="TIMESCALE: the six-orders claim from the paper's numbers",
+    )
+    table.add_row("orbital period @15 AU", "~100 yr", f"{float(code_to_years(p_orbit)):.0f} yr")
+    table.add_row("contact-encounter timescale", "a few hours", f"{hours(t_contact):.1f} h")
+    table.add_row("dynamic range (unsoftened)", "~1e6", f"{p_orbit / t_contact:.2g}")
+    table.add_row("softened protoplanet encounter", "n/a", f"{hours(t_soft) / 24:.1f} d")
+    table.add_row("dynamic range (softened run)", "n/a", f"{p_orbit / t_soft:.2g}")
+    emit(table, "timescales_paper")
+
+    # "a few hours" and "six orders of magnitude", recovered
+    assert 0.2 < hours(t_contact) < 10.0
+    assert 1e5 < p_orbit / t_contact < 1e7
+    # the softening bounds the production run's range to a manageable ~1e3
+    assert 1e2 < p_orbit / t_soft < 1e4
+
+
+@pytest.mark.benchmark(group="timescale")
+def test_timescale_range_measured(benchmark):
+    fresh("timescales")
+
+    def run():
+        rows = []
+        for n in (100, 900):
+            res = run_scaled_disk(
+                HostDirectBackend(eps=0.008), n=n, t_end=40.0, seed=19,
+                dt_max=16.0, measure_energy=False,
+            )
+            census = measure_timescales(res.sim.system)
+            rows.append((res.n, census))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        ["N", "orbit P(15 AU)", "min t_enc", "physical range",
+         "dt range (live)", "closest approach [AU]"],
+        title="TIMESCALE: dynamic range of the scaled disk",
+    )
+    for n, c in rows:
+        table.add_row(
+            n, round(c.orbital_period, 1), f"{c.t_encounter_min:.3g}",
+            f"{c.physical_dynamic_range:.3g}", f"{c.dt_dynamic_range:.3g}",
+            f"{c.closest_approach:.4f}",
+        )
+    emit(table, "timescales")
+
+    # a real timescale spread exists even at laptop scale...
+    assert all(c.physical_dynamic_range > 3.0 for _, c in rows)
+    assert all(c.dt_dynamic_range >= 2.0 for _, c in rows)
+    # ...and the denser disk has closer encounters
+    assert rows[-1][1].closest_approach < rows[0][1].closest_approach

@@ -1,0 +1,136 @@
+"""TREE-VS-DIRECT — Section 3's algorithmic argument.
+
+Paper: tree codes cut the per-step cost from O(N^2) to O(N log N), but
+"it is very difficult to achieve high efficiency with these algorithms
+when the timesteps of particles vary widely" — under block individual
+timesteps the tree must be rebuilt every (small) block, destroying the
+amortisation; and the force error of theta>0 walks is orders of
+magnitude above what Hermite integration of close encounters needs.
+
+Measured here, on the same scaled disk:
+* force accuracy: tree (several theta) vs direct summation;
+* work per *shared* step: tree interactions vs direct N^2 (tree wins);
+* work under *block* steps: tree walk+rebuild vs direct on the active
+  block only (direct wins — the paper's point).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import Octree, TreeBackend
+from repro.core import HostDirectBackend
+from repro.core.forces import acc_jerk
+from repro.perf import Table, run_scaled_disk
+from repro.planetesimal import PlanetesimalDiskConfig, build_disk_system
+
+from bench_utils import emit, fresh
+
+
+@pytest.mark.benchmark(group="tree")
+def test_tree_force_accuracy(benchmark):
+    fresh("tree_accuracy")
+
+    sys_ = build_disk_system(PlanetesimalDiskConfig(n_planetesimals=2000, seed=13))
+    n = sys_.n
+    idx = np.arange(n)
+
+    def run():
+        a_direct, _ = acc_jerk(
+            sys_.pos, sys_.vel, sys_.pos, sys_.vel, sys_.mass, 0.008,
+            self_indices=idx,
+        )
+        rows = []
+        for theta in (1.0, 0.5, 0.25):
+            tree = Octree(sys_.pos, sys_.mass)
+            a_tree, _ = tree.accelerations(
+                sys_.pos, theta=theta, eps=0.008, exclude_self=idx
+            )
+            rel = np.linalg.norm(a_tree - a_direct, axis=1) / np.linalg.norm(
+                a_direct, axis=1
+            )
+            rows.append(
+                (theta, float(np.median(rel)), float(rel.max()),
+                 tree.stats.total_interactions, n * n)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        ["theta", "median rel err", "max rel err", "tree interactions", "direct N^2"],
+        title="TREE-VS-DIRECT: force accuracy and work per shared step",
+    )
+    for theta, med, mx, ti, nn in rows:
+        table.add_row(theta, f"{med:.2e}", f"{mx:.2e}", ti, nn)
+    emit(table, "tree_accuracy")
+
+    meds = [r[1] for r in rows]
+    works = [r[3] for r in rows]
+    # smaller theta: better accuracy, more work
+    assert meds[0] > meds[1] > meds[2]
+    assert works[0] < works[1] < works[2]
+    # per *shared* step the tree saves work at theta = 1.0
+    assert works[0] < rows[0][4] / 2
+    # but even theta=0.25 misses the ~1e-6 relative accuracy the
+    # encounter-dominated Hermite scheme is run at
+    assert meds[2] > 1e-6
+
+
+@pytest.mark.benchmark(group="tree")
+def test_tree_vs_direct_under_block_steps(benchmark):
+    """The crossover the paper leans on: under individual timesteps the
+    per-block rebuild makes the tree do O(N) work per block while the
+    direct code does O(n_active x N) on hardware built exactly for it.
+
+    Measured proxy: total interactions evaluated + trees rebuilt over
+    the same physical integration span."""
+    fresh("tree_vs_direct_blocks")
+
+    def run():
+        res_direct = run_scaled_disk(
+            HostDirectBackend(eps=0.008), n=400, t_end=10.0, seed=17,
+            measure_energy=True,
+        )
+        tree_backend = TreeBackend(eps=0.008, theta=0.5)
+        res_tree = run_scaled_disk(
+            tree_backend, n=400, t_end=10.0, seed=17, measure_energy=True,
+        )
+        return res_direct, tree_backend, res_tree
+
+    res_direct, tree_backend, res_tree = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    n = res_direct.n
+    direct_pairs = res_direct.interactions
+    tree_walk = tree_backend.walk_interactions
+    rebuild_cost = tree_backend.builds * n  # O(N log N) builds, N as proxy
+
+    table = Table(
+        ["quantity", "direct + block steps", "tree + block steps"],
+        title="TREE-VS-DIRECT: same disk, same timestep structure",
+    )
+    table.add_row("block steps", res_direct.block_steps, res_tree.block_steps)
+    table.add_row("pairwise interactions", direct_pairs, tree_walk)
+    table.add_row("tree rebuilds", 0, tree_backend.builds)
+    table.add_row("rebuild particle-loads", 0, rebuild_cost)
+    table.add_row("energy error", res_direct.energy_error, res_tree.energy_error)
+    table.add_row("python wall [s]", round(res_direct.wall_seconds, 2),
+                  round(res_tree.wall_seconds, 2))
+    emit(table, "tree_vs_direct_blocks")
+
+    # The paper: "the actual gain in the calculation speed turned out to
+    # be rather small" for tree + individual timesteps.  Quantified:
+    # 1) the walk's arithmetic saving is modest (< 3.3x, vs the ~N/logN
+    #    factor trees deliver in the shared-step regime)...
+    assert tree_walk > 0.3 * direct_pairs
+    # 2) ...every block pays a full O(N) rebuild on top...
+    assert tree_backend.builds >= res_tree.block_steps
+    assert rebuild_cost > 0
+    # 3) ...the multipole error degrades energy conservation by orders
+    #    of magnitude (the accuracy the paper's encounters demand)...
+    assert res_tree.energy_error > 10 * res_direct.energy_error
+    # 4) ...and end to end the direct code wins wall-clock in this
+    #    regime (the irregular walk also being exactly what the GRAPE
+    #    pipeline hardware cannot accelerate)
+    assert res_direct.wall_seconds < res_tree.wall_seconds

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark emits its "paper vs measured" table through
+:func:`emit`, which both prints it (visible with ``pytest -s``) and
+writes it under ``benchmarks/results/`` so the tables survive pytest's
+output capture.  EXPERIMENTS.md is assembled from those files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.perf import Table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(table: Table, name: str) -> Path:
+    """Print a table and persist it to ``benchmarks/results/<name>.txt``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = table.render()
+    print()
+    print(text)
+    path = RESULTS_DIR / f"{name}.txt"
+    # append: one experiment may emit several tables
+    with open(path, "a") as f:
+        f.write(text + "\n\n")
+    return path
+
+
+def fresh(name: str) -> None:
+    """Remove a previous results file so re-runs do not accumulate."""
+    path = RESULTS_DIR / f"{name}.txt"
+    if path.exists():
+        path.unlink()

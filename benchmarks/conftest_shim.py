@@ -1,0 +1,17 @@
+"""Small factories shared by benchmarks (mirrors tests/conftest.py)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ParticleSystem
+
+
+def make_two_body(m1: float = 1.0, m2: float = 1e-3, a: float = 1.0, e: float = 0.0):
+    """A bound two-body system at apocentre in its centre-of-mass frame."""
+    mtot = m1 + m2
+    r = a * (1.0 + e)
+    v_rel = np.sqrt(mtot * (2.0 / r - 1.0 / a))
+    pos = np.array([[-m2 / mtot * r, 0.0, 0.0], [m1 / mtot * r, 0.0, 0.0]])
+    vel = np.array([[0.0, -m2 / mtot * v_rel, 0.0], [0.0, m1 / mtot * v_rel, 0.0]])
+    return ParticleSystem(np.array([m1, m2]), pos, vel)

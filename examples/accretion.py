@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Planetary accretion: planetesimals merging into larger bodies.
+
+Paper Section 2: "planetesimals accrete to form terrestrial and uranian
+(icy) planets" — the process the production run's disk is the initial
+condition for.  This example enables the library's collision/merging
+extension on a dense cold clump of planetesimals and watches runaway
+growth: the largest body's mass ratio to the mean climbs as it eats its
+neighbours.
+
+Run:  python examples/accretion.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    CollisionPolicy,
+    HostDirectBackend,
+    KeplerField,
+    ParticleSystem,
+    Simulation,
+    TimestepParams,
+)
+from repro.planetesimal import AccretionHistory, radius_from_mass
+from repro.units import au_to_m
+
+
+def build_clump(n: int = 40, seed: int = 11) -> ParticleSystem:
+    """A tidally bound cold clump of planetesimals at 20 AU.
+
+    Clump size 0.02 AU << its collective Hill radius (~0.1 AU), so
+    self-gravity beats the solar tide and the clump collapses — a
+    gravitational-instability patch, the textbook planetesimal nursery.
+    """
+    rng = np.random.default_rng(seed)
+    pos = np.array([20.0, 0.0, 0.0]) + 0.02 * rng.normal(size=(n, 3))
+    v_circ = 1.0 / np.sqrt(20.0)
+    vel = np.tile([0.0, v_circ, 0.0], (n, 1))
+    vel += 1e-4 * rng.normal(size=(n, 3))  # small internal dispersion
+    mass = np.full(n, 2e-8)
+    return ParticleSystem(mass, pos, vel)
+
+
+def main() -> None:
+    n0 = 40
+    system = build_clump(n=n0)
+    policy = CollisionPolicy(f_enhance=50.0)
+    sim = Simulation(
+        system,
+        HostDirectBackend(eps=1e-6),
+        external_field=KeplerField(),
+        timestep_params=TimestepParams(dt_max=0.25),
+        collision_policy=policy,
+    )
+    sim.initialize()
+
+    r_km = float(au_to_m(radius_from_mass(2e-8))) / 1e3
+    print(f"{n0} planetesimals of 2e-8 Msun (~{r_km:.0f} km bodies), "
+          f"clump of 0.02 AU at 20 AU")
+    print(f"collision radii enhanced {policy.f_enhance:g}x "
+          "(super-particle convention, see DESIGN.md)\n")
+
+    history = AccretionHistory()
+    history.sample(0.0, sim.system.mass)
+    print(f"{'T':>7} {'bodies':>7} {'mergers':>8} {'m_max/m_mean':>13} "
+          f"{'largest [Msun]':>15}")
+    for t in (0.0, 5.0, 10.0, 20.0, 40.0, 80.0):
+        if t > 0:
+            sim.evolve(t)
+        snap = history.sample(t, sim.system.mass)
+        print(f"{t:>7.0f} {snap.n_bodies:>7} {sim.mergers:>8} "
+              f"{snap.growth_ratio:>13.2f} {snap.max_mass:>15.3e}")
+
+    assert history.mass_conserved(), "perfect merging must conserve mass"
+    print(f"\nmass conserved: {history.mass_conserved()}")
+    print(f"bodies {history.initial.n_bodies} -> {history.latest.n_bodies} "
+          f"({history.mergers_so_far()} mergers)")
+    print("\nThe growth of m_max/m_mean is the runaway-accretion signature;"
+          "\nthe paper's Neptune-formation question is whether this runs to"
+          "\ncompletion at 30 AU within the Solar system's age.")
+
+
+if __name__ == "__main__":
+    main()

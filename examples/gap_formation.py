@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Figure 13: protoplanets carve gaps in the planetesimal disk.
+
+The paper's science result — "Gap of the distribution is formed near
+the radius of protoplanets" — reproduced at laptop scale.  Heavier
+protoplanets (with softening scaled in proportion, still far below the
+Hill radius) compress the synodic clearing timescale so the late-time
+morphology appears within a few minutes of compute; see DESIGN.md for
+the scaling argument.
+
+Prints an ASCII rendition of the figure: the radial distribution of
+planetesimals before and after, with the protoplanet positions marked.
+
+Run:  python examples/gap_formation.py [--fast]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core import HostDirectBackend, KeplerField, Simulation, TimestepParams
+from repro.planetesimal import (
+    PlanetesimalDiskConfig,
+    Protoplanet,
+    build_disk_system,
+    cartesian_to_elements,
+)
+from repro.units import hill_radius
+
+
+def ascii_histogram(values, edges, width: int = 50, mark=()):
+    """Render a horizontal-bar histogram with markers."""
+    counts, _ = np.histogram(values, bins=edges)
+    peak = max(counts.max(), 1)
+    lines = []
+    for i, c in enumerate(counts):
+        mid = 0.5 * (edges[i] + edges[i + 1])
+        bar = "#" * int(round(width * c / peak))
+        tag = " <= protoplanet" if any(abs(mid - m) < 0.5 for m in mark) else ""
+        lines.append(f"  {mid:5.1f} AU |{bar:<{width}}| {c:3d}{tag}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="shorter run (weaker gaps, ~30 s)")
+    parser.add_argument("--n", type=int, default=500, help="planetesimal count")
+    args = parser.parse_args()
+
+    proto_mass = 3e-4
+    eps = 0.05
+    t_end = 3000.0 if args.fast else 10_000.0
+    protos = [
+        Protoplanet(mass=proto_mass, radius_au=20.0, phase=0.0),
+        Protoplanet(mass=proto_mass, radius_au=30.0, phase=np.pi),
+    ]
+    system = build_disk_system(
+        PlanetesimalDiskConfig(n_planetesimals=args.n, seed=7, protoplanets=protos)
+    )
+    sim = Simulation(
+        system,
+        HostDirectBackend(eps=eps),
+        external_field=KeplerField(),
+        timestep_params=TimestepParams(eta=0.03, dt_max=2.0),
+    )
+    sim.initialize()
+
+    n = args.n
+    edges = np.linspace(14, 36, 23)
+    a0 = cartesian_to_elements(system.pos[:n], system.vel[:n]).a
+
+    print(f"T = 0: semi-major-axis distribution of {n} planetesimals")
+    print(ascii_histogram(a0, edges, mark=(20.0, 30.0)))
+
+    print(f"\nIntegrating to T = {t_end:g} "
+          f"({t_end / (2 * np.pi):.0f} yr, ~{t_end / 562:.0f} orbits at 20 AU)...")
+    sim.evolve(t_end)
+    snap = sim.predicted_state()
+    el = cartesian_to_elements(snap.pos[:n], snap.vel[:n])
+    bound = (el.e < 1.0) & (el.a > 0.0)
+
+    print(f"\nT = {t_end:g}: {int(bound.sum())} bound planetesimals remain")
+    print(ascii_histogram(el.a[bound], edges, mark=(20.0, 30.0)))
+
+    for radius in (20.0, 30.0):
+        w = 3.0 * float(hill_radius(radius, proto_mass))
+        init = int(np.sum(np.abs(a0 - radius) < w))
+        now = int(np.sum(bound & (np.abs(el.a - radius) < w)))
+        print(f"\nFeeding zone at {radius:.0f} AU (±{w:.2f} AU): "
+              f"{init} -> {now} planetesimals "
+              f"({1 - now / init:.0%} cleared)")
+
+
+if __name__ == "__main__":
+    main()

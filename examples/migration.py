@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Planetesimal-driven migration: the protoplanet's orbit drifts.
+
+Momentum conservation makes scattering a two-way street: as the
+protoplanet flings planetesimals around, its own semi-major axis moves
+— the mechanism behind Neptune's outward migration (Fernández & Ip
+1984) that simulations like the paper's were built to capture.
+
+This example embeds one protoplanet in rings of increasing mass and
+tracks its osculating semi-major axis.
+
+Run:  python examples/migration.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import HostDirectBackend, KeplerField, Simulation, TimestepParams
+from repro.planetesimal import (
+    MigrationTracker,
+    PlanetesimalDiskConfig,
+    Protoplanet,
+    build_disk_system,
+)
+
+
+def run_case(disk_mass: float, t_end: float = 1000.0):
+    proto = Protoplanet(mass=3e-4, radius_au=25.0, phase=0.0)
+    config = PlanetesimalDiskConfig(
+        n_planetesimals=200, r_inner=22.0, r_outer=28.0, e_rms=0.01,
+        protoplanets=[proto], seed=61, total_mass=disk_mass,
+    )
+    system = build_disk_system(config)
+    key = int(system.key[200])
+    sim = Simulation(
+        system, HostDirectBackend(eps=0.05),
+        external_field=KeplerField(),
+        timestep_params=TimestepParams(eta=0.03, dt_max=2.0),
+    )
+    sim.initialize()
+    tracker = MigrationTracker([key])
+    tracker.sample(sim)
+    for t in np.linspace(t_end / 5, t_end, 5):
+        sim.evolve(float(t))
+        tracker.sample(sim)
+    return tracker, key
+
+
+def main() -> None:
+    m_earth = 3.0e-6
+    print("protoplanet: 3e-4 Msun (~100 M_earth core) at 25 AU")
+    print("ring: 200 planetesimals, 22-28 AU, T = 1000 (~160 yr)\n")
+    print(f"{'disk mass [M_earth]':>20} {'a(T=0)':>8} {'a(end)':>8} "
+          f"{'da [AU]':>10} {'direction':>10}")
+    for disk_mass in (1e-6, 2e-4, 5e-4):
+        tracker, key = run_case(disk_mass)
+        rec = tracker.record(key)
+        direction = "outward" if rec.da > 0 else "inward"
+        if abs(rec.da) < 1e-3:
+            direction = "(noise)"
+        print(f"{disk_mass / m_earth:>20.1f} {rec.a_initial:>8.3f} "
+              f"{rec.a_final:>8.3f} {rec.da:>+10.4f} {direction:>10}")
+
+    print("""
+Momentum bookkeeping: the drift grows with the mass the protoplanet
+scatters.  The direction depends on the asymmetry of the scattered
+population (inner vs outer encounters); sustained outward migration of
+a Neptune needs the full disk the paper simulated.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Planetesimal scattering by proto-Neptune: the Oort-cloud channel.
+
+Paper Section 2: "It is widely accepted that the so-called Oort cloud
+... is formed by gravitational scattering of planetesimals mainly by
+Neptune. ... This scattering efficiency is an important key."
+
+This example seeds a narrow ring of planetesimals straddling a single
+proto-Neptune and tracks each particle's dynamical fate over time:
+still in the disk, dynamically excited, on an Oort-cloud-candidate
+orbit (bound, aphelion beyond 100 AU), or ejected (hyperbolic).
+
+Run:  python examples/oort_scattering.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import HostDirectBackend, KeplerField, Simulation, TimestepParams
+from repro.planetesimal import (
+    PlanetesimalDiskConfig,
+    Protoplanet,
+    ScatteringMonitor,
+    build_disk_system,
+)
+
+
+def main() -> None:
+    # A narrow annulus around one massive perturber maximises the
+    # encounter rate so the fate statistics converge at small N in
+    # minutes (the paper's 1e-5-Msun protoplanet produces the same
+    # channel over ~1e5x more encounters; the mass is scaled up and the
+    # softening with it, keeping eps << Hill radius).
+    proto = Protoplanet(mass=2e-3, radius_au=30.0, phase=0.0)
+    n = 250
+    config = PlanetesimalDiskConfig(
+        n_planetesimals=n,
+        r_inner=26.0,
+        r_outer=34.0,
+        e_rms=0.03,
+        protoplanets=[proto],
+        seed=99,
+    )
+    system = build_disk_system(config)
+    sim = Simulation(
+        system,
+        HostDirectBackend(eps=0.1),
+        external_field=KeplerField(),
+        timestep_params=TimestepParams(eta=0.03, dt_max=2.0),
+    )
+    sim.initialize()
+
+    monitor = ScatteringMonitor(e_excited=0.2, aphelion_cut=100.0)
+    print(f"proto-Neptune: m = {proto.mass:g} Msun at {proto.radius_au:g} AU "
+          f"(Hill radius {proto.hill_radius():.2f} AU)")
+    print(f"{n} planetesimals in [{config.r_inner:g}, {config.r_outer:g}] AU\n")
+    header = (f"{'T':>8} {'in disk':>8} {'excited':>8} "
+              f"{'oort cand.':>11} {'ejected':>8}")
+    print(header)
+
+    checkpoints = [0.0, 2000.0, 5000.0, 10_000.0, 20_000.0]
+    for t in checkpoints:
+        if t > 0:
+            sim.evolve(t)
+        snap = sim.predicted_state()
+        counts = monitor.sample(t, snap.pos[:n], snap.vel[:n])
+        print(f"{t:>8.0f} {counts.bound_disk:>8} {counts.excited:>8} "
+              f"{counts.oort_candidate:>11} {counts.ejected:>8}")
+
+    final = monitor.latest()
+    fr = final.fractions()
+    print("\nScattering efficiency after "
+          f"{checkpoints[-1] / (2 * np.pi):.0f} yr:")
+    print(f"  stirred or scattered: {1 - fr['bound_disk']:.0%} of the ring")
+    print(f"  Oort-cloud candidates: {fr['oort_candidate']:.1%}")
+    print(f"  ejected (hyperbolic):  {fr['ejected']:.1%}")
+    print("\nThe ratio of (oort + ejected) to accreted-like orbits is the"
+          "\nquantity the paper's production run was built to measure.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""A production-style run: logging, scheduled snapshots, restart.
+
+The paper's 10.3-hour figure includes "file operations" — a production
+N-body run is a managed process.  This example shows the library's run
+infrastructure end to end:
+
+1. integrate a disk with a JSONL run log and scheduled snapshots;
+2. "crash" (stop) mid-run;
+3. restart from the latest snapshot and continue to the target time;
+4. verify the restarted trajectory's energy account.
+
+Run:  python examples/production_run.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.core import (
+    EnergyTracker,
+    HostDirectBackend,
+    KeplerField,
+    Simulation,
+    TimestepParams,
+)
+from repro.planetesimal import PlanetesimalDiskConfig, build_disk_system
+from repro.runio import OutputManager, RunLogger, SnapshotSchedule, read_run_log
+
+
+def make_sim(system) -> Simulation:
+    sim = Simulation(
+        system,
+        HostDirectBackend(eps=0.008),
+        external_field=KeplerField(),
+        timestep_params=TimestepParams(),
+    )
+    sim.initialize()
+    return sim
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-run-"))
+    print(f"run directory: {workdir}")
+
+    # ---- phase 1: the run that "crashes" ------------------------------
+    system = build_disk_system(PlanetesimalDiskConfig(n_planetesimals=200, seed=31))
+    sim = make_sim(system)
+    tracker = EnergyTracker(0.008, sim.external_field)
+    tracker.start(sim.system)
+
+    om = OutputManager(workdir, SnapshotSchedule(interval=5.0))
+    with RunLogger(workdir / "run.jsonl", run_id="disk-n200",
+                   metadata={"n": 200, "seed": 31}) as log:
+        def per_block(s):
+            path = om.maybe_write(s, {"phase": 1})
+            if path is not None:
+                log.event("snapshot", file=path.name, t=s.time)
+
+        sim.evolve(12.0, callback=per_block)  # "crash" before t=30
+        log.record(sim, note="crashed here")
+
+    print(f"phase 1 stopped at T = {sim.time:g} with "
+          f"{om.n_snapshots} snapshots on disk")
+
+    # ---- phase 2: restart from the latest snapshot --------------------
+    state, meta = om.latest()
+    print(f"restarting from {meta['snapshot_index']} at T = {meta['time']:g}")
+    sim2 = make_sim(state)
+    om2 = OutputManager(workdir, SnapshotSchedule(interval=5.0, t_start=meta["time"]))
+    with RunLogger(workdir / "run.jsonl", run_id="disk-n200-restart") as log:
+        sim2.evolve(30.0, callback=lambda s: om2.maybe_write(s, {"phase": 2}))
+        sim2.synchronize(30.0)
+        err = tracker.sample(sim2.system)
+        log.record(sim2, energy_error=err, note="completed")
+
+    print(f"completed at T = {sim2.time:g}; total snapshots: {om2.n_snapshots}")
+    print(f"energy error across crash + restart: {err:.2e}")
+
+    records = read_run_log(workdir / "run.jsonl")
+    kinds = [r["kind"] for r in records]
+    print(f"run log: {len(records)} records "
+          f"({kinds.count('snapshot')} snapshot events, "
+          f"{kinds.count('sample')} samples, {kinds.count('header')} headers)")
+    print("\n(The restart re-seeds timesteps from the snapshot state, so the")
+    print("trajectory is statistically — not bitwise — continuous; the energy")
+    print("account above is the correctness check that matters.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Distributed direct summation on the SPMD runtime (systolic ring).
+
+The software analogue of the paper's Figures 4-5 hardware exchange:
+p ranks each own N/p particles; j-slices hop around a ring so every
+rank accumulates the full force on its slice while only ever talking to
+its neighbours.  The run executes deterministically in-process on the
+repro SPMD virtual machine, so we can print both the physics check
+(identical to single-node direct summation) and the communication bill.
+
+Run:  python examples/ring_spmd.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.forces import acc_jerk
+from repro.parallel import VirtualMachine, ring_forces
+from repro.planetesimal import PlanetesimalDiskConfig, build_disk_system
+
+
+def main() -> None:
+    system = build_disk_system(
+        PlanetesimalDiskConfig(n_planetesimals=600, seed=3, protoplanets=[])
+    )
+    pos, vel, mass = system.pos, system.vel, system.mass
+    n = system.n
+
+    a_ref, j_ref = acc_jerk(
+        pos, vel, pos, vel, mass, 0.008, self_indices=np.arange(n)
+    )
+
+    print(f"N = {n} particles, all-pairs force+jerk, eps = 0.008 AU\n")
+    print(f"{'ranks':>6} {'max |da|/|a|':>14} {'messages':>9} "
+          f"{'total MB':>9} {'MB/rank':>8} {'logical time [ms]':>18}")
+    for p in (1, 2, 4, 8):
+        vm = VirtualMachine(n_ranks=p, bandwidth=100e6, latency=50e-6)
+        res = ring_forces(pos, vel, mass, eps=0.008, n_ranks=p, vm=vm)
+        err = float(
+            np.max(np.linalg.norm(res.acc - a_ref, axis=1)
+                   / np.linalg.norm(a_ref, axis=1))
+        )
+        mb = res.total_bytes / 1e6
+        print(f"{p:>6} {err:>14.2e} {res.messages:>9} {mb:>9.2f} "
+              f"{mb / p:>8.2f} {max(res.clock) * 1e3:>18.2f}")
+
+    print("""
+The physics is exact at every rank count (float-reordering level).
+The communication column is the paper's Section 4.3 lesson in numbers:
+per-rank traffic stays O(N) per force evaluation no matter how many
+hosts share the work — which is why GRAPE-6 moved this exchange onto
+dedicated network-board links instead of host NICs.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Baselines the paper argues against (and we therefore implement).
+
+* :class:`~repro.baselines.tree.Octree` /
+  :class:`~repro.baselines.treebackend.TreeBackend` — Barnes–Hut
+* :class:`~repro.baselines.shared_step.SharedHermite` /
+  :class:`~repro.baselines.shared_step.SharedLeapfrog` — global steps
+* :class:`~repro.baselines.direct_host.HostOnlyBackend` — no GRAPE
+"""
+
+from .direct_host import HostOnlyBackend
+from .shared_step import SharedHermite, SharedLeapfrog
+from .tree import Octree, OctreeStats
+from .treebackend import TreeBackend
+
+__all__ = [
+    "HostOnlyBackend",
+    "SharedHermite",
+    "SharedLeapfrog",
+    "Octree",
+    "OctreeStats",
+    "TreeBackend",
+]

@@ -1,0 +1,59 @@
+"""The no-GRAPE counterfactual: direct summation priced on the host CPU.
+
+Section 4.1 of the paper: "a single workstation with the effective
+speed of several hundred Mflops is too slow as a host" — let alone as
+the force engine.  This module wraps the reference
+:class:`~repro.core.backends.HostDirectBackend` with a host-CPU cost
+model so the HOST-VS-GRAPE benchmark can compare a pure-host run
+against the GRAPE-accelerated one on equal terms (modelled early-2000s
+wall-clock, not Python wall-clock).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import FLOPS_PER_INTERACTION
+from ..core.backends import HostDirectBackend
+from ..errors import ConfigurationError
+
+__all__ = ["HostOnlyBackend"]
+
+
+class HostOnlyBackend(HostDirectBackend):
+    """Direct summation with era-host cost accounting.
+
+    Parameters
+    ----------
+    eps:
+        Plummer softening.
+    host_flops:
+        Sustained floating-point speed of the modelled host CPU
+        [flop/s].  The paper-era Athlon XP sustains a few hundred
+        Mflops on this kernel; default 400 Mflops.
+    """
+
+    def __init__(self, eps: float, host_flops: float = 4.0e8) -> None:
+        if host_flops <= 0:
+            raise ConfigurationError("host_flops must be positive")
+        super().__init__(eps=eps)
+        self.host_flops = float(host_flops)
+        #: Modelled seconds the era host would have spent on forces.
+        self.modelled_seconds = 0.0
+
+    def forces_on(self, system, active: np.ndarray, t_now: float):
+        n_before = self.counter.force_interactions
+        result = super().forces_on(system, active, t_now)
+        pairs = self.counter.force_interactions - n_before
+        self.modelled_seconds += pairs * FLOPS_PER_INTERACTION / self.host_flops
+        return result
+
+    def achieved_flops(self) -> float:
+        """Sustained modelled speed (= host_flops by construction)."""
+        if self.modelled_seconds == 0.0:
+            return 0.0
+        return (
+            self.counter.force_interactions
+            * FLOPS_PER_INTERACTION
+            / self.modelled_seconds
+        )

@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover the common entry points:
+
+``run``
+    Integrate a scaled paper disk with a chosen force backend and
+    print run statistics (block counts, energy error, Tflops model for
+    the GRAPE backend).
+
+``perf``
+    Evaluate the GRAPE-6 timing model for a given machine shape,
+    particle count and block size — the PERF-TFLOPS analysis without
+    running a simulation.
+
+``info``
+    Print the paper's constants and the machine configurations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SC2002 GRAPE-6 planetesimal simulation reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="integrate a scaled paper disk")
+    p_run.add_argument("--n", type=int, default=256, help="planetesimal count")
+    p_run.add_argument("--t-end", type=float, default=20.0, help="end time [code units]")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--eta", type=float, default=0.02, help="Aarseth accuracy parameter")
+    p_run.add_argument("--dt-max", type=float, default=1.0, help="largest block step")
+    p_run.add_argument(
+        "--backend", choices=("host", "grape", "tree"), default="host",
+        help="force engine",
+    )
+    p_run.add_argument("--eps", type=float, default=0.008, help="softening [AU]")
+
+    p_perf = sub.add_parser("perf", help="evaluate the GRAPE-6 timing model")
+    p_perf.add_argument("--n", type=int, default=1_800_000, help="total particles")
+    p_perf.add_argument("--block", type=int, default=3000, help="active block size")
+    p_perf.add_argument(
+        "--config", choices=("board", "node", "cluster", "full"), default="full",
+        help="machine shape",
+    )
+
+    sub.add_parser("info", help="print paper constants and machine shapes")
+
+    p_st = sub.add_parser("selftest", help="run the GRAPE-6 hardware self-test")
+    p_st.add_argument(
+        "--config", choices=("board", "node", "cluster", "full"), default="node",
+    )
+    p_st.add_argument("--precision", action="store_true",
+                      help="test the reduced-precision pipeline emulation")
+
+    p_rep = sub.add_parser(
+        "report", help="print the collected benchmark result tables"
+    )
+    p_rep.add_argument(
+        "--results-dir", default="benchmarks/results",
+        help="directory of tables written by pytest benchmarks",
+    )
+    return parser
+
+
+def _config_for(name: str):
+    from .grape import Grape6Config
+
+    return {
+        "board": Grape6Config.single_board,
+        "node": Grape6Config.single_node,
+        "cluster": Grape6Config.single_cluster,
+        "full": Grape6Config.paper_full_system,
+    }[name]()
+
+
+def _cmd_run(args) -> int:
+    from .baselines import TreeBackend
+    from .core import HostDirectBackend
+    from .grape import Grape6Backend, Grape6Config, Grape6Machine
+    from .perf import run_scaled_disk
+
+    machine = None
+    if args.backend == "host":
+        backend = HostDirectBackend(eps=args.eps)
+    elif args.backend == "tree":
+        backend = TreeBackend(eps=args.eps, theta=0.5)
+    else:
+        machine = Grape6Machine(Grape6Config.paper_full_system(), eps=args.eps)
+        backend = Grape6Backend(machine)
+
+    res = run_scaled_disk(
+        backend, n=args.n, t_end=args.t_end, seed=args.seed,
+        eta=args.eta, dt_max=args.dt_max,
+    )
+    print(f"particles:        {res.n}")
+    print(f"integrated to:    T = {res.t_end:g}")
+    print(f"block steps:      {res.block_steps}")
+    print(f"particle steps:   {res.particle_steps}")
+    print(f"mean block size:  {res.mean_block:.1f}")
+    print(f"interactions:     {res.interactions:,}")
+    print(f"energy error:     {res.energy_error:.3e}")
+    print(f"python wall:      {res.wall_seconds:.2f} s "
+          f"({res.interactions_per_second:.3g} interactions/s)")
+    if machine is not None:
+        print(f"GRAPE model:      {machine.totals.total_seconds:.4f} s, "
+              f"{machine.achieved_flops() / 1e12:.3f} Tflops "
+              f"({machine.efficiency():.1%} of peak)")
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    from .grape import Grape6TimingModel
+
+    cfg = _config_for(args.config)
+    model = Grape6TimingModel(cfg)
+    step = model.block_step(args.block, args.n)
+    useful = args.block * args.n * 57
+    print(f"machine:          {cfg.total_chips} chips, "
+          f"{cfg.peak_flops / 1e12:.2f} Tflops peak")
+    print(f"workload:         block {args.block} of N = {args.n:,}")
+    print(f"step time:        {step.total * 1e3:.3f} ms")
+    for name in ("host", "pci", "lvds", "pipe", "gbe"):
+        val = getattr(step, name)
+        print(f"  {name:<5}           {val * 1e3:8.3f} ms ({val / step.total:6.1%})")
+    print(f"sustained:        {useful / step.total / 1e12:.2f} Tflops "
+          f"({model.efficiency(args.block, args.n):.1%} of peak)")
+    return 0
+
+
+def _cmd_info(_args) -> int:
+    from . import constants as c
+    from .grape import Grape6Config
+
+    print("Paper: Makino, Kokubo, Fukushige & Daisaka, SC 2002")
+    print(f"  N planetesimals:    {c.PAPER_N_PLANETESIMALS:,} (+2 protoplanets)")
+    print(f"  ring:               {c.PAPER_RING_INNER_AU:g}-{c.PAPER_RING_OUTER_AU:g} AU, "
+          f"Sigma ~ r^{c.PAPER_SURFACE_DENSITY_EXPONENT:g}")
+    print(f"  mass function:      N(m) ~ m^{c.PAPER_MASS_EXPONENT:g}")
+    print(f"  softening:          {c.PAPER_SOFTENING_AU:g} AU")
+    print(f"  achieved/peak:      {c.PAPER_ACHIEVED_TFLOPS} / {c.PAPER_PEAK_TFLOPS} Tflops")
+    print(f"  ops/interaction:    {c.FLOPS_PER_INTERACTION} "
+          f"({c.FLOPS_PER_FORCE} force + {c.FLOPS_PER_JERK} jerk)")
+    print("\nMachine shapes:")
+    for name in ("board", "node", "cluster", "full"):
+        cfg = _config_for(name)
+        print(f"  {name:<8} {cfg.total_chips:>5} chips  "
+              f"{cfg.peak_flops / 1e12:8.2f} Tflops peak  "
+              f"{cfg.n_hosts:>3} host(s)")
+    return 0
+
+
+def _cmd_selftest(args) -> int:
+    from .grape import Grape6Machine, self_test
+
+    cfg = _config_for(args.config)
+    machine = Grape6Machine(
+        cfg, eps=0.008, mode="hierarchy", emulate_precision=args.precision
+    )
+    tol = 1e-2 if args.precision else 1e-10
+    report = self_test(machine, rel_tol=tol)
+    print(report.summary())
+    for c in report.failures():
+        print(f"  FAIL chip c{c.cluster}.n{c.node}.b{c.board}.{c.chip}: "
+              f"max rel error {c.max_rel_error:.2e}")
+    return 0 if report.all_ok else 1
+
+
+def _cmd_report(args) -> int:
+    from pathlib import Path
+
+    results = Path(args.results_dir)
+    files = sorted(results.glob("*.txt"))
+    if not files:
+        print(f"no result tables in {results}; "
+              "run `pytest benchmarks/ --benchmark-only` first")
+        return 1
+    for f in files:
+        print(f.read_text().rstrip())
+        print()
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "run": _cmd_run,
+        "perf": _cmd_perf,
+        "info": _cmd_info,
+        "selftest": _cmd_selftest,
+        "report": _cmd_report,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""Paper-level constants: problem parameters and GRAPE-6 hardware figures.
+
+Every number in this module is taken directly from the SC2002 paper text
+(sections cited inline).  Keeping them in one place makes the benchmark
+harness's "paper value vs measured" tables trivially auditable.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAPER_N_PLANETESIMALS",
+    "PAPER_N_PROTOPLANETS",
+    "PAPER_RING_INNER_AU",
+    "PAPER_RING_OUTER_AU",
+    "PAPER_MASS_EXPONENT",
+    "PAPER_MASS_LO",
+    "PAPER_MASS_HI",
+    "PAPER_SURFACE_DENSITY_EXPONENT",
+    "PAPER_PROTOPLANET_MASS",
+    "PAPER_PROTOPLANET_RADII_AU",
+    "PAPER_SOFTENING_AU",
+    "PAPER_SIM_TIME_UNITS",
+    "PAPER_SNAPSHOT_TIMES",
+    "PAPER_TOTAL_BLOCK_STEPS",
+    "PAPER_WALL_CLOCK_HOURS",
+    "PAPER_ACHIEVED_TFLOPS",
+    "PAPER_PEAK_TFLOPS",
+    "FLOPS_PER_FORCE",
+    "FLOPS_PER_JERK",
+    "FLOPS_PER_INTERACTION",
+    "GRAPE6_PIPELINE_CLOCK_HZ",
+    "GRAPE6_PIPELINES_PER_CHIP",
+    "GRAPE6_CHIP_PEAK_GFLOPS",
+    "GRAPE6_CHIPS_PER_DAUGHTER_CARD",
+    "GRAPE6_DAUGHTER_CARDS_PER_BOARD",
+    "GRAPE6_CHIPS_PER_BOARD",
+    "GRAPE6_BOARDS_PER_NODE",
+    "GRAPE6_NODES_PER_CLUSTER",
+    "GRAPE6_CLUSTERS",
+    "GRAPE6_TOTAL_CHIPS",
+    "GRAPE6_LVDS_LINK_MBPS",
+    "GRAPE6_PCI_BANDWIDTH_MBPS",
+    "GRAPE6_GBE_BANDWIDTH_MBPS",
+    "GRAPE6_NB_DOWNLINKS",
+    "GRAPE6_JMEM_PARTICLES_PER_CHIP",
+]
+
+# --- Problem setup (Section 2) -------------------------------------------
+
+#: Number of planetesimals in the paper's run ("1,799,998 planetesimals").
+PAPER_N_PLANETESIMALS = 1_799_998
+
+#: Two massive protoplanets: proto-Uranus and proto-Neptune.
+PAPER_N_PROTOPLANETS = 2
+
+#: Planetesimal ring inner radius [AU].
+PAPER_RING_INNER_AU = 15.0
+
+#: Planetesimal ring outer radius [AU].
+PAPER_RING_OUTER_AU = 35.0
+
+#: Mass-function exponent: N(m) dm ~ m**-2.5.
+PAPER_MASS_EXPONENT = -2.5
+
+#: Lower cutoff of the planetesimal mass function [Msun].  The OCR of the
+#: paper drops the exponents; 2e-12 Msun (~4e18 kg, a ~100 km icy body) is
+#: the value consistent with the Hayashi-nebula disk mass used by the
+#: authors' companion papers.
+PAPER_MASS_LO = 2.0e-12
+
+#: Upper cutoff of the planetesimal mass function [Msun].
+PAPER_MASS_HI = 4.0e-10
+
+#: Surface density profile: Sigma(r) ~ r**-1.5 (Hayashi 1981 nebula slope).
+PAPER_SURFACE_DENSITY_EXPONENT = -1.5
+
+#: Protoplanet mass [Msun].  The text gives "mass ..." with the exponent
+#: lost to OCR; 1e-5 Msun (~3.3 Earth masses, a typical proto-ice-giant
+#: core) is adopted and recorded as a substitution in DESIGN.md.
+PAPER_PROTOPLANET_MASS = 1.0e-5
+
+#: Protoplanet orbital radii [AU]: proto-Uranus, proto-Neptune.
+PAPER_PROTOPLANET_RADII_AU = (20.0, 30.0)
+
+#: Plummer softening applied to all non-solar interactions [AU].
+PAPER_SOFTENING_AU = 0.008
+
+# --- Run statistics (Section 6) -------------------------------------------
+
+#: Length of the paper's run in code time units (OCR gives "1878.8"-like
+#: figures; the snapshot times quoted are T = 800 and T ~ 2000).
+PAPER_SIM_TIME_UNITS = 1878.8
+
+#: Snapshot times shown in Figure 13 [code time units].
+PAPER_SNAPSHOT_TIMES = (800.0, 1878.8)
+
+#: Total number of individual (block) particle-steps in the run.  The OCR
+#: loses the mantissa; this value is recovered from the stated identities
+#: total_ops = steps * N * 57 = 1.1e18 and 29.5 Tflops * wall seconds.
+PAPER_TOTAL_BLOCK_STEPS = 1.07e10
+
+#: Wall-clock time of the full simulation, including file I/O [hours].
+PAPER_WALL_CLOCK_HOURS = 10.3
+
+#: Achieved sustained performance reported by the paper [Tflops].
+PAPER_ACHIEVED_TFLOPS = 29.5
+
+#: Theoretical peak of the 2048-chip configuration [Tflops].
+PAPER_PEAK_TFLOPS = 63.4
+
+# --- Flop-counting convention (Section 5.2) --------------------------------
+
+#: Operations per pairwise force evaluation (Gordon Bell convention).
+FLOPS_PER_FORCE = 38
+
+#: Additional operations for the force time-derivative (jerk).
+FLOPS_PER_JERK = 19
+
+#: Total operations per GRAPE-6 interaction (force + jerk).
+FLOPS_PER_INTERACTION = FLOPS_PER_FORCE + FLOPS_PER_JERK  # = 57
+
+# --- GRAPE-6 hardware (Section 5) ------------------------------------------
+
+#: Pipeline clock frequency [Hz].
+GRAPE6_PIPELINE_CLOCK_HZ = 90_000_000
+
+#: Force pipelines integrated on one GRAPE-6 chip.
+GRAPE6_PIPELINES_PER_CHIP = 6
+
+#: Peak speed of one chip [Gflops]: 6 pipes * 90 MHz * 57 ops = 30.78.
+GRAPE6_CHIP_PEAK_GFLOPS = (
+    GRAPE6_PIPELINES_PER_CHIP * GRAPE6_PIPELINE_CLOCK_HZ * FLOPS_PER_INTERACTION / 1e9
+)
+
+#: Chips mounted on one daughter card.
+GRAPE6_CHIPS_PER_DAUGHTER_CARD = 4
+
+#: Daughter cards per processor board.
+GRAPE6_DAUGHTER_CARDS_PER_BOARD = 8
+
+#: Processor chips per processor board (4 * 8 = 32).
+GRAPE6_CHIPS_PER_BOARD = GRAPE6_CHIPS_PER_DAUGHTER_CARD * GRAPE6_DAUGHTER_CARDS_PER_BOARD
+
+#: Processor boards attached to one host (one node).
+GRAPE6_BOARDS_PER_NODE = 4
+
+#: Nodes per hardware cluster (4x4 configuration, Figure 7).
+GRAPE6_NODES_PER_CLUSTER = 4
+
+#: Clusters in the complete system (Figure 11).
+GRAPE6_CLUSTERS = 4
+
+#: Total pipeline chips: 32 * 4 * 4 * 4 = 2048.
+GRAPE6_TOTAL_CHIPS = (
+    GRAPE6_CHIPS_PER_BOARD
+    * GRAPE6_BOARDS_PER_NODE
+    * GRAPE6_NODES_PER_CLUSTER
+    * GRAPE6_CLUSTERS
+)
+
+#: LVDS semi-serial board link data rate [MB/s] (Section 5.2).
+GRAPE6_LVDS_LINK_MBPS = 90.0
+
+#: Host PCI bus effective bandwidth [MB/s] (32-bit/33 MHz PCI era).
+GRAPE6_PCI_BANDWIDTH_MBPS = 133.0
+
+#: Gigabit Ethernet effective bandwidth between hosts [MB/s].
+GRAPE6_GBE_BANDWIDTH_MBPS = 100.0
+
+#: Downlinks per network board (to processor boards or cascaded NBs).
+GRAPE6_NB_DOWNLINKS = 4
+
+#: j-particle memory capacity per chip [particles] (16k words per pipeline
+#: memory bank in GRAPE-6; we model the documented 16384/chip budget).
+GRAPE6_JMEM_PARTICLES_PER_CHIP = 16384

@@ -1,0 +1,108 @@
+"""Force-backend interface and the pure-host reference backend.
+
+The integration driver (:mod:`repro.core.integrator`) is agnostic about
+*where* forces come from — exactly the GRAPE design split (Figure 1 of
+the paper: the host does the time integration, the special-purpose
+hardware does the force loop).  Backends implement:
+
+``load(system)``
+    One-time ingest of the particle set (GRAPE: fill the j-particle
+    memories across boards).
+``forces_on(system, active, t_now)``
+    Return ``(acc, jerk)`` on the active block, summed over **all**
+    particles predicted to ``t_now``, excluding self-interaction.
+``push_updates(system, active)``
+    Inform the backend that the active particles were corrected (GRAPE:
+    rewrite those j-memory slots over the host interface).
+
+Available implementations:
+
+* :class:`HostDirectBackend` (here) — the reference: predict on the host,
+  vectorised direct summation (what you would run with no GRAPE at all).
+* :class:`repro.grape.system.Grape6Backend` — the GRAPE-6 simulator with
+  its full performance model.
+* :class:`repro.baselines.tree.TreeBackend` — Barnes–Hut approximation,
+  the paper's Section 3 counterfactual.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .forces import InteractionCounter, acc_jerk
+from .predictor import predict_system
+
+__all__ = ["ForceBackend", "HostDirectBackend"]
+
+
+class ForceBackend:
+    """Abstract force engine consumed by :class:`repro.core.integrator.Simulation`."""
+
+    #: Interaction counter; concrete backends must bind one.
+    counter: InteractionCounter
+
+    def load(self, system) -> None:
+        """Ingest the full particle set before integration starts."""
+        raise NotImplementedError
+
+    def forces_on(self, system, active: np.ndarray, t_now: float):
+        """Force and jerk on ``active`` from all particles at ``t_now``.
+
+        Returns ``(acc, jerk)`` with shapes ``(len(active), 3)``.
+        Implementations must use predicted source positions/velocities
+        and must exclude each active particle's self-interaction.
+        """
+        raise NotImplementedError
+
+    def push_updates(self, system, active: np.ndarray) -> None:
+        """Notify the backend that ``active`` rows of ``system`` changed."""
+        raise NotImplementedError
+
+    def potential(self, system) -> np.ndarray:
+        """Mutual potential per unit mass on every particle (diagnostics)."""
+        raise NotImplementedError
+
+
+class HostDirectBackend(ForceBackend):
+    """Reference backend: host-side prediction + direct summation.
+
+    Parameters
+    ----------
+    eps:
+        Plummer softening applied to every pairwise interaction.
+    """
+
+    def __init__(self, eps: float) -> None:
+        if eps < 0:
+            raise ValueError("softening must be non-negative")
+        self.eps = float(eps)
+        self.counter = InteractionCounter()
+
+    def load(self, system) -> None:
+        # The host backend reads straight from the ParticleSystem arrays;
+        # nothing to stage.
+        return None
+
+    def forces_on(self, system, active: np.ndarray, t_now: float):
+        predict_system(system, t_now)
+        return acc_jerk(
+            system.pred_pos[active],
+            system.pred_vel[active],
+            system.pred_pos,
+            system.pred_vel,
+            system.mass,
+            self.eps,
+            self_indices=np.asarray(active),
+            counter=self.counter,
+        )
+
+    def push_updates(self, system, active: np.ndarray) -> None:
+        return None
+
+    def potential(self, system) -> np.ndarray:
+        from .forces import pairwise_potential
+
+        n = system.n
+        return pairwise_potential(
+            system.pos, system.pos, system.mass, self.eps, self_indices=np.arange(n)
+        )

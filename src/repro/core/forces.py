@@ -1,0 +1,270 @@
+"""Direct-summation gravitational force and jerk kernels.
+
+These are the software equivalent of the GRAPE-6 force pipeline: for each
+*i*-particle, accumulate over all *j*-particles the Plummer-softened
+acceleration and its first time derivative (jerk),
+
+.. math::
+
+    \\mathbf{a}_i = \\sum_j m_j \\frac{\\mathbf{r}_{ij}}{(r_{ij}^2+\\epsilon^2)^{3/2}},
+    \\qquad
+    \\dot{\\mathbf{a}}_i = \\sum_j m_j \\left[
+        \\frac{\\mathbf{v}_{ij}}{(r_{ij}^2+\\epsilon^2)^{3/2}}
+        - \\frac{3 (\\mathbf{r}_{ij}\\cdot\\mathbf{v}_{ij})\\,\\mathbf{r}_{ij}}
+               {(r_{ij}^2+\\epsilon^2)^{5/2}} \\right],
+
+with :math:`\\mathbf{r}_{ij} = \\mathbf{r}_j - \\mathbf{r}_i`.  The jerk is
+what makes the 4th-order Hermite scheme possible with a single force
+evaluation per step (Makino & Aarseth 1992); GRAPE-6 computes it in
+hardware at a cost the paper books as 19 extra operations on top of the
+38-op force (57 ops per interaction total).
+
+All kernels are NumPy-vectorised with broadcasting over an
+``(n_i, n_j)`` interaction tile and chunk the *i* axis to bound the
+temporary-memory footprint (guides: prefer broadcasting, mind cache and
+memory).  They also count interactions so the benchmark harness can apply
+the paper's flop-counting convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "InteractionCounter",
+    "acc_jerk",
+    "acc_only",
+    "potential_energy",
+    "pairwise_potential",
+    "min_pairwise_distance",
+]
+
+#: Maximum number of pairwise-tile elements materialised at once
+#: (n_i_chunk * n_j); 2**22 doubles * ~10 temporaries stays well under
+#: typical L3 + keeps allocation overhead amortised.
+_TILE_BUDGET = 1 << 22
+
+
+@dataclass
+class InteractionCounter:
+    """Accumulates pairwise-interaction counts for flop accounting.
+
+    The paper's performance figures use the Gordon Bell convention of 38
+    floating-point operations per force interaction plus 19 for the jerk
+    (57 total).  The counter records raw interaction counts; conversion to
+    flops lives in :mod:`repro.perf.flops`.
+    """
+
+    force_interactions: int = 0
+    jerk_interactions: int = 0
+    force_calls: int = 0
+    #: Per-call (n_active, n_source) history, kept only when ``trace=True``.
+    trace: bool = False
+    history: list = field(default_factory=list)
+
+    def add(self, n_i: int, n_j: int, with_jerk: bool) -> None:
+        """Record a force evaluation of ``n_i`` sinks against ``n_j`` sources."""
+        pairs = int(n_i) * int(n_j)
+        self.force_interactions += pairs
+        if with_jerk:
+            self.jerk_interactions += pairs
+        self.force_calls += 1
+        if self.trace:
+            self.history.append((int(n_i), int(n_j), bool(with_jerk)))
+
+    def reset(self) -> None:
+        """Zero all counters and drop the trace history."""
+        self.force_interactions = 0
+        self.jerk_interactions = 0
+        self.force_calls = 0
+        self.history.clear()
+
+
+def _i_chunk_size(n_j: int) -> int:
+    """Number of i-particles per tile so that the tile fits the budget."""
+    return max(1, _TILE_BUDGET // max(n_j, 1))
+
+
+def acc_jerk(
+    pos_i: np.ndarray,
+    vel_i: np.ndarray,
+    pos_j: np.ndarray,
+    vel_j: np.ndarray,
+    mass_j: np.ndarray,
+    eps: float,
+    self_indices: np.ndarray | None = None,
+    counter: InteractionCounter | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Softened acceleration and jerk on sinks ``i`` from sources ``j``.
+
+    Parameters
+    ----------
+    pos_i, vel_i:
+        Sink positions/velocities, shape ``(n_i, 3)``.
+    pos_j, vel_j, mass_j:
+        Source positions, velocities and masses, shapes ``(n_j, 3)`` and
+        ``(n_j,)``.
+    eps:
+        Plummer softening length; must be > 0 if any sink coincides with a
+        source (the self-interaction is removed explicitly instead).
+    self_indices:
+        If the sinks are a subset of the sources, the index of each sink
+        within the source arrays (shape ``(n_i,)``); the corresponding
+        diagonal interaction is excluded.  ``None`` means sinks and
+        sources are disjoint sets.
+    counter:
+        Optional :class:`InteractionCounter` to update.
+
+    Returns
+    -------
+    acc, jerk:
+        Arrays of shape ``(n_i, 3)``.
+    """
+    pos_i = np.atleast_2d(np.asarray(pos_i, dtype=np.float64))
+    vel_i = np.atleast_2d(np.asarray(vel_i, dtype=np.float64))
+    pos_j = np.atleast_2d(np.asarray(pos_j, dtype=np.float64))
+    vel_j = np.atleast_2d(np.asarray(vel_j, dtype=np.float64))
+    mass_j = np.asarray(mass_j, dtype=np.float64)
+
+    n_i = pos_i.shape[0]
+    n_j = pos_j.shape[0]
+    acc = np.zeros((n_i, 3))
+    jerk = np.zeros((n_i, 3))
+    eps2 = float(eps) ** 2
+
+    chunk = _i_chunk_size(n_j)
+    for start in range(0, n_i, chunk):
+        stop = min(start + chunk, n_i)
+        # (c, n_j, 3) separation and relative-velocity tiles
+        dr = pos_j[None, :, :] - pos_i[start:stop, None, :]
+        dv = vel_j[None, :, :] - vel_i[start:stop, None, :]
+        r2 = np.einsum("ijk,ijk->ij", dr, dr) + eps2
+        rv = np.einsum("ijk,ijk->ij", dr, dv)
+        if self_indices is not None:
+            # Masking r2 (not the result) keeps every downstream term —
+            # including the jerk's rv/r2 — finite and exactly zero.
+            rows = np.arange(start, stop) - start
+            cols = np.asarray(self_indices)[start:stop]
+            r2[rows, cols] = np.inf
+        inv_r = 1.0 / np.sqrt(r2)
+        inv_r3 = inv_r / r2
+        mr3 = mass_j[None, :] * inv_r3
+        acc[start:stop] = np.einsum("ij,ijk->ik", mr3, dr)
+        jerk[start:stop] = np.einsum("ij,ijk->ik", mr3, dv) - 3.0 * np.einsum(
+            "ij,ijk->ik", mr3 * rv / r2, dr
+        )
+
+    if counter is not None:
+        counter.add(n_i, n_j, with_jerk=True)
+    return acc, jerk
+
+
+def acc_only(
+    pos_i: np.ndarray,
+    pos_j: np.ndarray,
+    mass_j: np.ndarray,
+    eps: float,
+    self_indices: np.ndarray | None = None,
+    counter: InteractionCounter | None = None,
+) -> np.ndarray:
+    """Softened acceleration only (no jerk) — the 38-op kernel.
+
+    Used by the leapfrog / tree baselines which do not need derivatives.
+    Arguments mirror :func:`acc_jerk`.
+    """
+    pos_i = np.atleast_2d(np.asarray(pos_i, dtype=np.float64))
+    pos_j = np.atleast_2d(np.asarray(pos_j, dtype=np.float64))
+    mass_j = np.asarray(mass_j, dtype=np.float64)
+
+    n_i = pos_i.shape[0]
+    n_j = pos_j.shape[0]
+    acc = np.zeros((n_i, 3))
+    eps2 = float(eps) ** 2
+
+    chunk = _i_chunk_size(n_j)
+    for start in range(0, n_i, chunk):
+        stop = min(start + chunk, n_i)
+        dr = pos_j[None, :, :] - pos_i[start:stop, None, :]
+        r2 = np.einsum("ijk,ijk->ij", dr, dr) + eps2
+        if self_indices is not None:
+            rows = np.arange(start, stop) - start
+            cols = np.asarray(self_indices)[start:stop]
+            r2[rows, cols] = np.inf
+        inv_r3 = 1.0 / (r2 * np.sqrt(r2))
+        acc[start:stop] = np.einsum("ij,ijk->ik", mass_j[None, :] * inv_r3, dr)
+
+    if counter is not None:
+        counter.add(n_i, n_j, with_jerk=False)
+    return acc
+
+
+def pairwise_potential(
+    pos_i: np.ndarray,
+    pos_j: np.ndarray,
+    mass_j: np.ndarray,
+    eps: float,
+    self_indices: np.ndarray | None = None,
+) -> np.ndarray:
+    """Softened potential ``phi_i = -sum_j m_j / sqrt(r_ij^2 + eps^2)``.
+
+    Returns shape ``(n_i,)``; the sink's own mass does *not* appear
+    (potential per unit mass).
+    """
+    pos_i = np.atleast_2d(np.asarray(pos_i, dtype=np.float64))
+    pos_j = np.atleast_2d(np.asarray(pos_j, dtype=np.float64))
+    mass_j = np.asarray(mass_j, dtype=np.float64)
+
+    n_i = pos_i.shape[0]
+    n_j = pos_j.shape[0]
+    phi = np.zeros(n_i)
+    eps2 = float(eps) ** 2
+
+    chunk = _i_chunk_size(n_j)
+    for start in range(0, n_i, chunk):
+        stop = min(start + chunk, n_i)
+        dr = pos_j[None, :, :] - pos_i[start:stop, None, :]
+        r2 = np.einsum("ijk,ijk->ij", dr, dr) + eps2
+        if self_indices is not None:
+            rows = np.arange(start, stop) - start
+            cols = np.asarray(self_indices)[start:stop]
+            r2[rows, cols] = np.inf
+        inv_r = 1.0 / np.sqrt(r2)
+        phi[start:stop] = -inv_r @ mass_j
+
+    return phi
+
+
+def potential_energy(pos: np.ndarray, mass: np.ndarray, eps: float) -> float:
+    """Total mutual (softened) potential energy of one particle set.
+
+    ``W = -1/2 * sum_i sum_{j != i} m_i m_j / sqrt(r_ij^2 + eps^2)``.
+    """
+    pos = np.asarray(pos, dtype=np.float64)
+    mass = np.asarray(mass, dtype=np.float64)
+    n = pos.shape[0]
+    phi = pairwise_potential(pos, pos, mass, eps, self_indices=np.arange(n))
+    return 0.5 * float(np.dot(mass, phi))
+
+
+def min_pairwise_distance(pos: np.ndarray) -> float:
+    """Smallest unsoftened pairwise separation in a particle set.
+
+    Useful in tests/diagnostics to confirm the softening scale is being
+    exercised.  O(N^2), chunked.
+    """
+    pos = np.asarray(pos, dtype=np.float64)
+    n = pos.shape[0]
+    if n < 2:
+        return np.inf
+    best = np.inf
+    chunk = _i_chunk_size(n)
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        dr = pos[None, :, :] - pos[start:stop, None, :]
+        r2 = np.einsum("ijk,ijk->ij", dr, dr)
+        rows = np.arange(start, stop) - start
+        r2[rows, np.arange(start, stop)] = np.inf
+        best = min(best, float(np.sqrt(r2.min())))
+    return best

@@ -1,0 +1,263 @@
+"""Structure-of-arrays particle container.
+
+The entire library stores particle state as contiguous NumPy arrays
+(one array per component group), following the HPC idiom of
+structure-of-arrays rather than an array of particle objects: every hot
+loop (force evaluation, prediction, correction) is then a vectorised
+operation over contiguous memory.
+
+A :class:`ParticleSystem` carries, for each of ``n`` particles:
+
+``mass``      shape ``(n,)``
+``pos``       shape ``(n, 3)`` positions at each particle's own time
+``vel``       shape ``(n, 3)`` velocities at each particle's own time
+``acc``       shape ``(n, 3)`` accelerations at each particle's own time
+``jerk``      shape ``(n, 3)`` acceleration time-derivatives
+``t``         shape ``(n,)`` the particle's individual time
+``dt``        shape ``(n,)`` the particle's individual (block) timestep
+``pred_pos``  shape ``(n, 3)`` predicted positions at the current system time
+``pred_vel``  shape ``(n, 3)`` predicted velocities at the current system time
+``key``       shape ``(n,)`` stable integer identifiers
+
+Under the individual-timestep algorithm different particles live at
+different times; ``pred_pos``/``pred_vel`` are the shared-time view of the
+system produced by the predictor (on the host, or on GRAPE-6 by the
+on-chip predictor pipeline).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import ParticleError
+
+__all__ = ["ParticleSystem"]
+
+
+class ParticleSystem:
+    """Mutable structure-of-arrays store for an N-body system.
+
+    Parameters
+    ----------
+    mass, pos, vel:
+        Required initial data; shapes ``(n,)``, ``(n, 3)``, ``(n, 3)``.
+    keys:
+        Optional stable integer identifiers; defaults to ``arange(n)``.
+    time:
+        Initial common time of all particles (scalar).
+
+    Notes
+    -----
+    Arrays are always C-contiguous ``float64``.  ``acc`` and ``jerk`` start
+    at zero and are filled in by the integrator's startup force evaluation.
+    """
+
+    __slots__ = (
+        "mass",
+        "pos",
+        "vel",
+        "acc",
+        "jerk",
+        "t",
+        "dt",
+        "pred_pos",
+        "pred_vel",
+        "key",
+    )
+
+    def __init__(
+        self,
+        mass: np.ndarray,
+        pos: np.ndarray,
+        vel: np.ndarray,
+        keys: np.ndarray | None = None,
+        time: float = 0.0,
+    ) -> None:
+        # Explicit copies: the integrator mutates these arrays in place,
+        # and aliasing the caller's data would be a nasty footgun.
+        mass = np.array(mass, dtype=np.float64, order="C", copy=True)
+        pos = np.array(pos, dtype=np.float64, order="C", copy=True)
+        vel = np.array(vel, dtype=np.float64, order="C", copy=True)
+
+        if mass.ndim != 1:
+            raise ParticleError(f"mass must be 1-D, got shape {mass.shape}")
+        n = mass.shape[0]
+        if pos.shape != (n, 3):
+            raise ParticleError(f"pos must have shape ({n}, 3), got {pos.shape}")
+        if vel.shape != (n, 3):
+            raise ParticleError(f"vel must have shape ({n}, 3), got {vel.shape}")
+        if n == 0:
+            raise ParticleError("a ParticleSystem needs at least one particle")
+        if not np.all(np.isfinite(mass)):
+            raise ParticleError("non-finite masses supplied")
+        if np.any(mass < 0):
+            raise ParticleError("negative masses supplied")
+        if not (np.all(np.isfinite(pos)) and np.all(np.isfinite(vel))):
+            raise ParticleError("non-finite positions or velocities supplied")
+
+        if keys is None:
+            keys = np.arange(n, dtype=np.int64)
+        else:
+            keys = np.ascontiguousarray(keys, dtype=np.int64)
+            if keys.shape != (n,):
+                raise ParticleError(f"keys must have shape ({n},), got {keys.shape}")
+            if len(np.unique(keys)) != n:
+                raise ParticleError("particle keys must be unique")
+
+        self.mass = mass
+        self.pos = pos
+        self.vel = vel
+        self.acc = np.zeros((n, 3))
+        self.jerk = np.zeros((n, 3))
+        self.t = np.full(n, float(time))
+        self.dt = np.zeros(n)
+        self.pred_pos = pos.copy()
+        self.pred_vel = vel.copy()
+        self.key = keys
+
+    # -- basic protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.mass.shape[0]
+
+    @property
+    def n(self) -> int:
+        """Number of particles."""
+        return self.mass.shape[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ParticleSystem(n={self.n}, total_mass={self.total_mass():.6g}, "
+            f"t_range=[{self.t.min():.6g}, {self.t.max():.6g}])"
+        )
+
+    # -- derived quantities --------------------------------------------------
+
+    def total_mass(self) -> float:
+        """Sum of particle masses."""
+        return float(self.mass.sum())
+
+    def center_of_mass(self) -> np.ndarray:
+        """Mass-weighted mean position, shape ``(3,)``."""
+        m = self.total_mass()
+        if m == 0.0:
+            return self.pos.mean(axis=0)
+        return (self.mass[:, None] * self.pos).sum(axis=0) / m
+
+    def center_of_mass_velocity(self) -> np.ndarray:
+        """Mass-weighted mean velocity, shape ``(3,)``."""
+        m = self.total_mass()
+        if m == 0.0:
+            return self.vel.mean(axis=0)
+        return (self.mass[:, None] * self.vel).sum(axis=0) / m
+
+    def radii(self) -> np.ndarray:
+        """Distance of each particle from the coordinate origin (the Sun)."""
+        return np.linalg.norm(self.pos, axis=1)
+
+    def speeds(self) -> np.ndarray:
+        """Magnitude of each particle's velocity."""
+        return np.linalg.norm(self.vel, axis=1)
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def concatenate(cls, systems: Iterable["ParticleSystem"]) -> "ParticleSystem":
+        """Merge several particle systems into one.
+
+        Keys are re-assigned sequentially to keep them unique.  All systems
+        must be at a single common time.
+        """
+        systems = list(systems)
+        if not systems:
+            raise ParticleError("cannot concatenate zero systems")
+        times = np.concatenate([s.t for s in systems])
+        if not np.allclose(times, times[0]):
+            raise ParticleError("systems must share a common time to concatenate")
+        mass = np.concatenate([s.mass for s in systems])
+        pos = np.concatenate([s.pos for s in systems])
+        vel = np.concatenate([s.vel for s in systems])
+        out = cls(mass, pos, vel, time=float(times[0]))
+        offset = 0
+        for s in systems:
+            out.acc[offset : offset + s.n] = s.acc
+            out.jerk[offset : offset + s.n] = s.jerk
+            out.dt[offset : offset + s.n] = s.dt
+            offset += s.n
+        return out
+
+    def copy(self) -> "ParticleSystem":
+        """Deep copy of the full state."""
+        out = ParticleSystem(
+            self.mass.copy(), self.pos.copy(), self.vel.copy(), keys=self.key.copy()
+        )
+        out.acc = self.acc.copy()
+        out.jerk = self.jerk.copy()
+        out.t = self.t.copy()
+        out.dt = self.dt.copy()
+        out.pred_pos = self.pred_pos.copy()
+        out.pred_vel = self.pred_vel.copy()
+        return out
+
+    def select(self, index: np.ndarray) -> "ParticleSystem":
+        """Return a new system containing the particles at ``index``.
+
+        ``index`` may be an integer index array or a boolean mask.  Keys
+        are preserved (not re-assigned) so selections can be correlated
+        with the parent system.
+        """
+        index = np.asarray(index)
+        if index.dtype == bool:
+            if index.shape != (self.n,):
+                raise ParticleError("boolean mask has wrong length")
+            index = np.nonzero(index)[0]
+        if index.size == 0:
+            raise ParticleError("selection is empty")
+        out = ParticleSystem(
+            self.mass[index], self.pos[index], self.vel[index], keys=self.key[index]
+        )
+        out.acc = self.acc[index].copy()
+        out.jerk = self.jerk[index].copy()
+        out.t = self.t[index].copy()
+        out.dt = self.dt[index].copy()
+        out.pred_pos = self.pred_pos[index].copy()
+        out.pred_vel = self.pred_vel[index].copy()
+        return out
+
+    def remove(self, index: np.ndarray) -> "ParticleSystem":
+        """Return a new system with the particles at ``index`` removed."""
+        mask = np.ones(self.n, dtype=bool)
+        mask[np.asarray(index)] = False
+        return self.select(mask)
+
+    # -- validation ------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`ParticleError` if any state array is inconsistent.
+
+        Intended for use in tests and at subsystem boundaries, not in hot
+        loops.
+        """
+        n = self.n
+        expect = {
+            "mass": (n,),
+            "pos": (n, 3),
+            "vel": (n, 3),
+            "acc": (n, 3),
+            "jerk": (n, 3),
+            "t": (n,),
+            "dt": (n,),
+            "pred_pos": (n, 3),
+            "pred_vel": (n, 3),
+            "key": (n,),
+        }
+        for name, shape in expect.items():
+            arr = getattr(self, name)
+            if arr.shape != shape:
+                raise ParticleError(f"{name} has shape {arr.shape}, expected {shape}")
+            if arr.dtype.kind == "f" and not np.all(np.isfinite(arr)):
+                raise ParticleError(f"{name} contains non-finite values")
+        if np.any(self.dt < 0):
+            raise ParticleError("negative timestep")

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Hardware-simulator errors derive from
+:class:`GrapeError`; configuration problems from :class:`ConfigurationError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ParticleError",
+    "IntegrationError",
+    "SchedulerError",
+    "GrapeError",
+    "GrapeMemoryError",
+    "GrapeLinkError",
+    "CommError",
+    "TopologyError",
+    "SnapshotError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter or inconsistent configuration was supplied."""
+
+
+class ParticleError(ReproError, ValueError):
+    """Invalid particle data (bad shapes, non-finite values, bad indices)."""
+
+
+class IntegrationError(ReproError, RuntimeError):
+    """Time integration failed (e.g. non-finite state, zero timestep)."""
+
+
+class SchedulerError(ReproError, RuntimeError):
+    """The block-timestep scheduler reached an inconsistent state."""
+
+
+class GrapeError(ReproError, RuntimeError):
+    """Base class for GRAPE-6 hardware-simulator errors."""
+
+
+class GrapeMemoryError(GrapeError):
+    """A j-particle memory overflow or invalid memory access on a board."""
+
+
+class GrapeLinkError(GrapeError):
+    """A data-transfer error on a simulated LVDS / PCI / Ethernet link."""
+
+
+class CommError(ReproError, RuntimeError):
+    """Simulated message-passing failure (bad rank, mismatched collective)."""
+
+
+class TopologyError(ReproError, ValueError):
+    """An invalid network topology was requested or constructed."""
+
+
+class SnapshotError(ReproError, IOError):
+    """Snapshot serialisation or deserialisation failed."""

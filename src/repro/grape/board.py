@@ -1,0 +1,156 @@
+"""The GRAPE-6 processor board (PB) model.
+
+A processor board (paper Figure 8) carries 32 chips — eight daughter
+cards of four chips — one LVDS input port and one LVDS output port, and
+a hardware reduction tree that sums the partial forces of its chips.
+
+The board's j-slice is distributed round-robin over its chips so chip
+loads differ by at most one particle; the board's force time is the
+*maximum* chip time (chips run in parallel), plus the reduction tree
+(a few cycles per i-particle, negligible and folded into the pipeline
+depth).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import GRAPE6_CHIPS_PER_BOARD, GRAPE6_CHIPS_PER_DAUGHTER_CARD
+from ..errors import GrapeMemoryError
+from .chip import Grape6Chip
+from .links import Link, lvds_link
+from .pipeline import PipelineResult
+
+__all__ = ["ProcessorBoard", "round_robin_slices"]
+
+
+def round_robin_slices(n_items: int, n_bins: int) -> list[np.ndarray]:
+    """Index arrays assigning ``n_items`` to ``n_bins`` round-robin.
+
+    Bin ``b`` receives items ``b, b+n_bins, b+2*n_bins, ...`` — the
+    GRAPE-6 host library's j-distribution, which balances loads to ±1.
+    """
+    return [np.arange(b, n_items, n_bins) for b in range(n_bins)]
+
+
+class ProcessorBoard:
+    """One processor board: 32 chips behind one LVDS port pair."""
+
+    def __init__(
+        self,
+        board_id: int,
+        eps: float = 0.0,
+        n_chips: int = GRAPE6_CHIPS_PER_BOARD,
+        jmem_capacity_per_chip: int | None = None,
+        emulate_precision: bool = False,
+    ) -> None:
+        self.board_id = int(board_id)
+        kwargs = {}
+        if jmem_capacity_per_chip is not None:
+            kwargs["jmem_capacity"] = jmem_capacity_per_chip
+        self.chips = [
+            Grape6Chip(chip_id=c, eps=eps, emulate_precision=emulate_precision, **kwargs)
+            for c in range(n_chips)
+        ]
+        self.link_in: Link = lvds_link()
+        self.link_out: Link = lvds_link()
+        #: Cumulative board-level force time [s] (max over chips per call).
+        self.force_seconds = 0.0
+
+    @property
+    def n_chips(self) -> int:
+        return len(self.chips)
+
+    @property
+    def n_daughter_cards(self) -> int:
+        return -(-self.n_chips // GRAPE6_CHIPS_PER_DAUGHTER_CARD)
+
+    @property
+    def n_resident(self) -> int:
+        """Total j-particles stored on this board."""
+        return sum(chip.n_resident for chip in self.chips)
+
+    @property
+    def capacity(self) -> int:
+        return sum(chip.jmem.capacity for chip in self.chips)
+
+    # -- j-memory management -------------------------------------------------
+
+    def alive_chips(self) -> list:
+        """Chips with at least one working pipeline (dead ones are
+        skipped by the j-distribution, as the production host library
+        did for chips with fully defective pipeline sets)."""
+        return [c for c in self.chips if not c.pipelines.is_dead]
+
+    def load(self, key, mass, pos, vel, acc, jerk, t) -> None:
+        """Distribute a j-slice round-robin over the working chips."""
+        n = len(key)
+        chips = self.alive_chips()
+        if not chips:
+            raise GrapeMemoryError("no working chips on this board")
+        cap = sum(c.jmem.capacity for c in chips)
+        if n > cap:
+            raise GrapeMemoryError(f"{n} particles exceed board capacity {cap}")
+        for chip in self.chips:
+            if chip.pipelines.is_dead and chip.n_resident:
+                chip.jmem.load(
+                    np.empty(0, dtype=np.int64), np.empty(0), np.empty((0, 3)),
+                    np.empty((0, 3)), np.empty((0, 3)), np.empty((0, 3)), np.empty(0),
+                )
+        for chip, idx in zip(chips, round_robin_slices(n, len(chips))):
+            chip.jmem.load(
+                key[idx], mass[idx], pos[idx], vel[idx], acc[idx], jerk[idx], t[idx]
+            )
+
+    def update(self, key, mass, pos, vel, acc, jerk, t) -> None:
+        """Rewrite resident particles after a corrector step."""
+        key = np.asarray(key, dtype=np.int64)
+        for chip in self.chips:
+            mask = np.fromiter(
+                (chip.jmem.holds(k) for k in key), dtype=bool, count=len(key)
+            )
+            if np.any(mask):
+                chip.jmem.update(
+                    key[mask], mass[mask], pos[mask], vel[mask],
+                    acc[mask], jerk[mask], t[mask],
+                )
+
+    # -- force computation ---------------------------------------------------
+
+    def compute(
+        self,
+        pos_i: np.ndarray,
+        vel_i: np.ndarray,
+        i_keys: np.ndarray,
+        t_now: float,
+        clock_hz: float,
+    ) -> PipelineResult:
+        """Partial force on the i-block from this board's j-slice.
+
+        Chips run in parallel; the board result is the reduction-tree
+        sum and the board time is the slowest chip's cycle count.
+        """
+        n_i = len(pos_i)
+        acc = np.zeros((n_i, 3))
+        jerk = np.zeros((n_i, 3))
+        max_cycles = 0
+        interactions = 0
+        for chip in self.chips:
+            if chip.n_resident == 0:
+                continue
+            res = chip.compute(pos_i, vel_i, i_keys, t_now)
+            acc += res.acc
+            jerk += res.jerk
+            max_cycles = max(max_cycles, res.cycles)
+            interactions += res.interactions
+        self.force_seconds += max_cycles / clock_hz
+        return PipelineResult(
+            acc=acc, jerk=jerk, cycles=max_cycles, interactions=interactions
+        )
+
+    def reset_counters(self) -> None:
+        self.force_seconds = 0.0
+        self.link_in.reset()
+        self.link_out.reset()
+        for chip in self.chips:
+            chip.reset_counters()

@@ -1,0 +1,179 @@
+"""Nodes and clusters: the GRAPE-6 system hierarchy above boards.
+
+Paper Section 5.1: "we call a system of single host, single [network
+board] and 4 processor boards a *node*, and a 4-node system with
+hardware network a *cluster*."  The complete machine is four clusters
+joined by Gigabit Ethernet (Figure 11).
+
+Work division (the hybrid scheme of Section 5.1):
+
+* **j-parallelism inside a cluster** — the four nodes of a cluster each
+  hold one quarter of *all* particles in their j-memories; every node
+  computes the partial force of its quarter on the cluster's i-block
+  and the partials are summed over the cluster's hardware network
+  (the NB data-exchange scheme of Figures 4-5, so the *hosts* never
+  exchange particle data).
+* **i-parallelism across clusters** — each cluster serves one quarter
+  of the active block; clusters exchange corrected particles over
+  Gigabit Ethernet.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import GRAPE6_BOARDS_PER_NODE
+from ..errors import ConfigurationError
+from .board import ProcessorBoard, round_robin_slices
+from .host import HostInterface
+from .links import Link, gbe_link
+from .network import NetworkBoard, NetworkMode
+from .pipeline import PipelineResult
+
+__all__ = ["Node", "Cluster"]
+
+
+class Node:
+    """One host + one network board + four processor boards."""
+
+    def __init__(
+        self,
+        node_id: int,
+        eps: float = 0.0,
+        boards_per_node: int = GRAPE6_BOARDS_PER_NODE,
+        chips_per_board: int = 32,
+        jmem_capacity_per_chip: int | None = None,
+        emulate_precision: bool = False,
+    ) -> None:
+        if boards_per_node < 1:
+            raise ConfigurationError("a node needs at least one board")
+        self.node_id = int(node_id)
+        self.boards = [
+            ProcessorBoard(
+                board_id=b,
+                eps=eps,
+                n_chips=chips_per_board,
+                jmem_capacity_per_chip=jmem_capacity_per_chip,
+                emulate_precision=emulate_precision,
+            )
+            for b in range(boards_per_node)
+        ]
+        self.nb = NetworkBoard(nb_id=node_id, targets=self.boards, mode=NetworkMode.BROADCAST)
+        self.host = HostInterface()
+
+    @property
+    def n_chips(self) -> int:
+        return sum(b.n_chips for b in self.boards)
+
+    @property
+    def n_resident(self) -> int:
+        return self.nb.n_resident
+
+    @property
+    def capacity(self) -> int:
+        return self.nb.capacity
+
+    def load(self, key, mass, pos, vel, acc, jerk, t) -> None:
+        """Load this node's j-slice, split over its boards."""
+        self.nb.load(key, mass, pos, vel, acc, jerk, t)
+
+    def update(self, key, mass, pos, vel, acc, jerk, t) -> None:
+        self.host.write_j_particles(len(key))
+        self.nb.update(key, mass, pos, vel, acc, jerk, t)
+
+    def compute(
+        self, pos_i, vel_i, i_keys, t_now: float, clock_hz: float
+    ) -> PipelineResult:
+        """Partial forces of this node's j-slice on the i-block."""
+        self.host.send_i_particles(len(pos_i))
+        result = self.nb.compute(pos_i, vel_i, i_keys, t_now, clock_hz)
+        self.host.receive_results(len(pos_i))
+        return result
+
+    def reset_counters(self) -> None:
+        self.host.reset_counters()
+        self.nb.reset_counters()
+
+
+class Cluster:
+    """Four nodes with a dedicated inter-NB hardware network."""
+
+    def __init__(self, cluster_id: int, nodes) -> None:
+        nodes = list(nodes)
+        if not nodes:
+            raise ConfigurationError("a cluster needs at least one node")
+        self.cluster_id = int(cluster_id)
+        self.nodes = nodes
+        #: Gigabit link of this cluster's hosts to the rest of the system.
+        self.gbe: Link = gbe_link()
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def n_chips(self) -> int:
+        return sum(n.n_chips for n in self.nodes)
+
+    @property
+    def capacity(self) -> int:
+        return sum(n.capacity for n in self.nodes)
+
+    @property
+    def n_resident(self) -> int:
+        return sum(n.n_resident for n in self.nodes)
+
+    def load(self, key, mass, pos, vel, acc, jerk, t) -> None:
+        """Distribute *all* particles over this cluster's nodes (j-split)."""
+        n = len(key)
+        for node, idx in zip(self.nodes, round_robin_slices(n, self.n_nodes)):
+            node.load(key[idx], mass[idx], pos[idx], vel[idx], acc[idx], jerk[idx], t[idx])
+
+    def update(self, key, mass, pos, vel, acc, jerk, t) -> None:
+        """Push corrected particles to whichever nodes hold them."""
+        key = np.asarray(key, dtype=np.int64)
+        # round-robin residency: node r holds global slots r mod n_nodes;
+        # but residency was assigned by load order, so route by lookup.
+        for node in self.nodes:
+            mask = np.fromiter(
+                (
+                    any(chip.jmem.holds(k) for b in node.boards for chip in b.chips)
+                    for k in key
+                ),
+                dtype=bool,
+                count=len(key),
+            )
+            if np.any(mask):
+                node.update(
+                    key[mask], mass[mask], pos[mask], vel[mask],
+                    acc[mask], jerk[mask], t[mask],
+                )
+
+    def compute(
+        self, pos_i, vel_i, i_keys, t_now: float, clock_hz: float
+    ) -> PipelineResult:
+        """Full force on the i-block: sum the nodes' j-partials.
+
+        The inter-node reduction runs on the cluster's hardware network
+        (NB cascade links); nodes compute in parallel so the cluster
+        pipeline time is the slowest node.
+        """
+        n_i = len(pos_i)
+        acc = np.zeros((n_i, 3))
+        jerk = np.zeros((n_i, 3))
+        max_cycles = 0
+        interactions = 0
+        for node in self.nodes:
+            res = node.compute(pos_i, vel_i, i_keys, t_now, clock_hz)
+            acc += res.acc
+            jerk += res.jerk
+            max_cycles = max(max_cycles, res.cycles)
+            interactions += res.interactions
+        return PipelineResult(
+            acc=acc, jerk=jerk, cycles=max_cycles, interactions=interactions
+        )
+
+    def reset_counters(self) -> None:
+        self.gbe.reset()
+        for node in self.nodes:
+            node.reset_counters()

@@ -1,0 +1,181 @@
+"""The historical GRAPE-6 host-library API, as a thin compatibility layer.
+
+Real GRAPE-6 applications (NBODY4, the planetesimal codes) talk to the
+hardware through a small C library whose call sequence is idiomatic
+enough to be worth reproducing: open the device, write j-particles,
+then per block issue ``calc_firsthalf`` (ship i-particles, start the
+pipelines) followed by ``calc_lasthalf`` (collect forces).  This module
+exposes that exact shape over :class:`~repro.grape.system.Grape6Machine`,
+so code written against the historical API ports directly:
+
+    g6 = Grape6Driver(machine)
+    g6.open()
+    for k in keys:
+        g6.set_j_particle(k, mass, pos, vel, acc, jerk, t)
+    g6.calc_firsthalf(t_now, i_keys, i_pos, i_vel)
+    acc, jerk = g6.calc_lasthalf()
+    g6.close()
+
+The driver keeps its own mirror of the particle set (as the C library
+kept DMA buffers) and therefore works even though the machine's flat
+mode reads from a :class:`~repro.core.particles.ParticleSystem`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.particles import ParticleSystem
+from ..errors import ConfigurationError, GrapeError
+from .system import Grape6Machine
+
+__all__ = ["Grape6Driver"]
+
+
+class Grape6Driver:
+    """Stateful, historical-shape front end to a :class:`Grape6Machine`."""
+
+    def __init__(self, machine: Grape6Machine, trace_wire: bool = False) -> None:
+        self.machine = machine
+        self._open = False
+        self._store: dict[int, tuple] = {}
+        self._system: ParticleSystem | None = None
+        self._dirty = True
+        self._pending: tuple | None = None
+        #: When tracing, every command/result is encoded on the wire
+        #: protocol and kept here (what a bus analyser would capture).
+        self.trace_wire = bool(trace_wire)
+        self.wire_log: list[bytes] = []
+        self._codec = None
+        if self.trace_wire:
+            from .protocol import FrameCodec
+
+            self._codec = FrameCodec()
+
+    @property
+    def wire_bytes_total(self) -> int:
+        """Bytes captured on the traced wire."""
+        return sum(len(b) for b in self.wire_log)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def open(self) -> None:
+        """Attach to the (simulated) hardware."""
+        if self._open:
+            raise GrapeError("device already open")
+        self._open = True
+
+    def close(self) -> None:
+        """Detach; further calls require a new open()."""
+        self._require_open()
+        self._open = False
+        self._pending = None
+
+    def _require_open(self) -> None:
+        if not self._open:
+            raise GrapeError("device not open")
+
+    # -- j-particle management ------------------------------------------------
+
+    def set_j_particle(self, key, mass, pos, vel, acc=None, jerk=None, t=0.0) -> None:
+        """Write (or overwrite) one j-particle slot by key."""
+        self._require_open()
+        acc = np.zeros(3) if acc is None else np.asarray(acc, dtype=float)
+        jerk = np.zeros(3) if jerk is None else np.asarray(jerk, dtype=float)
+        self._store[int(key)] = (
+            float(mass),
+            np.asarray(pos, dtype=float).copy(),
+            np.asarray(vel, dtype=float).copy(),
+            acc.copy(),
+            jerk.copy(),
+            float(t),
+        )
+        self._dirty = True
+        if self._codec is not None:
+            self.wire_log.append(
+                self._codec.encode_set_j(key, mass, pos, vel, acc, jerk, t)
+            )
+
+    @property
+    def n_j_particles(self) -> int:
+        return len(self._store)
+
+    def _flush(self) -> None:
+        """Materialise the store into the machine's j-memory."""
+        if not self._dirty:
+            return
+        if not self._store:
+            raise GrapeError("no j-particles written")
+        keys = np.array(sorted(self._store), dtype=np.int64)
+        mass = np.array([self._store[k][0] for k in keys])
+        pos = np.stack([self._store[k][1] for k in keys])
+        vel = np.stack([self._store[k][2] for k in keys])
+        acc = np.stack([self._store[k][3] for k in keys])
+        jerk = np.stack([self._store[k][4] for k in keys])
+        t = np.array([self._store[k][5] for k in keys])
+        system = ParticleSystem(mass, pos, vel, keys=keys)
+        system.acc[...] = acc
+        system.jerk[...] = jerk
+        system.t[...] = t
+        self._system = system
+        self.machine.load(system)
+        self._dirty = False
+
+    # -- force calls ---------------------------------------------------------------
+
+    def calc_firsthalf(self, t_now: float, i_keys, i_pos=None, i_vel=None) -> None:
+        """Ship the i-block and start the pipelines.
+
+        ``i_keys`` must reference resident j-particles (the usual case:
+        forces on a subset of the stored set).  Explicit ``i_pos`` /
+        ``i_vel`` override the stored state (predicted i-particles).
+        """
+        self._require_open()
+        if self._pending is not None:
+            raise GrapeError("calc_firsthalf already pending")
+        self._flush()
+        i_keys = np.asarray(i_keys, dtype=np.int64)
+        if i_keys.size == 0:
+            raise ConfigurationError("empty i-block")
+        key_to_row = {int(k): r for r, k in enumerate(self._system.key)}
+        try:
+            rows = np.array([key_to_row[int(k)] for k in i_keys])
+        except KeyError as exc:
+            raise GrapeError(f"i-particle key {exc} not resident") from exc
+        if i_pos is not None:
+            self._system.pos[rows] = np.asarray(i_pos, dtype=float)
+        if i_vel is not None:
+            self._system.vel[rows] = np.asarray(i_vel, dtype=float)
+        self._pending = (rows, float(t_now))
+        if self._codec is not None:
+            self.wire_log.append(self._codec.encode_set_ti(t_now))
+            self.wire_log.append(
+                self._codec.encode_calc(
+                    i_keys, self._system.pos[rows], self._system.vel[rows]
+                )
+            )
+
+    def calc_lasthalf(self) -> tuple[np.ndarray, np.ndarray]:
+        """Collect ``(acc, jerk)`` for the block started by firsthalf."""
+        self._require_open()
+        if self._pending is None:
+            raise GrapeError("no calc_firsthalf pending")
+        rows, t_now = self._pending
+        self._pending = None
+        acc, jerk = self.machine.compute_block(self._system, rows, t_now)
+        if self._codec is not None:
+            self.wire_log.append(self._codec.encode_result(acc, jerk))
+        return acc, jerk
+
+    # -- accounting -----------------------------------------------------------------
+
+    def read_counters(self) -> dict:
+        """Hardware counters, in the spirit of the library's perf calls."""
+        t = self.machine.totals
+        return {
+            "blocks": t.blocks,
+            "particle_steps": t.particle_steps,
+            "interactions": t.interactions,
+            "model_seconds": t.total_seconds,
+            "achieved_flops": self.machine.achieved_flops(),
+        }

@@ -1,0 +1,85 @@
+"""Communication-link models: LVDS board links, PCI, Gigabit Ethernet.
+
+The paper's architecture argument (Sections 4.3 and 5.2) is entirely
+about link budgets: the LVDS semi-serial links between boards run at
+90 MB/s, the host's PCI bus limits host↔GRAPE traffic, and Gigabit
+Ethernet carries inter-cluster traffic.  Each :class:`Link` accumulates
+transferred bytes and exposes the time a transfer would have taken, so
+higher layers can assemble per-step critical paths.
+"""
+
+from __future__ import annotations
+
+from ..constants import (
+    GRAPE6_GBE_BANDWIDTH_MBPS,
+    GRAPE6_LVDS_LINK_MBPS,
+    GRAPE6_PCI_BANDWIDTH_MBPS,
+)
+from ..errors import GrapeLinkError
+
+__all__ = ["Link", "lvds_link", "pci_link", "gbe_link"]
+
+
+class Link:
+    """A simplex communication link with bandwidth + per-message latency.
+
+    Parameters
+    ----------
+    name:
+        Label used in reports ("lvds", "pci", "gbe", ...).
+    bandwidth_bytes_per_s:
+        Sustained payload bandwidth.
+    latency_s:
+        Fixed per-message cost (setup, DMA initiation, interrupt).
+    """
+
+    __slots__ = ("name", "bandwidth", "latency", "bytes_total", "messages")
+
+    def __init__(self, name: str, bandwidth_bytes_per_s: float, latency_s: float) -> None:
+        if bandwidth_bytes_per_s <= 0:
+            raise GrapeLinkError("bandwidth must be positive")
+        if latency_s < 0:
+            raise GrapeLinkError("latency must be non-negative")
+        self.name = name
+        self.bandwidth = float(bandwidth_bytes_per_s)
+        self.latency = float(latency_s)
+        self.bytes_total = 0
+        self.messages = 0
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Time one message of ``nbytes`` takes (no state change)."""
+        if nbytes < 0:
+            raise GrapeLinkError("cannot transfer negative bytes")
+        return self.latency + nbytes / self.bandwidth
+
+    def transfer(self, nbytes: int) -> float:
+        """Record a message and return its transfer time."""
+        t = self.transfer_time(nbytes)
+        self.bytes_total += int(nbytes)
+        self.messages += 1
+        return t
+
+    def reset(self) -> None:
+        self.bytes_total = 0
+        self.messages = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Link({self.name}, {self.bandwidth/1e6:.0f} MB/s, "
+            f"{self.bytes_total} B in {self.messages} msgs)"
+        )
+
+
+def lvds_link() -> Link:
+    """The 90 MB/s semi-serial LVDS link between boards (paper 5.2)."""
+    return Link("lvds", GRAPE6_LVDS_LINK_MBPS * 1e6, latency_s=2e-6)
+
+
+def pci_link() -> Link:
+    """The host PCI bus (32-bit/33 MHz era, ~133 MB/s peak)."""
+    return Link("pci", GRAPE6_PCI_BANDWIDTH_MBPS * 1e6, latency_s=5e-6)
+
+
+def gbe_link() -> Link:
+    """Gigabit Ethernet between hosts (~100 MB/s effective)."""
+    return Link("gbe", GRAPE6_GBE_BANDWIDTH_MBPS * 1e6, latency_s=50e-6)

@@ -1,0 +1,196 @@
+"""Host-interface wire protocol: the DMA command stream, byte for byte.
+
+The real host library talks to the host-interface board through framed
+DMA buffers.  This module defines a concrete wire format for the four
+command types the GRAPE-6 workflow needs and a codec for it, so the
+driver's traffic can be produced, inspected, and corrupted in tests the
+way a bus analyser would see it:
+
+frame layout (little endian)::
+
+    magic   u16   0x47E6  ("G6")
+    type    u8    command code
+    flags   u8    reserved, zero
+    length  u32   payload bytes
+    payload ...
+    crc     u32   CRC-32 of header (sans magic) + payload
+
+Commands:
+
+* ``SET_J``  — write one j-particle slot (key, mass, pos, vel, acc,
+  jerk, t): 8 + 14*8 = 120 payload bytes
+* ``SET_TI`` — set the block time: 8 bytes
+* ``CALC``   — start pipelines on an i-block: count + packed i-records
+  (key, pos, vel): count * (8 + 6*8) bytes + 4
+* ``RESULT`` — force results: count + packed (acc, jerk): count * 48 + 4
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from enum import IntEnum
+
+import numpy as np
+
+from ..errors import GrapeLinkError
+
+__all__ = ["Command", "Frame", "encode_frame", "decode_frame", "FrameCodec"]
+
+_MAGIC = 0x47E6
+_HEADER = struct.Struct("<HBBI")
+
+
+class Command(IntEnum):
+    """Wire command codes."""
+
+    SET_J = 0x01
+    SET_TI = 0x02
+    CALC = 0x03
+    RESULT = 0x04
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame."""
+
+    command: Command
+    payload: bytes
+
+
+def encode_frame(command: Command, payload: bytes) -> bytes:
+    """Frame a payload with header and trailing CRC-32."""
+    header = _HEADER.pack(_MAGIC, int(command), 0, len(payload))
+    crc = zlib.crc32(header[2:] + payload) & 0xFFFFFFFF
+    return header + payload + struct.pack("<I", crc)
+
+
+def decode_frame(buffer: bytes) -> tuple[Frame, int]:
+    """Decode one frame from the head of ``buffer``.
+
+    Returns ``(frame, bytes_consumed)``.  Raises
+    :class:`GrapeLinkError` on bad magic, unknown command, short
+    buffers, or CRC mismatch.
+    """
+    if len(buffer) < _HEADER.size + 4:
+        raise GrapeLinkError("short frame: header truncated")
+    magic, code, flags, length = _HEADER.unpack_from(buffer)
+    if magic != _MAGIC:
+        raise GrapeLinkError(f"bad frame magic 0x{magic:04x}")
+    try:
+        command = Command(code)
+    except ValueError as exc:
+        raise GrapeLinkError(f"unknown command code 0x{code:02x}") from exc
+    total = _HEADER.size + length + 4
+    if len(buffer) < total:
+        raise GrapeLinkError("short frame: payload truncated")
+    payload = bytes(buffer[_HEADER.size : _HEADER.size + length])
+    (crc,) = struct.unpack_from("<I", buffer, _HEADER.size + length)
+    expect = zlib.crc32(buffer[2 : _HEADER.size] + payload) & 0xFFFFFFFF
+    if crc != expect:
+        raise GrapeLinkError("frame CRC mismatch (corrupted transfer)")
+    return Frame(command=command, payload=payload), total
+
+
+class FrameCodec:
+    """Typed encode/decode of the four GRAPE-6 command payloads."""
+
+    _JREC = struct.Struct("<q14d")  # key + mass,pos3,vel3,acc3,jerk3,t
+    _IREC = struct.Struct("<q6d")  # key + pos3, vel3
+    _FREC = struct.Struct("<6d")  # acc3 + jerk3
+
+    # -- SET_J ----------------------------------------------------------
+
+    def encode_set_j(self, key, mass, pos, vel, acc, jerk, t) -> bytes:
+        payload = self._JREC.pack(
+            int(key), float(mass), *np.asarray(pos, float),
+            *np.asarray(vel, float), *np.asarray(acc, float),
+            *np.asarray(jerk, float), float(t),
+        )
+        return encode_frame(Command.SET_J, payload)
+
+    def decode_set_j(self, frame: Frame) -> dict:
+        self._expect(frame, Command.SET_J, self._JREC.size)
+        vals = self._JREC.unpack(frame.payload)
+        return {
+            "key": vals[0],
+            "mass": vals[1],
+            "pos": np.array(vals[2:5]),
+            "vel": np.array(vals[5:8]),
+            "acc": np.array(vals[8:11]),
+            "jerk": np.array(vals[11:14]),
+            "t": vals[14],
+        }
+
+    # -- SET_TI ----------------------------------------------------------
+
+    def encode_set_ti(self, t: float) -> bytes:
+        return encode_frame(Command.SET_TI, struct.pack("<d", float(t)))
+
+    def decode_set_ti(self, frame: Frame) -> float:
+        self._expect(frame, Command.SET_TI, 8)
+        return struct.unpack("<d", frame.payload)[0]
+
+    # -- CALC --------------------------------------------------------------
+
+    def encode_calc(self, keys, pos, vel) -> bytes:
+        keys = np.asarray(keys, dtype=np.int64)
+        pos = np.asarray(pos, dtype=np.float64)
+        vel = np.asarray(vel, dtype=np.float64)
+        n = keys.size
+        parts = [struct.pack("<I", n)]
+        for k in range(n):
+            parts.append(self._IREC.pack(int(keys[k]), *pos[k], *vel[k]))
+        return encode_frame(Command.CALC, b"".join(parts))
+
+    def decode_calc(self, frame: Frame) -> dict:
+        if frame.command is not Command.CALC:
+            raise GrapeLinkError(f"expected CALC, got {frame.command.name}")
+        (n,) = struct.unpack_from("<I", frame.payload)
+        expect = 4 + n * self._IREC.size
+        if len(frame.payload) != expect:
+            raise GrapeLinkError("CALC payload length mismatch")
+        keys = np.empty(n, dtype=np.int64)
+        pos = np.empty((n, 3))
+        vel = np.empty((n, 3))
+        for k in range(n):
+            vals = self._IREC.unpack_from(frame.payload, 4 + k * self._IREC.size)
+            keys[k] = vals[0]
+            pos[k] = vals[1:4]
+            vel[k] = vals[4:7]
+        return {"keys": keys, "pos": pos, "vel": vel}
+
+    # -- RESULT ---------------------------------------------------------------
+
+    def encode_result(self, acc, jerk) -> bytes:
+        acc = np.asarray(acc, dtype=np.float64)
+        jerk = np.asarray(jerk, dtype=np.float64)
+        n = acc.shape[0]
+        parts = [struct.pack("<I", n)]
+        for k in range(n):
+            parts.append(self._FREC.pack(*acc[k], *jerk[k]))
+        return encode_frame(Command.RESULT, b"".join(parts))
+
+    def decode_result(self, frame: Frame) -> tuple[np.ndarray, np.ndarray]:
+        if frame.command is not Command.RESULT:
+            raise GrapeLinkError(f"expected RESULT, got {frame.command.name}")
+        (n,) = struct.unpack_from("<I", frame.payload)
+        if len(frame.payload) != 4 + n * self._FREC.size:
+            raise GrapeLinkError("RESULT payload length mismatch")
+        acc = np.empty((n, 3))
+        jerk = np.empty((n, 3))
+        for k in range(n):
+            vals = self._FREC.unpack_from(frame.payload, 4 + k * self._FREC.size)
+            acc[k] = vals[0:3]
+            jerk[k] = vals[3:6]
+        return acc, jerk
+
+    @staticmethod
+    def _expect(frame: Frame, command: Command, size: int) -> None:
+        if frame.command is not command:
+            raise GrapeLinkError(
+                f"expected {command.name}, got {frame.command.name}"
+            )
+        if len(frame.payload) != size:
+            raise GrapeLinkError(f"{command.name} payload length mismatch")

@@ -1,0 +1,330 @@
+"""The assembled GRAPE-6 machine and its integrator-facing backend.
+
+:class:`Grape6Machine` is the complete Figure-11 system: clusters of
+nodes of boards of chips, plus the analytic timing model that prices
+every block step.  It runs in one of two functional modes:
+
+``"flat"`` (default)
+    Forces are evaluated in one vectorised sweep (numerically identical
+    to the host reference up to float summation order) while **all
+    hardware costs are charged through the timing model** using the
+    exact per-chip load shapes.  This is the fast path used by long
+    benchmark runs.
+
+``"hierarchy"``
+    The force request actually descends the object tree — every chip
+    predicts its resident j-slice and evaluates its partial forces,
+    boards and network boards reduce them, links count bytes.  This is
+    the validation path: tests assert it agrees with ``"flat"`` to
+    float-reordering tolerance, and that the hardware counters agree
+    with the analytic model.
+
+:class:`Grape6Backend` adapts the machine to the
+:class:`~repro.core.backends.ForceBackend` interface so a
+:class:`~repro.core.integrator.Simulation` can run "on GRAPE-6".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.backends import ForceBackend
+from ..core.forces import InteractionCounter, acc_jerk, pairwise_potential
+from ..core.predictor import predict_system
+from ..errors import ConfigurationError, GrapeMemoryError
+from .board import round_robin_slices
+from .cluster import Cluster, Node
+from .host import HostCostModel
+from .timing import Grape6Config, Grape6TimingModel, TimingTotals
+
+__all__ = ["Grape6Machine", "Grape6Backend"]
+
+
+class Grape6Machine:
+    """A complete GRAPE-6 machine (functional + performance simulator).
+
+    Parameters
+    ----------
+    config:
+        Machine shape; defaults to the paper's 2048-chip system.
+    eps:
+        Plummer softening baked into the force pipelines.
+    mode:
+        ``"flat"`` or ``"hierarchy"`` (see module docstring).
+    emulate_precision:
+        Route the pipelines through the reduced-precision emulation.
+    jmem_capacity_per_chip:
+        Override chip j-memory capacity (tests use small values to
+        exercise overflow handling).
+    """
+
+    def __init__(
+        self,
+        config: Grape6Config | None = None,
+        eps: float = 0.0,
+        mode: str = "flat",
+        emulate_precision: bool = False,
+        jmem_capacity_per_chip: int | None = None,
+        host_cost: HostCostModel | None = None,
+    ) -> None:
+        if mode not in ("flat", "hierarchy"):
+            raise ConfigurationError(f"unknown mode {mode!r}")
+        self.config = config or Grape6Config()
+        self.eps = float(eps)
+        self.mode = mode
+        self.emulate_precision = bool(emulate_precision)
+        self.timing_model = Grape6TimingModel(self.config, host_cost=host_cost)
+        self.totals = TimingTotals()
+        self.jmem_capacity_per_chip = jmem_capacity_per_chip
+        self.clusters: list[Cluster] = []
+        if mode == "hierarchy":
+            self.clusters = self._build_clusters()
+        self._n_loaded = 0
+
+    # -- construction -------------------------------------------------------
+
+    def _build_clusters(self) -> list[Cluster]:
+        cfg = self.config
+        clusters = []
+        for c in range(cfg.n_clusters):
+            nodes = [
+                Node(
+                    node_id=c * cfg.nodes_per_cluster + k,
+                    eps=self.eps,
+                    boards_per_node=cfg.boards_per_node,
+                    chips_per_board=cfg.chips_per_board,
+                    jmem_capacity_per_chip=self.jmem_capacity_per_chip,
+                    emulate_precision=self.emulate_precision,
+                )
+                for k in range(cfg.nodes_per_cluster)
+            ]
+            clusters.append(Cluster(cluster_id=c, nodes=nodes))
+        return clusters
+
+    # -- capacity ---------------------------------------------------------------
+
+    @property
+    def jmem_capacity(self) -> int:
+        """Particles one full j-copy can hold (per cluster)."""
+        if self.clusters:
+            return self.clusters[0].capacity
+        cap = self.jmem_capacity_per_chip or 16384
+        return cap * self.config.chips_per_node * self.config.nodes_per_cluster
+
+    # -- particle management ------------------------------------------------------
+
+    def load(self, system) -> None:
+        """Write the whole particle set into every cluster's j-copy."""
+        n = system.n
+        if n > self.jmem_capacity:
+            raise GrapeMemoryError(
+                f"{n} particles exceed the machine's j-capacity {self.jmem_capacity}"
+            )
+        self._n_loaded = n
+        for cluster in self.clusters:
+            cluster.load(
+                system.key, system.mass, system.pos, system.vel,
+                system.acc, system.jerk, system.t,
+            )
+
+    def push_updates(self, system, active: np.ndarray) -> None:
+        """Propagate corrected particles to all j-copies."""
+        if not self.clusters:
+            return  # flat mode reads the live arrays; nothing stored
+        idx = np.asarray(active)
+        for cluster in self.clusters:
+            cluster.update(
+                system.key[idx], system.mass[idx], system.pos[idx],
+                system.vel[idx], system.acc[idx], system.jerk[idx],
+                system.t[idx],
+            )
+
+    # -- force computation ----------------------------------------------------------
+
+    def compute_block(
+        self, system, active: np.ndarray, t_now: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Force + jerk on the active block; charges the timing model."""
+        active = np.asarray(active)
+        n_active = active.size
+        n_total = system.n
+        if self._n_loaded != n_total:
+            raise GrapeMemoryError(
+                "machine particle count is stale; call load() after changing N"
+            )
+
+        if self.mode == "flat":
+            acc, jerk = self._compute_flat(system, active, t_now)
+        else:
+            acc, jerk = self._compute_hierarchy(system, active, t_now)
+
+        step = self.timing_model.block_step(n_active, n_total)
+        self.totals.add(step, n_active, n_total)
+        return acc, jerk
+
+    def _compute_flat(self, system, active, t_now):
+        predict_system(system, t_now)
+        return acc_jerk(
+            system.pred_pos[active],
+            system.pred_vel[active],
+            system.pred_pos,
+            system.pred_vel,
+            system.mass,
+            self.eps,
+            self_indices=active,
+        )
+
+    def _compute_hierarchy(self, system, active, t_now):
+        from ..core.predictor import predict_positions, predict_velocities
+
+        # Host-side prediction of the i-block only; the chips predict
+        # their own j-slices.
+        dt = t_now - system.t[active]
+        pos_i = predict_positions(
+            system.pos[active], system.vel[active],
+            system.acc[active], system.jerk[active], dt,
+        )
+        vel_i = predict_velocities(
+            system.vel[active], system.acc[active], system.jerk[active], dt
+        )
+        i_keys = system.key[active]
+
+        n_active = active.size
+        acc = np.zeros((n_active, 3))
+        jerk = np.zeros((n_active, 3))
+        shares = round_robin_slices(n_active, len(self.clusters))
+        for cluster, share in zip(self.clusters, shares):
+            if share.size == 0:
+                continue
+            res = cluster.compute(
+                pos_i[share], vel_i[share], i_keys[share],
+                t_now, self.config.clock_hz,
+            )
+            acc[share] = res.acc
+            jerk[share] = res.jerk
+        return acc, jerk
+
+    # -- neighbour search -----------------------------------------------------------
+
+    def neighbours_of(self, system, active: np.ndarray, t_now: float, h):
+        """Hardware neighbour-list query for the active block.
+
+        Returns a :class:`~repro.grape.neighbours.NeighbourResult` with
+        per-particle neighbour keys within radius ``h`` and nearest
+        neighbours.  Free of pipeline cycles (rides the force pass on
+        the real chip); the result transfer is small and not priced.
+        """
+        from ..core.predictor import predict_positions
+        from .neighbours import merge_neighbour_results, neighbour_search
+
+        active = np.asarray(active)
+        dt = t_now - system.t[active]
+        pos_i = predict_positions(
+            system.pos[active], system.vel[active],
+            system.acc[active], system.jerk[active], dt,
+        )
+        i_keys = system.key[active]
+
+        if self.mode == "flat":
+            predict_system(system, t_now)
+            return neighbour_search(
+                pos_i, system.pred_pos, system.key, h, exclude_keys=i_keys
+            )
+
+        # every cluster holds a full j-copy; query exactly one of them
+        chip_results = []
+        for node in self.clusters[0].nodes:
+            for board in node.boards:
+                for chip in board.chips:
+                    if chip.n_resident:
+                        chip_results.append(
+                            chip.neighbours(pos_i, i_keys, t_now, h)
+                        )
+        return merge_neighbour_results(chip_results)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def achieved_flops(self) -> float:
+        """Modelled sustained speed over everything computed so far."""
+        return self.totals.achieved_flops_per_s()
+
+    def efficiency(self) -> float:
+        """Achieved / peak over the accumulated run."""
+        peak = self.config.peak_flops
+        return self.achieved_flops() / peak if peak else 0.0
+
+    def reset_counters(self) -> None:
+        self.totals = TimingTotals()
+        for cluster in self.clusters:
+            cluster.reset_counters()
+
+    def topology_graph(self):
+        """The machine as a networkx graph (racks-and-cables view).
+
+        Nodes carry a ``kind`` attribute (system / switch / host / nb /
+        board / chip); edges carry ``link`` (gbe / pci / lvds / on-board).
+        Works in both modes — the graph is derived from the config.
+        """
+        import networkx as nx
+
+        cfg = self.config
+        g = nx.Graph()
+        g.add_node("system", kind="system")
+        g.add_node("gbe-switch", kind="switch")
+        g.add_edge("system", "gbe-switch", link="virtual")
+        for c in range(cfg.n_clusters):
+            for k in range(cfg.nodes_per_cluster):
+                host = f"host-{c}.{k}"
+                nb = f"nb-{c}.{k}"
+                g.add_node(host, kind="host", cluster=c)
+                g.add_node(nb, kind="nb", cluster=c)
+                g.add_edge(host, "gbe-switch", link="gbe")
+                g.add_edge(host, nb, link="pci")
+                # intra-cluster NB cascade ring
+                if k > 0:
+                    g.add_edge(f"nb-{c}.{k - 1}", nb, link="lvds")
+                for b in range(cfg.boards_per_node):
+                    board = f"pb-{c}.{k}.{b}"
+                    g.add_node(board, kind="board", cluster=c)
+                    g.add_edge(nb, board, link="lvds")
+                    for ch in range(cfg.chips_per_board):
+                        chip = f"chip-{c}.{k}.{b}.{ch}"
+                        g.add_node(chip, kind="chip", cluster=c)
+                        g.add_edge(board, chip, link="on-board")
+        return g
+
+
+class Grape6Backend(ForceBackend):
+    """:class:`~repro.core.backends.ForceBackend` adapter for the machine.
+
+    Drop-in replacement for
+    :class:`~repro.core.backends.HostDirectBackend`: the integration is
+    identical (flat mode) or float-reordering-close (hierarchy mode),
+    and the machine's :class:`~repro.grape.timing.TimingTotals` price
+    what the run would have cost on the real hardware.
+    """
+
+    def __init__(self, machine: Grape6Machine) -> None:
+        self.machine = machine
+        self.counter = InteractionCounter()
+
+    @property
+    def eps(self) -> float:
+        return self.machine.eps
+
+    def load(self, system) -> None:
+        self.machine.load(system)
+
+    def forces_on(self, system, active: np.ndarray, t_now: float):
+        acc, jerk = self.machine.compute_block(system, active, t_now)
+        self.counter.add(np.asarray(active).size, system.n, with_jerk=True)
+        return acc, jerk
+
+    def push_updates(self, system, active: np.ndarray) -> None:
+        self.machine.push_updates(system, active)
+
+    def potential(self, system) -> np.ndarray:
+        n = system.n
+        return pairwise_potential(
+            system.pos, system.pos, system.mass, self.eps, self_indices=np.arange(n)
+        )

@@ -1,0 +1,318 @@
+"""Configuration and analytic timing model of the GRAPE-6 machine.
+
+:class:`Grape6Config` describes a machine from one processor board up to
+the paper's full 2048-chip system; :class:`Grape6TimingModel` computes,
+for a block of ``n_active`` particles against ``n_total`` sources, the
+per-step critical path
+
+.. math::
+
+    T_{step} = T_{host} + T_{PCI} + T_{LVDS} + T_{pipe} + T_{GbE},
+
+the model Makino uses for GRAPE throughput analyses.  The terms:
+
+* ``T_host`` — O(1)-per-particle host arithmetic on each host's share
+  of the block (hosts work in parallel);
+* ``T_PCI`` — i-particle send, result receive and j-memory write-back
+  over each host's PCI bus;
+* ``T_LVDS`` — i-block distribution to the node's boards and the
+  cluster's nodes plus the reduction return path, over 90 MB/s links;
+* ``T_pipe`` — the force pipelines: ``ceil(n_i / 48)`` passes per chip,
+  each pass streaming the chip's j-slice at ``VMP_FACTOR`` cycles per
+  j-particle;
+* ``T_GbE`` — propagation of corrected particles to the other clusters'
+  j-memory copies over Gigabit Ethernet.
+
+The same model extrapolates to the paper's production configuration in
+the PERF-TFLOPS benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..constants import (
+    FLOPS_PER_INTERACTION,
+    GRAPE6_GBE_BANDWIDTH_MBPS,
+    GRAPE6_LVDS_LINK_MBPS,
+    GRAPE6_PCI_BANDWIDTH_MBPS,
+    GRAPE6_PIPELINE_CLOCK_HZ,
+    GRAPE6_PIPELINES_PER_CHIP,
+)
+from ..errors import ConfigurationError
+from .host import IPARTICLE_BYTES, JWRITE_BYTES, RESULT_BYTES, HostCostModel
+from .pipeline import PIPELINE_DEPTH, VMP_FACTOR
+
+__all__ = ["Grape6Config", "StepTiming", "TimingTotals", "Grape6TimingModel"]
+
+
+@dataclass(frozen=True)
+class Grape6Config:
+    """Shape and clocking of a GRAPE-6 machine.
+
+    The defaults are the paper's full system: 4 clusters x 4 nodes x
+    4 boards x 32 chips = 2048 chips, 63.4 Tflops peak.
+    """
+
+    n_clusters: int = 4
+    nodes_per_cluster: int = 4
+    boards_per_node: int = 4
+    chips_per_board: int = 32
+    clock_hz: float = GRAPE6_PIPELINE_CLOCK_HZ
+    pipelines_per_chip: int = GRAPE6_PIPELINES_PER_CHIP
+
+    def __post_init__(self) -> None:
+        for name in ("n_clusters", "nodes_per_cluster", "boards_per_node", "chips_per_board"):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(f"{name} must be >= 1")
+        if self.clock_hz <= 0:
+            raise ConfigurationError("clock must be positive")
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def n_hosts(self) -> int:
+        return self.n_clusters * self.nodes_per_cluster
+
+    @property
+    def chips_per_node(self) -> int:
+        return self.boards_per_node * self.chips_per_board
+
+    @property
+    def total_boards(self) -> int:
+        return self.n_hosts * self.boards_per_node
+
+    @property
+    def total_chips(self) -> int:
+        return self.total_boards * self.chips_per_board
+
+    @property
+    def total_pipelines(self) -> int:
+        return self.total_chips * self.pipelines_per_chip
+
+    # -- peak speeds ------------------------------------------------------------
+
+    @property
+    def peak_interactions_per_s(self) -> float:
+        """One interaction per pipeline per cycle."""
+        return self.total_pipelines * self.clock_hz
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak in the paper's 57-op convention (63.4 Tflops full system)."""
+        return self.peak_interactions_per_s * FLOPS_PER_INTERACTION
+
+    # -- common presets -----------------------------------------------------------
+
+    @classmethod
+    def paper_full_system(cls) -> "Grape6Config":
+        """The 2048-chip, 16-host machine of the paper."""
+        return cls()
+
+    @classmethod
+    def single_cluster(cls) -> "Grape6Config":
+        return cls(n_clusters=1)
+
+    @classmethod
+    def single_node(cls) -> "Grape6Config":
+        return cls(n_clusters=1, nodes_per_cluster=1)
+
+    @classmethod
+    def single_board(cls) -> "Grape6Config":
+        return cls(n_clusters=1, nodes_per_cluster=1, boards_per_node=1)
+
+    @classmethod
+    def scaled_down(cls, chips_per_board: int = 2) -> "Grape6Config":
+        """A tiny machine for functional tests (full hierarchy, few chips)."""
+        return cls(
+            n_clusters=2,
+            nodes_per_cluster=2,
+            boards_per_node=2,
+            chips_per_board=chips_per_board,
+        )
+
+
+@dataclass(frozen=True)
+class StepTiming:
+    """Critical-path breakdown of one block step [seconds]."""
+
+    host: float
+    pci: float
+    lvds: float
+    pipe: float
+    gbe: float
+
+    @property
+    def total(self) -> float:
+        return self.host + self.pci + self.lvds + self.pipe + self.gbe
+
+
+@dataclass
+class TimingTotals:
+    """Accumulated run totals (what the performance report consumes)."""
+
+    host: float = 0.0
+    pci: float = 0.0
+    lvds: float = 0.0
+    pipe: float = 0.0
+    gbe: float = 0.0
+    blocks: int = 0
+    particle_steps: int = 0
+    interactions: int = 0
+
+    def add(self, step: StepTiming, n_active: int, n_total: int) -> None:
+        self.host += step.host
+        self.pci += step.pci
+        self.lvds += step.lvds
+        self.pipe += step.pipe
+        self.gbe += step.gbe
+        self.blocks += 1
+        self.particle_steps += int(n_active)
+        self.interactions += int(n_active) * int(n_total)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.host + self.pci + self.lvds + self.pipe + self.gbe
+
+    def to_dict(self) -> dict:
+        """JSON-friendly snapshot (for run logs and reports)."""
+        return {
+            "host_s": self.host,
+            "pci_s": self.pci,
+            "lvds_s": self.lvds,
+            "pipe_s": self.pipe,
+            "gbe_s": self.gbe,
+            "blocks": self.blocks,
+            "particle_steps": self.particle_steps,
+            "interactions": self.interactions,
+            "total_s": self.total_seconds,
+            "achieved_flops": self.achieved_flops_per_s(),
+        }
+
+    @property
+    def total_flops(self) -> float:
+        """Useful operations in the paper's 57-op convention."""
+        return self.interactions * FLOPS_PER_INTERACTION
+
+    def achieved_flops_per_s(self) -> float:
+        """Sustained speed over the accumulated wall-clock model."""
+        if self.total_seconds == 0.0:
+            return 0.0
+        return self.total_flops / self.total_seconds
+
+
+class Grape6TimingModel:
+    """Analytic per-block-step timing for a :class:`Grape6Config`."""
+
+    def __init__(
+        self,
+        config: Grape6Config,
+        host_cost: HostCostModel | None = None,
+        lvds_bandwidth: float = GRAPE6_LVDS_LINK_MBPS * 1e6,
+        pci_bandwidth: float = GRAPE6_PCI_BANDWIDTH_MBPS * 1e6,
+        gbe_bandwidth: float = GRAPE6_GBE_BANDWIDTH_MBPS * 1e6,
+        lvds_latency: float = 2e-6,
+        pci_latency: float = 5e-6,
+        gbe_latency: float = 50e-6,
+    ) -> None:
+        self.config = config
+        self.host_cost = host_cost or HostCostModel()
+        self.lvds_bandwidth = lvds_bandwidth
+        self.pci_bandwidth = pci_bandwidth
+        self.gbe_bandwidth = gbe_bandwidth
+        self.lvds_latency = lvds_latency
+        self.pci_latency = pci_latency
+        self.gbe_latency = gbe_latency
+
+    # -- load shapes ------------------------------------------------------------
+
+    def i_share_per_cluster(self, n_active: int) -> int:
+        """i-block particles each cluster serves (ceil split)."""
+        return math.ceil(n_active / self.config.n_clusters)
+
+    def i_share_per_host(self, n_active: int) -> int:
+        """i-block particles each host owns."""
+        return math.ceil(n_active / self.config.n_hosts)
+
+    def j_per_chip(self, n_total: int) -> int:
+        """j-particles resident on each chip (round-robin over a node)."""
+        per_node = math.ceil(n_total / self.config.nodes_per_cluster)
+        return math.ceil(per_node / self.config.chips_per_node)
+
+    def chip_cycles(self, n_active: int, n_total: int) -> int:
+        """Pipeline cycles of the busiest chip for one block."""
+        n_i = self.i_share_per_cluster(n_active)
+        n_j = self.j_per_chip(n_total)
+        if n_i == 0 or n_j == 0:
+            return 0
+        i_capacity = self.config.pipelines_per_chip * VMP_FACTOR
+        passes = math.ceil(n_i / i_capacity)
+        return passes * (VMP_FACTOR * n_j + PIPELINE_DEPTH)
+
+    # -- the step model ------------------------------------------------------------
+
+    def block_step(self, n_active: int, n_total: int) -> StepTiming:
+        """Critical-path times of one block step."""
+        if n_active < 0 or n_total < 0:
+            raise ConfigurationError("particle counts must be non-negative")
+        cfg = self.config
+        share_host = self.i_share_per_host(n_active)
+        share_cluster = self.i_share_per_cluster(n_active)
+
+        t_host = self.host_cost.block_time(share_host)
+
+        pci_bytes = share_host * (IPARTICLE_BYTES + RESULT_BYTES + JWRITE_BYTES)
+        t_pci = 3 * self.pci_latency + pci_bytes / self.pci_bandwidth
+
+        # Every node must receive the cluster's whole i-block and return
+        # its reduced partials (links run in parallel across boards).
+        lvds_bytes = share_cluster * (IPARTICLE_BYTES + RESULT_BYTES)
+        t_lvds = 2 * self.lvds_latency + lvds_bytes / self.lvds_bandwidth
+
+        t_pipe = self.chip_cycles(n_active, n_total) / cfg.clock_hz
+
+        # Corrected particles propagate down the columns to the other
+        # clusters' j-copies (paper Figure 6 / hybrid scheme).
+        remote_clusters = cfg.n_clusters - 1
+        if remote_clusters > 0:
+            gbe_bytes = remote_clusters * share_host * JWRITE_BYTES
+            t_gbe = remote_clusters * self.gbe_latency + gbe_bytes / self.gbe_bandwidth
+        else:
+            t_gbe = 0.0
+
+        return StepTiming(host=t_host, pci=t_pci, lvds=t_lvds, pipe=t_pipe, gbe=t_gbe)
+
+    def block_step_overlapped(self, n_active: int, n_total: int) -> float:
+        """Steady-state per-block time with software pipelining [s].
+
+        Production GRAPE drivers overlap the host's work on block ``k``
+        (corrector, scheduler, j-writeback) with the hardware's force
+        pass for block ``k+1``: the host ships the i-block, and while
+        the pipelines run it finishes the previous block.  In steady
+        state the per-block time is then
+
+        ``max(host + pci_writeback,  pipe + lvds + pci_i/o) + gbe``
+
+        — the GbE propagation of corrected particles cannot overlap the
+        next force pass because remote j-copies must be current before
+        they are used.  (The non-overlapped :meth:`block_step` is the
+        conservative default used by the headline PERF numbers.)
+        """
+        step = self.block_step(n_active, n_total)
+        host_side = step.host + 0.4 * step.pci  # writeback share of PCI
+        grape_side = step.pipe + step.lvds + 0.6 * step.pci
+        return max(host_side, grape_side) + step.gbe
+
+    def efficiency(
+        self, n_active: int, n_total: int, overlap: bool = False
+    ) -> float:
+        """Achieved / peak for a steady stream of identical blocks."""
+        if overlap:
+            total = self.block_step_overlapped(n_active, n_total)
+        else:
+            total = self.block_step(n_active, n_total).total
+        if total == 0.0:
+            return 0.0
+        useful = n_active * n_total * FLOPS_PER_INTERACTION
+        return useful / (total * self.config.peak_flops)

@@ -1,0 +1,51 @@
+"""Simulated host-parallelisation substrate (paper Section 4.3).
+
+* :mod:`~repro.parallel.topology` — switch / ring / 2-D mesh / NB-tree
+  network builders (networkx)
+* :mod:`~repro.parallel.comm` — phase-based communication cost simulator
+* :mod:`~repro.parallel.strategies` — the paper's four host schemes
+"""
+
+from .comm import CommSimulator, PhaseReport, Transfer
+from .grid2d import GridForceResult, grid_forces
+from .ring import RingForceResult, ring_forces
+from .spmd import RankComm, SpmdResult, VirtualMachine
+from .strategies import (
+    GrapeExchangeStrategy,
+    Host2DGridStrategy,
+    HostParallelStrategy,
+    HybridStrategy,
+    NaiveCopyStrategy,
+    all_strategies,
+)
+from .topology import (
+    Topology,
+    mesh2d_topology,
+    nb_tree_topology,
+    ring_topology,
+    switch_topology,
+)
+
+__all__ = [
+    "CommSimulator",
+    "PhaseReport",
+    "Transfer",
+    "GridForceResult",
+    "grid_forces",
+    "RingForceResult",
+    "ring_forces",
+    "RankComm",
+    "SpmdResult",
+    "VirtualMachine",
+    "GrapeExchangeStrategy",
+    "Host2DGridStrategy",
+    "HostParallelStrategy",
+    "HybridStrategy",
+    "NaiveCopyStrategy",
+    "all_strategies",
+    "Topology",
+    "mesh2d_topology",
+    "nb_tree_topology",
+    "ring_topology",
+    "switch_topology",
+]

@@ -1,0 +1,147 @@
+"""Phase-based communication cost simulator.
+
+The substrate under the COMM-STRAT experiment.  A *phase* is a set of
+point-to-point transfers that may proceed concurrently (one
+communication round of an SPMD step); its duration is set by the most
+congested link:
+
+.. math::
+
+    T_{phase} = \\max_{e \\in E}\\;
+        \\Big( m_e \\, \\ell_e + \\frac{B_e}{\\beta_e} \\Big),
+
+where over edge ``e`` the phase routes ``m_e`` messages totalling
+``B_e`` bytes, with latency ``l_e`` and bandwidth ``beta_e`` — a
+store-and-forward LogGP-style congestion model.  Messages follow
+shortest-path routes from :class:`~repro.parallel.topology.Topology`.
+
+Collective helpers (:meth:`CommSimulator.broadcast`,
+:meth:`~CommSimulator.allgather`, :meth:`~CommSimulator.reduce`) expand
+to transfer sets the way the flat (switch-based) implementations of the
+era did, which is exactly the behaviour the paper's Section 4.3
+argument targets.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from ..errors import CommError
+from .topology import Topology
+
+__all__ = ["Transfer", "PhaseReport", "CommSimulator"]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One point-to-point message."""
+
+    src: object
+    dst: object
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise CommError("cannot transfer negative bytes")
+
+
+@dataclass(frozen=True)
+class PhaseReport:
+    """Outcome of one communication phase."""
+
+    seconds: float
+    total_bytes: int
+    n_transfers: int
+    #: The edge that set the phase time and its byte load.
+    bottleneck_edge: tuple | None
+    bottleneck_bytes: int
+
+
+class CommSimulator:
+    """Accumulates phases over a simulated run."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self.total_seconds = 0.0
+        self.total_bytes = 0
+        self.phases = 0
+        #: Cumulative bytes per edge over all phases.
+        self.edge_bytes: dict[tuple, int] = defaultdict(int)
+
+    # -- core -----------------------------------------------------------------
+
+    def phase(self, transfers) -> PhaseReport:
+        """Execute one concurrent round of transfers."""
+        transfers = [t for t in transfers if t.src != t.dst and t.nbytes > 0]
+        edge_load: dict[tuple, int] = defaultdict(int)
+        edge_msgs: dict[tuple, int] = defaultdict(int)
+        for t in transfers:
+            for edge in self.topology.path_edges(t.src, t.dst):
+                edge_load[edge] += t.nbytes
+                edge_msgs[edge] += 1
+
+        seconds = 0.0
+        bottleneck = None
+        bottleneck_bytes = 0
+        for edge, nbytes in edge_load.items():
+            attrs = self.topology.edge_attrs(edge)
+            t_edge = edge_msgs[edge] * attrs["latency"] + nbytes / attrs["bandwidth"]
+            if t_edge > seconds:
+                seconds = t_edge
+                bottleneck = edge
+                bottleneck_bytes = nbytes
+            self.edge_bytes[edge] += nbytes
+
+        total = sum(t.nbytes for t in transfers)
+        self.total_seconds += seconds
+        self.total_bytes += total
+        self.phases += 1
+        return PhaseReport(
+            seconds=seconds,
+            total_bytes=total,
+            n_transfers=len(transfers),
+            bottleneck_edge=bottleneck,
+            bottleneck_bytes=bottleneck_bytes,
+        )
+
+    # -- collectives -------------------------------------------------------------
+
+    def broadcast(self, root, nbytes: int, targets=None) -> PhaseReport:
+        """Root sends the same payload to every (other) target host."""
+        targets = self.topology.hosts if targets is None else list(targets)
+        return self.phase(
+            Transfer(root, t, nbytes) for t in targets if t != root
+        )
+
+    def allgather(self, nbytes_per_host: int, hosts=None) -> PhaseReport:
+        """Every host sends its block to every other host (flat)."""
+        hosts = self.topology.hosts if hosts is None else list(hosts)
+        return self.phase(
+            Transfer(s, d, nbytes_per_host)
+            for s in hosts
+            for d in hosts
+            if s != d
+        )
+
+    def gather(self, root, nbytes_per_host: int, hosts=None) -> PhaseReport:
+        """Every host sends its block to the root."""
+        hosts = self.topology.hosts if hosts is None else list(hosts)
+        return self.phase(
+            Transfer(s, root, nbytes_per_host) for s in hosts if s != root
+        )
+
+    def reduce(self, root, nbytes: int, hosts=None) -> PhaseReport:
+        """Flat reduction: payloads converge on the root.
+
+        (The NB hardware reduction is modelled separately in
+        :mod:`repro.grape.network`; this is the software fallback the
+        naive strategies must use.)
+        """
+        return self.gather(root, nbytes, hosts)
+
+    def reset(self) -> None:
+        self.total_seconds = 0.0
+        self.total_bytes = 0
+        self.phases = 0
+        self.edge_bytes.clear()

@@ -1,0 +1,331 @@
+"""Deterministic SPMD mini-runtime: message-passing programs in-process.
+
+The phase simulator (:mod:`repro.parallel.comm`) prices *transcripts*
+of communication; this module runs actual *programs* — the style of the
+mpi4py tutorials — deterministically in one process, so distributed
+algorithms (like the systolic ring of :mod:`repro.parallel.ring`) can
+be implemented, tested, and costed without real processes.
+
+A rank program is a generator that ``yield``s communication operations
+and receives their results::
+
+    def program(comm):
+        if comm.rank == 0:
+            yield comm.send(1, np.arange(10))
+        else:
+            data = yield comm.recv(0)
+        total = yield comm.allreduce(float(comm.rank))
+        return total
+
+    vm = VirtualMachine(n_ranks=2)
+    result = vm.run(program)
+    result.returns      # per-rank return values
+    result.clock        # per-rank logical end times [s]
+    result.total_bytes  # bytes moved
+
+Semantics:
+
+* point-to-point: ``send``/``recv`` match FIFO per (src, dst) pair;
+* collectives: ``barrier``, ``bcast``, ``allgather``, ``reduce``,
+  ``allreduce`` complete when every rank has posted its call (loose
+  BSP); every rank must post collectives in the same order;
+* logical time: message completion =
+  ``max(sender clock, receiver clock) + latency + bytes/bandwidth``
+  (a LogP-style model); collective completion = barrier of all clocks
+  plus the slowest member transfer;
+* determinism: the scheduler polls ranks in rank order — no threads,
+  no races; a cycle with no runnable rank raises :class:`CommError`
+  (deadlock) with the blocked-op summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import CommError
+
+__all__ = ["VirtualMachine", "SpmdResult", "RankComm"]
+
+
+def _payload_bytes(data) -> int:
+    """Byte size of a message payload (ndarray-aware)."""
+    if data is None:
+        return 0
+    if isinstance(data, np.ndarray):
+        return int(data.nbytes)
+    if isinstance(data, (bytes, bytearray)):
+        return len(data)
+    if isinstance(data, (int, float, bool, np.floating, np.integer)):
+        return 8
+    if isinstance(data, (list, tuple)):
+        return sum(_payload_bytes(x) for x in data)
+    return 64  # conservative default for small objects
+
+
+# -- operation descriptors ---------------------------------------------------
+
+
+@dataclass
+class _Send:
+    dst: int
+    data: object
+    nbytes: int
+
+
+@dataclass
+class _Recv:
+    src: int
+
+
+@dataclass
+class _Collective:
+    kind: str  # barrier | bcast | allgather | reduce | allreduce
+    root: int | None
+    data: object
+    op: object
+    seq: int = -1  # collective sequence number, assigned at post time
+
+
+class RankComm:
+    """Communicator handed to each rank program."""
+
+    def __init__(self, rank: int, size: int) -> None:
+        self.rank = rank
+        self.size = size
+        self._collective_seq = 0
+
+    # Factory methods produce descriptors for the scheduler; programs
+    # must ``yield`` them.
+
+    def send(self, dst: int, data, nbytes: int | None = None) -> _Send:
+        """Post a message to ``dst``; yields ``None`` on completion."""
+        if not (0 <= dst < self.size) or dst == self.rank:
+            raise CommError(f"invalid send destination {dst}")
+        return _Send(dst=dst, data=data,
+                     nbytes=_payload_bytes(data) if nbytes is None else int(nbytes))
+
+    def recv(self, src: int) -> _Recv:
+        """Receive from ``src``; yields the payload."""
+        if not (0 <= src < self.size) or src == self.rank:
+            raise CommError(f"invalid recv source {src}")
+        return _Recv(src=src)
+
+    def _collective(self, kind, root=None, data=None, op=None) -> _Collective:
+        c = _Collective(kind=kind, root=root, data=data, op=op,
+                        seq=self._collective_seq)
+        self._collective_seq += 1
+        return c
+
+    def barrier(self) -> _Collective:
+        """Synchronise all ranks; yields ``None``."""
+        return self._collective("barrier")
+
+    def bcast(self, data, root: int = 0) -> _Collective:
+        """Yields the root's payload on every rank."""
+        return self._collective("bcast", root=root, data=data)
+
+    def allgather(self, data) -> _Collective:
+        """Yields the list of payloads ordered by rank."""
+        return self._collective("allgather", data=data)
+
+    def reduce(self, data, root: int = 0, op=None) -> _Collective:
+        """Yields the reduction on the root, ``None`` elsewhere."""
+        return self._collective("reduce", root=root, data=data, op=op)
+
+    def allreduce(self, data, op=None) -> _Collective:
+        """Yields the reduction on every rank."""
+        return self._collective("allreduce", data=data, op=op)
+
+
+@dataclass
+class SpmdResult:
+    """Outcome of one :meth:`VirtualMachine.run`."""
+
+    returns: list
+    clock: list
+    total_bytes: int
+    messages: int
+
+
+def _default_reduce(parts):
+    """Sum that works for ndarrays and scalars."""
+    out = parts[0]
+    for p in parts[1:]:
+        out = out + p
+    return out
+
+
+class VirtualMachine:
+    """Runs one SPMD program on ``n_ranks`` virtual hosts.
+
+    Parameters
+    ----------
+    n_ranks:
+        Number of ranks.
+    bandwidth:
+        Link bandwidth [bytes/s] of every rank's interface.
+    latency:
+        Per-message latency [s].
+    """
+
+    def __init__(
+        self,
+        n_ranks: int,
+        bandwidth: float = 100e6,
+        latency: float = 50e-6,
+    ) -> None:
+        if n_ranks < 1:
+            raise CommError("need at least one rank")
+        if bandwidth <= 0 or latency < 0:
+            raise CommError("invalid link parameters")
+        self.n_ranks = int(n_ranks)
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, program, *args) -> SpmdResult:
+        """Execute ``program(comm, *args)`` on every rank to completion."""
+        comms = [RankComm(r, self.n_ranks) for r in range(self.n_ranks)]
+        gens = [program(comms[r], *args) for r in range(self.n_ranks)]
+
+        clock = [0.0] * self.n_ranks
+        returns: list = [None] * self.n_ranks
+        done = [False] * self.n_ranks
+        # what each rank is blocked on: None = runnable
+        blocked: list = [None] * self.n_ranks
+        # value to inject at next resume
+        inbox: list = [None] * self.n_ranks
+        # FIFO mailboxes for point-to-point: (src, dst) -> list of (data, nbytes, t_post)
+        mail: dict = {}
+        # pending recvs: (src, dst) -> True
+        total_bytes = 0
+        messages = 0
+
+        def advance(r):
+            """Resume rank r with inbox[r]; set its next blocked op."""
+            nonlocal total_bytes
+            try:
+                op = gens[r].send(inbox[r]) if started[r] else next(gens[r])
+            except StopIteration as stop:
+                returns[r] = stop.value
+                done[r] = True
+                blocked[r] = None
+                return
+            started[r] = True
+            inbox[r] = None
+            blocked[r] = op
+
+        started = [False] * self.n_ranks
+        for r in range(self.n_ranks):
+            advance(r)
+
+        def transfer_time(nbytes):
+            return self.latency + nbytes / self.bandwidth
+
+        for _ in range(10_000_000):  # hard cap against runaway programs
+            if all(done):
+                break
+            progressed = False
+
+            # 1) match point-to-point pairs
+            for r in range(self.n_ranks):
+                op = blocked[r]
+                if isinstance(op, _Send):
+                    key = (r, op.dst)
+                    mail.setdefault(key, []).append((op.data, op.nbytes, clock[r]))
+                    # sends are buffered (eager): sender proceeds after
+                    # injecting; its clock pays the serialisation cost
+                    clock[r] += transfer_time(op.nbytes)
+                    total_bytes += op.nbytes
+                    messages += 1
+                    inbox[r] = None
+                    advance(r)
+                    progressed = True
+            for r in range(self.n_ranks):
+                op = blocked[r]
+                if isinstance(op, _Recv):
+                    key = (op.src, r)
+                    queue = mail.get(key)
+                    if queue:
+                        data, nbytes, t_post = queue.pop(0)
+                        arrive = max(t_post + transfer_time(nbytes), clock[r])
+                        clock[r] = arrive
+                        inbox[r] = data
+                        advance(r)
+                        progressed = True
+
+            # 2) collectives: complete when all ranks block on the same
+            #    (kind, seq) descriptor
+            colls = [
+                blocked[r] for r in range(self.n_ranks)
+                if isinstance(blocked[r], _Collective)
+            ]
+            if len(colls) == self.n_ranks and not any(done):
+                kinds = {(c.kind, c.seq) for c in colls}
+                if len(kinds) > 1:
+                    raise CommError(
+                        f"collective mismatch across ranks: {sorted(kinds)}"
+                    )
+                self._complete_collective(colls, clock, inbox)
+                nbytes = sum(_payload_bytes(c.data) for c in colls)
+                total_bytes += nbytes
+                messages += self.n_ranks
+                for r in range(self.n_ranks):
+                    advance(r)
+                progressed = True
+
+            if not progressed:
+                if all(done):
+                    break
+                waiting = {
+                    r: type(blocked[r]).__name__
+                    for r in range(self.n_ranks)
+                    if not done[r]
+                }
+                raise CommError(f"deadlock: ranks blocked on {waiting}")
+        else:  # pragma: no cover - loop cap
+            raise CommError("program exceeded the scheduler's step budget")
+
+        return SpmdResult(
+            returns=returns, clock=clock, total_bytes=total_bytes, messages=messages
+        )
+
+    def _complete_collective(self, colls, clock, inbox) -> None:
+        """Resolve one collective across all ranks; update clocks/inboxes."""
+        kind = colls[0].kind
+        n = self.n_ranks
+        payloads = [c.data for c in colls]
+        sizes = [_payload_bytes(d) for d in payloads]
+        barrier_time = max(clock)
+
+        if kind == "barrier":
+            finish = barrier_time + self.latency
+            results = [None] * n
+        elif kind == "bcast":
+            root = colls[0].root
+            nbytes = sizes[root]
+            finish = barrier_time + self.latency + nbytes / self.bandwidth
+            results = [payloads[root]] * n
+        elif kind == "allgather":
+            nbytes = sum(sizes)
+            finish = barrier_time + self.latency + nbytes / self.bandwidth
+            results = [list(payloads)] * n
+        elif kind in ("reduce", "allreduce"):
+            op = colls[0].op or _default_reduce
+            reduced = op(payloads) if colls[0].op else _default_reduce(payloads)
+            nbytes = max(sizes) if kind == "reduce" else sum(sizes)
+            finish = barrier_time + self.latency + nbytes / self.bandwidth
+            if kind == "reduce":
+                root = colls[0].root
+                results = [reduced if r == root else None for r in range(n)]
+            else:
+                results = [reduced] * n
+        else:  # pragma: no cover - descriptor factory prevents this
+            raise CommError(f"unknown collective {kind}")
+
+        for r in range(n):
+            clock[r] = finish
+            inbox[r] = results[r]

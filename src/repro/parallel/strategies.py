@@ -1,0 +1,232 @@
+"""The paper's host-parallelisation strategies (Section 4.3, Figs 3-7).
+
+Four ways to attach ``p`` hosts to GRAPE hardware, modelled as the
+communication work one block step of ``n_active`` particles generates:
+
+* :class:`NaiveCopyStrategy` (Figure 3) — every host keeps a full
+  particle copy, so every corrected particle must reach every host over
+  the shared network.  Per-host traffic is O(n_active) **independent of
+  p** — the paper: "the amount of communication is not reduced when we
+  increase the number of host computers".
+* :class:`GrapeExchangeStrategy` (Figures 4-5) — GRAPE boards exchange
+  j-data over dedicated LVDS links through network boards; hosts only
+  synchronise.  Host NIC traffic drops to (almost) zero; the data ride
+  fast dedicated links.
+* :class:`Host2DGridStrategy` (Figure 6) — hosts in a q x q matrix;
+  a row integrates, columns forward j-updates.  Per-host traffic scales
+  as 1/q = 1/sqrt(p).
+* :class:`HybridStrategy` (Figure 7, the built machine) — hardware
+  exchange inside each 4-node cluster, GbE columns between clusters.
+
+Every strategy exposes the same interface: an analytic per-host NIC
+byte count and a simulated step time over its actual topology using
+:class:`~repro.parallel.comm.CommSimulator`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+from ..grape.host import IPARTICLE_BYTES, JWRITE_BYTES, RESULT_BYTES
+from .comm import CommSimulator, Transfer
+from .topology import mesh2d_topology, nb_tree_topology, switch_topology
+
+__all__ = [
+    "HostParallelStrategy",
+    "NaiveCopyStrategy",
+    "GrapeExchangeStrategy",
+    "Host2DGridStrategy",
+    "HybridStrategy",
+    "all_strategies",
+]
+
+
+class HostParallelStrategy:
+    """Common interface of the four parallelisation schemes."""
+
+    #: short identifier used in benchmark tables
+    name: str = "abstract"
+
+    def __init__(self, p: int) -> None:
+        if p < 1:
+            raise ConfigurationError("need at least one host")
+        self.p = int(p)
+        self.sim = self._build_simulator()
+
+    def _build_simulator(self) -> CommSimulator:
+        raise NotImplementedError
+
+    def host_nic_bytes_per_step(self, n_active: int) -> float:
+        """Analytic bytes through one host's network interface per step."""
+        raise NotImplementedError
+
+    def step(self, n_active: int) -> float:
+        """Simulate one block step's communication; returns seconds."""
+        raise NotImplementedError
+
+    def share(self, n_active: int) -> int:
+        """Particles owned per host (ceil split)."""
+        return math.ceil(n_active / self.p)
+
+
+class NaiveCopyStrategy(HostParallelStrategy):
+    """Figure 3: independent host+GRAPE pairs on a switch.
+
+    Each host integrates its 1/p share, then all-gathers the corrected
+    particles so every host's full copy stays coherent.
+    """
+
+    name = "naive-copy"
+
+    def _build_simulator(self) -> CommSimulator:
+        return CommSimulator(switch_topology(self.p))
+
+    def host_nic_bytes_per_step(self, n_active: int) -> float:
+        s = self.share(n_active)
+        # send to p-1 peers + receive from p-1 peers
+        return 2.0 * (self.p - 1) * s * JWRITE_BYTES
+
+    def step(self, n_active: int) -> float:
+        report = self.sim.allgather(self.share(n_active) * JWRITE_BYTES)
+        return report.seconds
+
+
+class GrapeExchangeStrategy(HostParallelStrategy):
+    """Figures 4-5: GRAPEs exchange data over dedicated NB links.
+
+    Hosts push only their own i/j traffic over PCI; the network boards
+    broadcast it to all processor boards.  Host NICs carry only the
+    per-step synchronisation.
+    """
+
+    name = "grape-exchange"
+
+    #: bytes of the per-step synchronisation message
+    SYNC_BYTES = 64
+
+    def _build_simulator(self) -> CommSimulator:
+        return CommSimulator(nb_tree_topology(self.p))
+
+    def host_nic_bytes_per_step(self, n_active: int) -> float:
+        # hosts only synchronise; particle traffic bypasses their NICs
+        return 2.0 * self.SYNC_BYTES
+
+    def step(self, n_active: int) -> float:
+        s = self.share(n_active)
+        topo = self.sim.topology
+        transfers = []
+        payload = s * (IPARTICLE_BYTES + JWRITE_BYTES)
+        for h in range(self.p):
+            # host h streams its share into its NB; the NB cascade
+            # carries it to every other NB (broadcast mode), each of
+            # which forwards to its boards — model the worst single
+            # cascade route: h's NB to the farthest NB's first board.
+            transfers.append(Transfer(f"h{h}", f"pb{h}.0", payload))
+            far = (self.p - 1) if h < self.p - 1 else 0
+            if far != h:
+                transfers.append(Transfer(f"h{h}", f"pb{far}.0", payload))
+        report = self.sim.phase(transfers)
+        # result reduction back up (same shape, reversed)
+        back = self.sim.phase(
+            Transfer(f"pb{h}.0", f"h{h}", s * RESULT_BYTES) for h in range(self.p)
+        )
+        return report.seconds + back.seconds
+
+
+class Host2DGridStrategy(HostParallelStrategy):
+    """Figure 6: hosts in a q x q matrix, rows integrate, columns forward.
+
+    Requires ``p`` to be a perfect square.
+    """
+
+    name = "host-2d-grid"
+
+    def __init__(self, p: int) -> None:
+        q = math.isqrt(p)
+        if q * q != p:
+            raise ConfigurationError("the 2-D grid strategy needs a square host count")
+        self.q = q
+        super().__init__(p)
+
+    def _build_simulator(self) -> CommSimulator:
+        return CommSimulator(mesh2d_topology(self.q, self.q))
+
+    def host_nic_bytes_per_step(self, n_active: int) -> float:
+        # a row host owns n_active/q particles and must push updates to
+        # the q-1 other hosts of its column (and receive likewise from
+        # row peers' columns it sits in)
+        s_row = math.ceil(n_active / self.q)
+        return 2.0 * (self.q - 1) * s_row * JWRITE_BYTES / self.q
+
+    def step(self, n_active: int) -> float:
+        s_row = math.ceil(n_active / self.q)
+        per_hop = math.ceil(s_row / self.q) * JWRITE_BYTES
+        transfers = []
+        for c in range(self.q):
+            owner = f"h0.{c}"  # row 0 are the "real hosts"
+            for r in range(1, self.q):
+                transfers.append(Transfer(owner, f"h{r}.{c}", per_hop * self.q))
+        report = self.sim.phase(transfers)
+        return report.seconds
+
+
+class HybridStrategy(HostParallelStrategy):
+    """Figure 7: NB hardware inside clusters, GbE columns between them.
+
+    ``p`` hosts in ``n_clusters`` rows; within a cluster the exchange is
+    hardware (charged to LVDS, not the host NIC); across clusters each
+    host sends its share down its column over Gigabit Ethernet.
+    """
+
+    name = "hybrid"
+
+    def __init__(self, p: int, n_clusters: int = 4) -> None:
+        if p % n_clusters != 0:
+            raise ConfigurationError("host count must divide into clusters")
+        self.n_clusters = n_clusters
+        self.nodes_per_cluster = p // n_clusters
+        super().__init__(p)
+
+    def _build_simulator(self) -> CommSimulator:
+        return CommSimulator(switch_topology(self.p))
+
+    def host_nic_bytes_per_step(self, n_active: int) -> float:
+        s = self.share(n_active)
+        remote = self.n_clusters - 1
+        return 2.0 * remote * s * JWRITE_BYTES
+
+    def step(self, n_active: int) -> float:
+        s = self.share(n_active)
+        hosts = self.sim.topology.hosts
+        transfers = []
+        for c in range(self.n_clusters):
+            for k in range(self.nodes_per_cluster):
+                src = hosts[c * self.nodes_per_cluster + k]
+                for c2 in range(self.n_clusters):
+                    if c2 == c:
+                        continue  # intra-cluster rides the NB hardware
+                    dst = hosts[c2 * self.nodes_per_cluster + k]
+                    transfers.append(Transfer(src, dst, s * JWRITE_BYTES))
+        report = self.sim.phase(transfers)
+        # intra-cluster hardware exchange: one LVDS stream of the
+        # cluster's i-block (see Grape6TimingModel); add its time here
+        # so strategies are comparable end to end.
+        from ..constants import GRAPE6_LVDS_LINK_MBPS
+
+        share_cluster = math.ceil(n_active / self.n_clusters)
+        lvds = share_cluster * (IPARTICLE_BYTES + RESULT_BYTES) / (
+            GRAPE6_LVDS_LINK_MBPS * 1e6
+        )
+        return report.seconds + lvds
+
+
+def all_strategies(p: int):
+    """Instantiate every strategy valid for ``p`` hosts."""
+    out = [NaiveCopyStrategy(p), GrapeExchangeStrategy(p)]
+    q = math.isqrt(p)
+    if q * q == p and p > 1:
+        out.append(Host2DGridStrategy(p))
+    if p % 4 == 0:
+        out.append(HybridStrategy(p))
+    return out

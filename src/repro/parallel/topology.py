@@ -1,0 +1,152 @@
+"""Network topologies for the host-parallelisation analysis.
+
+Builders for the interconnect shapes the paper discusses (Section 4.3):
+
+* :func:`switch_topology` — hosts on a central Ethernet switch
+  (Figures 3 and 11);
+* :func:`ring_topology` — a ring of dedicated links;
+* :func:`mesh2d_topology` — the 2-D host matrix of Figure 6;
+* :func:`nb_tree_topology` — network boards cascaded in a tree over
+  processor boards (Figure 5).
+
+Each returns a :class:`Topology`: a networkx graph whose edges carry
+``bandwidth`` (bytes/s) and ``latency`` (s), with shortest-path routing
+cached for the cost simulator.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..constants import GRAPE6_GBE_BANDWIDTH_MBPS, GRAPE6_LVDS_LINK_MBPS
+from ..errors import TopologyError
+
+__all__ = [
+    "Topology",
+    "switch_topology",
+    "ring_topology",
+    "mesh2d_topology",
+    "nb_tree_topology",
+]
+
+_GBE = GRAPE6_GBE_BANDWIDTH_MBPS * 1e6
+_LVDS = GRAPE6_LVDS_LINK_MBPS * 1e6
+
+
+class Topology:
+    """A routed network: graph + shortest-path routing.
+
+    ``graph`` must have ``bandwidth`` and ``latency`` on every edge.
+    Host nodes (message sources/sinks) carry ``kind="host"``; internal
+    nodes (switches, network boards) are pure forwarders.
+    """
+
+    def __init__(self, graph: nx.Graph, name: str) -> None:
+        for u, v, data in graph.edges(data=True):
+            if "bandwidth" not in data or "latency" not in data:
+                raise TopologyError(f"edge ({u}, {v}) missing bandwidth/latency")
+            if data["bandwidth"] <= 0:
+                raise TopologyError(f"edge ({u}, {v}) has non-positive bandwidth")
+        self.graph = graph
+        self.name = name
+        self._paths: dict[tuple, list] = {}
+
+    @property
+    def hosts(self) -> list:
+        """Host nodes in stable order."""
+        return sorted(
+            (n for n, d in self.graph.nodes(data=True) if d.get("kind") == "host"),
+            key=str,
+        )
+
+    def path(self, src, dst) -> list:
+        """Shortest path (hop count) from ``src`` to ``dst``, cached."""
+        key = (src, dst)
+        if key not in self._paths:
+            try:
+                self._paths[key] = nx.shortest_path(self.graph, src, dst)
+            except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+                raise TopologyError(f"no route {src} -> {dst}") from exc
+        return self._paths[key]
+
+    def path_edges(self, src, dst) -> list[tuple]:
+        """Edges of the route as canonical (min, max) node pairs."""
+        p = self.path(src, dst)
+        return [tuple(sorted((p[i], p[i + 1]), key=str)) for i in range(len(p) - 1)]
+
+    def edge_attrs(self, edge: tuple) -> dict:
+        return self.graph.edges[edge]
+
+
+def switch_topology(p: int, bandwidth: float = _GBE, latency: float = 50e-6) -> Topology:
+    """``p`` hosts hanging off one central switch (paper Figures 3/11)."""
+    if p < 1:
+        raise TopologyError("need at least one host")
+    g = nx.Graph()
+    g.add_node("switch", kind="switch")
+    for r in range(p):
+        g.add_node(f"h{r}", kind="host")
+        g.add_edge(f"h{r}", "switch", bandwidth=bandwidth, latency=latency)
+    return Topology(g, name=f"switch-{p}")
+
+
+def ring_topology(p: int, bandwidth: float = _LVDS, latency: float = 2e-6) -> Topology:
+    """``p`` hosts on a ring of dedicated point-to-point links."""
+    if p < 2:
+        raise TopologyError("a ring needs at least two hosts")
+    g = nx.Graph()
+    for r in range(p):
+        g.add_node(f"h{r}", kind="host")
+    for r in range(p):
+        g.add_edge(f"h{r}", f"h{(r + 1) % p}", bandwidth=bandwidth, latency=latency)
+    return Topology(g, name=f"ring-{p}")
+
+
+def mesh2d_topology(
+    rows: int, cols: int, bandwidth: float = _GBE, latency: float = 50e-6
+) -> Topology:
+    """The 2-D host matrix of Figure 6 (no wraparound).
+
+    Host ``(r, c)`` is named ``h{r}.{c}``; rows carry i-traffic, columns
+    carry j-update traffic in the paper's scheme.
+    """
+    if rows < 1 or cols < 1:
+        raise TopologyError("mesh dimensions must be positive")
+    g = nx.Graph()
+    for r in range(rows):
+        for c in range(cols):
+            g.add_node(f"h{r}.{c}", kind="host", row=r, col=c)
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                g.add_edge(f"h{r}.{c}", f"h{r}.{c + 1}", bandwidth=bandwidth, latency=latency)
+            if r + 1 < rows:
+                g.add_edge(f"h{r}.{c}", f"h{r + 1}.{c}", bandwidth=bandwidth, latency=latency)
+    return Topology(g, name=f"mesh-{rows}x{cols}")
+
+
+def nb_tree_topology(
+    n_hosts: int,
+    boards_per_host: int = 4,
+    bandwidth: float = _LVDS,
+    latency: float = 2e-6,
+) -> Topology:
+    """Hosts over cascaded network boards to processor boards (Figure 5).
+
+    Each host connects to its network board; NBs form a chain (the
+    cascade links of the real hardware); each NB fans out to its
+    processor boards (named ``pb{h}.{b}``, kind ``board``).
+    """
+    if n_hosts < 1:
+        raise TopologyError("need at least one host")
+    g = nx.Graph()
+    for h in range(n_hosts):
+        g.add_node(f"h{h}", kind="host")
+        g.add_node(f"nb{h}", kind="nb")
+        g.add_edge(f"h{h}", f"nb{h}", bandwidth=bandwidth, latency=latency)
+        if h > 0:
+            g.add_edge(f"nb{h - 1}", f"nb{h}", bandwidth=bandwidth, latency=latency)
+        for b in range(boards_per_host):
+            g.add_node(f"pb{h}.{b}", kind="board")
+            g.add_edge(f"nb{h}", f"pb{h}.{b}", bandwidth=bandwidth, latency=latency)
+    return Topology(g, name=f"nbtree-{n_hosts}x{boards_per_host}")

@@ -1,0 +1,32 @@
+"""Performance accounting: flop conventions, projection model, harness.
+
+* :mod:`~repro.perf.flops` — the 38/57-op Gordon Bell conventions
+* :mod:`~repro.perf.model` — paper-scale sustained-speed projection
+* :mod:`~repro.perf.harness` — scaled-run measurement harness
+* :mod:`~repro.perf.report` — benchmark table rendering
+"""
+
+from .flops import flops_for_interactions, flops_from_counter, paper_total_flops, tflops
+from .harness import RunResult, run_scaled_disk
+from .model import (
+    SustainedEstimate,
+    extrapolate_from_histogram,
+    extrapolate_sustained,
+    paper_projection,
+)
+from .report import Table, format_quantity
+
+__all__ = [
+    "flops_for_interactions",
+    "flops_from_counter",
+    "paper_total_flops",
+    "tflops",
+    "RunResult",
+    "run_scaled_disk",
+    "SustainedEstimate",
+    "extrapolate_from_histogram",
+    "extrapolate_sustained",
+    "paper_projection",
+    "Table",
+    "format_quantity",
+]

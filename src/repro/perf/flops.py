@@ -1,0 +1,55 @@
+"""Gordon Bell flop-accounting conventions (paper Section 5.2).
+
+"We follow the convention of assigning 38 operations for the calculation
+of pairwise gravitational force, which is adopted in recent Gordon-Bell
+prize applications.  GRAPE-6 calculates the time derivative, which adds
+another 19 operations.  Thus, the total number of floating point
+operations for one interaction is 57."
+
+These helpers convert interaction counts (from
+:class:`~repro.core.forces.InteractionCounter` or
+:class:`~repro.grape.timing.TimingTotals`) into the paper's flop
+figures so every benchmark reports in identical units.
+"""
+
+from __future__ import annotations
+
+from ..constants import FLOPS_PER_FORCE, FLOPS_PER_INTERACTION, FLOPS_PER_JERK
+
+__all__ = [
+    "flops_for_interactions",
+    "flops_from_counter",
+    "paper_total_flops",
+    "tflops",
+]
+
+
+def flops_for_interactions(n_interactions: int, with_jerk: bool = True) -> float:
+    """Operations for ``n`` pairwise interactions under the convention."""
+    per = FLOPS_PER_INTERACTION if with_jerk else FLOPS_PER_FORCE
+    return float(n_interactions) * per
+
+
+def flops_from_counter(counter) -> float:
+    """Total operations recorded by an InteractionCounter.
+
+    Force-only interactions book 38 ops; interactions that also
+    produced a jerk book the additional 19.
+    """
+    return (
+        counter.force_interactions * FLOPS_PER_FORCE
+        + counter.jerk_interactions * FLOPS_PER_JERK
+    )
+
+
+def paper_total_flops() -> float:
+    """The paper's total operation count: steps x N x 57 ~= 1.1e18."""
+    from ..constants import PAPER_N_PLANETESIMALS, PAPER_TOTAL_BLOCK_STEPS
+
+    n = PAPER_N_PLANETESIMALS + 2
+    return PAPER_TOTAL_BLOCK_STEPS * n * FLOPS_PER_INTERACTION
+
+
+def tflops(flops_per_s: float) -> float:
+    """Convert flop/s to Tflops for report tables."""
+    return flops_per_s / 1e12

@@ -1,0 +1,100 @@
+"""Measurement harness shared by the benchmark scripts.
+
+:func:`run_scaled_disk` runs the paper's problem at laptop scale with
+any backend and collects everything the benchmark tables need: wall
+time, block statistics, interaction counts, energy drift, and (for the
+GRAPE backend) the modelled hardware timing totals.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import (
+    EnergyTracker,
+    KeplerField,
+    Simulation,
+    TimestepParams,
+)
+from ..planetesimal import PlanetesimalDiskConfig, build_disk_system
+
+__all__ = ["RunResult", "run_scaled_disk"]
+
+
+@dataclass
+class RunResult:
+    """Everything measured from one scaled run."""
+
+    n: int
+    t_end: float
+    wall_seconds: float
+    block_steps: int
+    particle_steps: int
+    mean_block: float
+    median_block: float
+    block_fraction: float
+    energy_error: float
+    interactions: int
+    sim: Simulation = field(repr=False)
+
+    @property
+    def interactions_per_second(self) -> float:
+        return self.interactions / self.wall_seconds if self.wall_seconds else 0.0
+
+
+def run_scaled_disk(
+    backend,
+    n: int = 512,
+    t_end: float = 10.0,
+    seed: int = 0,
+    eta: float = 0.02,
+    dt_max: float = 1.0,
+    e_rms: float = 0.01,
+    protoplanets=None,
+    measure_energy: bool = True,
+    max_block_steps: int | None = None,
+) -> RunResult:
+    """Run the scaled paper disk with ``backend``; return measurements.
+
+    ``backend`` must implement :class:`~repro.core.backends.ForceBackend`
+    and expose an ``eps`` attribute (all provided backends do).
+    """
+    config = PlanetesimalDiskConfig(
+        n_planetesimals=n, seed=seed, e_rms=e_rms, protoplanets=protoplanets
+    )
+    system = build_disk_system(config)
+    sim = Simulation(
+        system,
+        backend,
+        external_field=KeplerField(),
+        timestep_params=TimestepParams(eta=eta, eta_start=eta / 2.0, dt_max=dt_max),
+    )
+    tracker = EnergyTracker(backend.eps, sim.external_field) if measure_energy else None
+
+    wall0 = time.perf_counter()
+    sim.initialize()
+    if tracker is not None:
+        tracker.start(sim.system)
+    sim.evolve(t_end, max_block_steps=max_block_steps)
+    sim.synchronize(min(t_end, float(sim.system.t.max())))
+    wall = time.perf_counter() - wall0
+
+    err = tracker.sample(sim.system) if tracker is not None else float("nan")
+    stats = sim.scheduler.stats
+    n_total = sim.system.n
+    return RunResult(
+        n=n_total,
+        t_end=t_end,
+        wall_seconds=wall,
+        block_steps=sim.block_steps,
+        particle_steps=sim.particle_steps,
+        mean_block=stats.mean_block,
+        median_block=stats.median_block(),
+        block_fraction=stats.mean_block / n_total,
+        energy_error=err,
+        interactions=backend.counter.force_interactions,
+        sim=sim,
+    )

@@ -1,0 +1,163 @@
+"""Paper-scale performance extrapolation.
+
+Python cannot run 1.8 million particles for 1878 time units, but the
+GRAPE-6 timing model is analytic in ``(n_active, n_total)``: what a
+scaled run must supply is only the *block-size statistics* — what
+fraction of the system a typical block contains.  Empirically (and in
+the block-timestep literature) the mean block size grows roughly
+linearly with N for a fixed problem class, so the mean *block
+fraction* measured at small N transfers to the paper's N.
+
+:func:`extrapolate_sustained` applies a measured block fraction to an
+arbitrary machine/problem size; :func:`paper_projection` packages the
+comparison against the paper's reported 29.5 Tflops / 46.5% of peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import (
+    PAPER_ACHIEVED_TFLOPS,
+    PAPER_N_PLANETESIMALS,
+    PAPER_PEAK_TFLOPS,
+    PAPER_TOTAL_BLOCK_STEPS,
+    PAPER_WALL_CLOCK_HOURS,
+)
+from ..errors import ConfigurationError
+from ..grape.timing import Grape6Config, Grape6TimingModel
+from .flops import tflops
+
+__all__ = ["SustainedEstimate", "extrapolate_sustained", "paper_projection"]
+
+
+@dataclass(frozen=True)
+class SustainedEstimate:
+    """Model output for a steady stream of identical blocks."""
+
+    n_total: int
+    mean_block: int
+    step_seconds: float
+    sustained_tflops: float
+    efficiency: float
+    #: per-step component seconds, keyed host/pci/lvds/pipe/gbe
+    breakdown: dict
+
+
+def extrapolate_sustained(
+    config: Grape6Config,
+    n_total: int,
+    mean_block: float,
+    timing_model: Grape6TimingModel | None = None,
+) -> SustainedEstimate:
+    """Sustained speed for blocks of ``mean_block`` out of ``n_total``."""
+    if n_total < 1 or mean_block < 1:
+        raise ConfigurationError("need positive n_total and mean_block")
+    model = timing_model or Grape6TimingModel(config)
+    n_act = int(round(mean_block))
+    step = model.block_step(n_act, n_total)
+    useful = n_act * n_total * 57
+    sustained = useful / step.total
+    return SustainedEstimate(
+        n_total=n_total,
+        mean_block=n_act,
+        step_seconds=step.total,
+        sustained_tflops=tflops(sustained),
+        efficiency=sustained / config.peak_flops,
+        breakdown={
+            "host": step.host,
+            "pci": step.pci,
+            "lvds": step.lvds,
+            "pipe": step.pipe,
+            "gbe": step.gbe,
+        },
+    )
+
+
+def extrapolate_from_histogram(
+    config: Grape6Config,
+    n_total: int,
+    size_counts: dict,
+    n_measured: int,
+    timing_model: Grape6TimingModel | None = None,
+) -> SustainedEstimate:
+    """Sustained speed from a measured block-size *distribution*.
+
+    Small blocks are disproportionately expensive (fixed latencies and
+    pipeline fill dominate), so the sustained speed over a run is a
+    work-weighted harmonic mean, not the speed of the mean block.  This
+    variant scales each observed block size by ``n_total / n_measured``
+    and prices the whole distribution.
+
+    Parameters
+    ----------
+    size_counts:
+        ``{block_size: count}`` from
+        :class:`~repro.core.scheduler.BlockStats`.
+    n_measured:
+        Particle count of the run the histogram came from.
+    """
+    if not size_counts:
+        raise ConfigurationError("empty block-size histogram")
+    model = timing_model or Grape6TimingModel(config)
+    scale = n_total / n_measured
+    total_seconds = 0.0
+    total_interactions = 0.0
+    total_steps = 0.0
+    for size, count in size_counts.items():
+        scaled = max(1, int(round(size * scale)))
+        step = model.block_step(scaled, n_total)
+        total_seconds += count * step.total
+        total_interactions += count * scaled * n_total
+        total_steps += count * scaled
+    sustained = total_interactions * 57 / total_seconds
+    mean_block = total_steps / sum(size_counts.values())
+    # breakdown of the mean block for reporting
+    rep = model.block_step(max(1, int(round(mean_block))), n_total)
+    return SustainedEstimate(
+        n_total=n_total,
+        mean_block=int(round(mean_block)),
+        step_seconds=total_seconds / sum(size_counts.values()),
+        sustained_tflops=tflops(sustained),
+        efficiency=sustained / config.peak_flops,
+        breakdown={
+            "host": rep.host,
+            "pci": rep.pci,
+            "lvds": rep.lvds,
+            "pipe": rep.pipe,
+            "gbe": rep.gbe,
+        },
+    )
+
+
+def paper_projection(block_fraction: float) -> dict:
+    """Project the paper's run from a measured block fraction.
+
+    Parameters
+    ----------
+    block_fraction:
+        ``mean_block / N`` measured on a scaled run of the same problem.
+
+    Returns a dict with the model's sustained Tflops, efficiency and
+    wall-clock for the paper's step count, next to the paper's reported
+    numbers.
+    """
+    if not (0.0 < block_fraction <= 1.0):
+        raise ConfigurationError("block_fraction must be in (0, 1]")
+    config = Grape6Config.paper_full_system()
+    n = PAPER_N_PLANETESIMALS + 2
+    mean_block = max(1, int(round(block_fraction * n)))
+    est = extrapolate_sustained(config, n, mean_block)
+    n_blocks = PAPER_TOTAL_BLOCK_STEPS / mean_block
+    wall_hours = n_blocks * est.step_seconds / 3600.0
+    return {
+        "model_mean_block": mean_block,
+        "model_sustained_tflops": est.sustained_tflops,
+        "model_efficiency": est.efficiency,
+        "model_wall_hours": wall_hours,
+        "model_breakdown": est.breakdown,
+        "paper_sustained_tflops": PAPER_ACHIEVED_TFLOPS,
+        "paper_peak_tflops": PAPER_PEAK_TFLOPS,
+        "paper_efficiency": PAPER_ACHIEVED_TFLOPS / PAPER_PEAK_TFLOPS,
+        "paper_wall_hours": PAPER_WALL_CLOCK_HOURS,
+    }

@@ -1,0 +1,67 @@
+"""Fixed-width table formatting for benchmark output.
+
+Every benchmark prints its results through :class:`Table` so the
+"paper value vs measured value" rows (EXPERIMENTS.md) come out of the
+same code path that the tests exercise.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+__all__ = ["Table", "format_quantity"]
+
+
+def format_quantity(value, precision: int = 4) -> str:
+    """Human formatting: ints as ints, floats in general notation."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+class Table:
+    """Minimal fixed-width table with title and column alignment."""
+
+    def __init__(self, columns: list[str], title: str | None = None) -> None:
+        if not columns:
+            raise ConfigurationError("a table needs columns")
+        self.columns = list(columns)
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ConfigurationError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([format_quantity(v) for v in values])
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines = []
+        if self.title:
+            lines.append(f"== {self.title} ==")
+        lines.append(header)
+        lines.append(sep)
+        for r in self.rows:
+            lines.append(" | ".join(v.rjust(w) for v, w in zip(r, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console I/O
+        print(self.render())
+        print()

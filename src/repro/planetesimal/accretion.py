@@ -1,0 +1,90 @@
+"""Accretion bookkeeping: mass growth and the evolving mass spectrum.
+
+Companion analysis to the collision/merging extension
+(:mod:`repro.core.collisions`): tracks how the planetesimal mass
+spectrum evolves as bodies merge — the "planetary accretion" process
+the paper's Section 2 frames the whole simulation with (runaway /
+oligarchic growth diagnostics in the Kokubo & Ida tradition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["MassSpectrum", "AccretionHistory"]
+
+
+@dataclass(frozen=True)
+class MassSpectrum:
+    """Snapshot statistics of a mass distribution."""
+
+    time: float
+    n_bodies: int
+    total_mass: float
+    max_mass: float
+    mean_mass: float
+    #: max / mean — the runaway-growth indicator (grows without bound
+    #: during runaway accretion, saturates in the oligarchic phase).
+    growth_ratio: float
+
+    @classmethod
+    def measure(cls, time: float, mass: np.ndarray) -> "MassSpectrum":
+        mass = np.asarray(mass, dtype=np.float64)
+        if mass.size == 0:
+            raise ConfigurationError("empty mass array")
+        mean = float(mass.mean())
+        mx = float(mass.max())
+        return cls(
+            time=float(time),
+            n_bodies=int(mass.size),
+            total_mass=float(mass.sum()),
+            max_mass=mx,
+            mean_mass=mean,
+            growth_ratio=mx / mean if mean > 0 else float("inf"),
+        )
+
+
+class AccretionHistory:
+    """Time series of :class:`MassSpectrum` snapshots over a run."""
+
+    def __init__(self) -> None:
+        self.snapshots: list[MassSpectrum] = []
+
+    def sample(self, time: float, mass: np.ndarray) -> MassSpectrum:
+        snap = MassSpectrum.measure(time, mass)
+        self.snapshots.append(snap)
+        return snap
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    @property
+    def initial(self) -> MassSpectrum:
+        if not self.snapshots:
+            raise ConfigurationError("no snapshots recorded")
+        return self.snapshots[0]
+
+    @property
+    def latest(self) -> MassSpectrum:
+        if not self.snapshots:
+            raise ConfigurationError("no snapshots recorded")
+        return self.snapshots[-1]
+
+    def mergers_so_far(self) -> int:
+        """Bodies lost to merging since the first snapshot."""
+        return self.initial.n_bodies - self.latest.n_bodies
+
+    def mass_conserved(self, rtol: float = 1e-12) -> bool:
+        """Perfect merging must conserve total mass exactly."""
+        m0 = self.initial.total_mass
+        return abs(self.latest.total_mass - m0) <= rtol * abs(m0)
+
+    def max_mass_series(self) -> tuple[np.ndarray, np.ndarray]:
+        """(times, max masses) — the largest body's growth track."""
+        t = np.array([s.time for s in self.snapshots])
+        m = np.array([s.max_mass for s in self.snapshots])
+        return t, m

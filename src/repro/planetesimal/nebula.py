@@ -1,0 +1,84 @@
+"""Hayashi (1981) minimum-mass solar nebula model.
+
+The paper normalises its planetesimal disk to the standard solar nebula
+[Ha81]: solid surface density
+
+.. math::
+
+    \\Sigma(r) = \\Sigma_1 \\left(\\frac{r}{1\\,\\mathrm{AU}}\\right)^{-3/2},
+
+with :math:`\\Sigma_1 \\approx 30\\ \\mathrm{g\\,cm^{-2}}` for ices beyond
+the snow line (~2.7 AU).  This module converts that profile to code
+units and integrates it over the ring to give the disk mass the
+initial-condition generator targets.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import AU_IN_M, MSUN_IN_KG
+
+__all__ = ["HayashiNebula", "ring_mass"]
+
+#: Hayashi ice+rock surface density at 1 AU beyond the snow line [g/cm^2].
+_SIGMA1_ICE_CGS = 30.0
+
+
+def _cgs_surface_density_to_code(sigma_cgs: float) -> float:
+    """g/cm^2 -> Msun/AU^2."""
+    kg_per_m2 = sigma_cgs * 10.0  # 1 g/cm^2 = 10 kg/m^2
+    return kg_per_m2 * AU_IN_M**2 / MSUN_IN_KG
+
+
+class HayashiNebula:
+    """Solid-component surface density of the minimum-mass nebula.
+
+    Parameters
+    ----------
+    sigma1_cgs:
+        Surface density of solids at 1 AU in g/cm^2 (default: the icy
+        value 30, appropriate for the 15–35 AU region).
+    exponent:
+        Power-law slope (default -1.5, both Hayashi's and the paper's).
+    enhancement:
+        Multiplicative factor over minimum-mass (1 = MMSN).
+    """
+
+    def __init__(
+        self,
+        sigma1_cgs: float = _SIGMA1_ICE_CGS,
+        exponent: float = -1.5,
+        enhancement: float = 1.0,
+    ) -> None:
+        if sigma1_cgs <= 0 or enhancement <= 0:
+            raise ConfigurationError("surface density must be positive")
+        self.sigma1 = _cgs_surface_density_to_code(sigma1_cgs) * enhancement
+        self.exponent = float(exponent)
+
+    def surface_density(self, r: np.ndarray) -> np.ndarray:
+        """Sigma(r) in Msun/AU^2 at heliocentric distance ``r`` [AU]."""
+        r = np.asarray(r, dtype=np.float64)
+        return self.sigma1 * r**self.exponent
+
+    def ring_mass(self, r_in: float, r_out: float) -> float:
+        """Total solid mass between ``r_in`` and ``r_out`` [Msun]."""
+        return ring_mass(self.sigma1, self.exponent, r_in, r_out)
+
+
+def ring_mass(sigma1: float, exponent: float, r_in: float, r_out: float) -> float:
+    """Integrate ``2*pi*r*Sigma_1*r**exponent`` from ``r_in`` to ``r_out``.
+
+    All lengths in AU, result in Msun (when ``sigma1`` is Msun/AU^2).
+    """
+    if not (0.0 < r_in < r_out):
+        raise ConfigurationError("need 0 < r_in < r_out")
+    p = exponent + 1.0
+    if math.isclose(p, -1.0):
+        integral = math.log(r_out / r_in)
+    else:
+        integral = (r_out ** (p + 1) - r_in ** (p + 1)) / (p + 1)
+    return 2.0 * math.pi * sigma1 * integral

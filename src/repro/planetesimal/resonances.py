@@ -1,0 +1,120 @@
+"""Mean-motion resonances with the protoplanets.
+
+The structure a massive protoplanet imprints on a planetesimal disk is
+organised by mean-motion resonances (MMRs): locations where the orbital
+periods form small-integer ratios.  The paper's Figure 13 gaps sit in
+the feeding zone, but their edges and the exterior structure follow the
+resonance ladder — this module locates it:
+
+* :func:`resonance_semi_major_axis` — where the p:q MMR of a perturber
+  at ``a_p`` sits (Kepler's third law: ``a = a_p (q/p)^(2/3)``);
+* :func:`resonance_ladder` — all first- and second-order MMRs up to a
+  given index, inside and outside the perturber;
+* :func:`classify_resonant` — flag particles within a width of any
+  ladder rung.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "Resonance",
+    "resonance_semi_major_axis",
+    "resonance_ladder",
+    "classify_resonant",
+]
+
+
+@dataclass(frozen=True)
+class Resonance:
+    """One mean-motion commensurability ``p:q`` of a perturber."""
+
+    p: int  #: planetesimal completes q orbits while perturber does ... see name
+    q: int
+    a: float  #: semi-major axis of the resonance [AU]
+
+    @property
+    def name(self) -> str:
+        return f"{self.p}:{self.q}"
+
+    @property
+    def order(self) -> int:
+        return abs(self.p - self.q)
+
+    @property
+    def interior(self) -> bool:
+        """True when the resonance lies inside the perturber's orbit."""
+        return self.p > self.q
+
+
+def resonance_semi_major_axis(p: int, q: int, a_perturber: float) -> float:
+    """Location of the p:q resonance of a perturber at ``a_perturber``.
+
+    Convention: a planetesimal in the p:q MMR completes ``p`` orbits
+    while the perturber completes ``q`` (so p > q is interior, e.g. the
+    2:1 interior resonance of a 30 AU perturber sits at 18.9 AU).
+    """
+    if p < 1 or q < 1:
+        raise ConfigurationError("resonance integers must be positive")
+    if p == q:
+        raise ConfigurationError("p and q must differ (co-orbital is not an MMR)")
+    if a_perturber <= 0:
+        raise ConfigurationError("perturber semi-major axis must be positive")
+    return a_perturber * (q / p) ** (2.0 / 3.0)
+
+
+def resonance_ladder(
+    a_perturber: float, max_index: int = 4, max_order: int = 2
+) -> list[Resonance]:
+    """First/second-order MMRs of one perturber, sorted by location.
+
+    Includes ``(j+k):j`` interior and ``j:(j+k)`` exterior resonances
+    for ``j <= max_index`` and ``k <= max_order``, deduplicated (4:2
+    reduces to 2:1).
+    """
+    if max_index < 1 or max_order < 1:
+        raise ConfigurationError("max_index and max_order must be >= 1")
+    seen = set()
+    rungs = []
+    for j in range(1, max_index + 1):
+        for k in range(1, max_order + 1):
+            for p, q in ((j + k, j), (j, j + k)):
+                frac = Fraction(p, q)
+                if frac in seen:
+                    continue
+                seen.add(frac)
+                rungs.append(
+                    Resonance(p=p, q=q, a=resonance_semi_major_axis(p, q, a_perturber))
+                )
+    return sorted(rungs, key=lambda r: r.a)
+
+
+def classify_resonant(
+    a: np.ndarray,
+    ladder: list[Resonance],
+    width: float = 0.2,
+) -> np.ndarray:
+    """Index of the ladder rung each particle sits in (-1 if none).
+
+    ``width`` is the half-width of each resonance band [AU] (a
+    placeholder for the true libration width, which grows with
+    perturber mass and eccentricity).
+    """
+    if width <= 0:
+        raise ConfigurationError("width must be positive")
+    a = np.asarray(a, dtype=np.float64)
+    out = np.full(a.shape, -1, dtype=np.int64)
+    locations = np.array([r.a for r in ladder])
+    if locations.size == 0:
+        return out
+    dist = np.abs(a[:, None] - locations[None, :])
+    best = np.argmin(dist, axis=1)
+    hit = dist[np.arange(a.size), best] <= width
+    out[hit] = best[hit]
+    return out

@@ -1,0 +1,107 @@
+"""Scattering statistics: the Oort-cloud / ejection bookkeeping.
+
+Section 2 of the paper: "In the formation process of Neptune, some
+planetesimals are accreted and others are scattered away from the solar
+system by Neptune.  This scattering efficiency is an important key..."
+
+This module classifies planetesimals by orbital fate and accumulates
+counts over a run:
+
+* ``bound_disk``   — still on a low-eccentricity orbit inside the ring;
+* ``excited``      — bound but strongly stirred (e above a threshold);
+* ``oort_candidate`` — bound but with aphelion beyond a distance cut
+  (the classical Oort-cloud injection channel: scattered outward but
+  not unbound);
+* ``ejected``      — hyperbolic (e >= 1 or a < 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .orbital import cartesian_to_elements
+
+__all__ = ["FateCounts", "classify_fates", "ScatteringMonitor"]
+
+
+@dataclass(frozen=True)
+class FateCounts:
+    """Counts of planetesimals per dynamical fate at one instant."""
+
+    bound_disk: int
+    excited: int
+    oort_candidate: int
+    ejected: int
+
+    @property
+    def total(self) -> int:
+        return self.bound_disk + self.excited + self.oort_candidate + self.ejected
+
+    def fractions(self) -> dict:
+        """Fate fractions (empty dict for an empty census)."""
+        if self.total == 0:
+            return {}
+        return {
+            "bound_disk": self.bound_disk / self.total,
+            "excited": self.excited / self.total,
+            "oort_candidate": self.oort_candidate / self.total,
+            "ejected": self.ejected / self.total,
+        }
+
+
+def classify_fates(
+    pos: np.ndarray,
+    vel: np.ndarray,
+    mu: float = 1.0,
+    e_excited: float = 0.2,
+    aphelion_cut: float = 100.0,
+) -> FateCounts:
+    """Classify each particle's instantaneous orbital fate.
+
+    Parameters
+    ----------
+    e_excited:
+        Eccentricity above which a bound orbit counts as "excited".
+    aphelion_cut:
+        Aphelion distance [AU] beyond which a bound orbit is an
+        Oort-cloud candidate.
+    """
+    el = cartesian_to_elements(pos, vel, mu=mu)
+    hyperbolic = (el.e >= 1.0) | (el.a <= 0.0)
+    aphelion = np.where(hyperbolic, np.inf, el.a * (1.0 + el.e))
+    oort = ~hyperbolic & (aphelion > aphelion_cut)
+    excited = ~hyperbolic & ~oort & (el.e > e_excited)
+    disk = ~hyperbolic & ~oort & ~excited
+    return FateCounts(
+        bound_disk=int(disk.sum()),
+        excited=int(excited.sum()),
+        oort_candidate=int(oort.sum()),
+        ejected=int(hyperbolic.sum()),
+    )
+
+
+class ScatteringMonitor:
+    """Samples fate counts over a run and keeps the time series."""
+
+    def __init__(self, mu: float = 1.0, e_excited: float = 0.2, aphelion_cut: float = 100.0):
+        self.mu = mu
+        self.e_excited = e_excited
+        self.aphelion_cut = aphelion_cut
+        self.times: list[float] = []
+        self.series: list[FateCounts] = []
+
+    def sample(self, time: float, pos: np.ndarray, vel: np.ndarray) -> FateCounts:
+        """Classify now and append to the series; returns the counts."""
+        counts = classify_fates(
+            pos, vel, mu=self.mu, e_excited=self.e_excited, aphelion_cut=self.aphelion_cut
+        )
+        self.times.append(float(time))
+        self.series.append(counts)
+        return counts
+
+    def latest(self) -> FateCounts:
+        if not self.series:
+            raise RuntimeError("no samples recorded")
+        return self.series[-1]

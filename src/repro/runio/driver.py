@@ -1,0 +1,179 @@
+"""The production-run driver: everything a long run needs, assembled.
+
+``Simulation.evolve`` is the inner loop; a *production* run (the
+paper's was 10.3 hours) additionally wants scheduled snapshots, a run
+log, periodic energy accounting, escaper pruning, and a final report.
+:class:`ProductionRun` packages that workflow:
+
+    run = ProductionRun(
+        sim,
+        directory="runs/disk-n2000",
+        snapshot_interval=100.0,
+        diagnostics_interval=20.0,
+        prune_escapers_beyond=200.0,
+    )
+    report = run.execute(t_end=1000.0)
+    print(report.summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.diagnostics import EnergyTracker
+from ..errors import ConfigurationError
+from .runlog import RunLogger
+from .schedule import OutputManager, SnapshotSchedule
+
+__all__ = ["RunReport", "ProductionRun"]
+
+
+@dataclass
+class RunReport:
+    """Final accounting of one production run."""
+
+    t_final: float
+    block_steps: int
+    particle_steps: int
+    n_final: int
+    mergers: int
+    escapers_removed: int
+    snapshots_written: int
+    max_energy_error: float
+    #: GRAPE timing totals when the backend exposes them (else None)
+    grape_totals: dict | None = None
+
+    def summary(self) -> str:
+        lines = [
+            f"production run complete at T = {self.t_final:g}",
+            f"  blocks {self.block_steps:,}, particle steps {self.particle_steps:,}",
+            f"  particles remaining {self.n_final} "
+            f"(mergers {self.mergers}, escapers removed {self.escapers_removed})",
+            f"  snapshots {self.snapshots_written}, "
+            f"max |dE/E| {self.max_energy_error:.2e}",
+        ]
+        if self.grape_totals:
+            lines.append(
+                f"  GRAPE model: {self.grape_totals['total_s']:.3f} s, "
+                f"{self.grape_totals['achieved_flops'] / 1e12:.2f} Tflops"
+            )
+        return "\n".join(lines)
+
+
+class ProductionRun:
+    """Managed execution of a :class:`~repro.core.integrator.Simulation`.
+
+    Parameters
+    ----------
+    sim:
+        An initialised (or initialisable) simulation.
+    directory:
+        Run directory for snapshots and the JSONL log.
+    snapshot_interval:
+        Simulation-time cadence of snapshots (None disables them).
+    diagnostics_interval:
+        Cadence of energy sampling + log records (None disables).
+    prune_escapers_beyond:
+        Remove hyperbolic particles outside this radius at diagnostics
+        cadence (None disables pruning).
+    run_id:
+        Label written to the log header.
+    """
+
+    def __init__(
+        self,
+        sim,
+        directory,
+        snapshot_interval: float | None = None,
+        diagnostics_interval: float | None = None,
+        prune_escapers_beyond: float | None = None,
+        run_id: str = "run",
+    ) -> None:
+        if snapshot_interval is not None and snapshot_interval <= 0:
+            raise ConfigurationError("snapshot_interval must be positive")
+        if diagnostics_interval is not None and diagnostics_interval <= 0:
+            raise ConfigurationError("diagnostics_interval must be positive")
+        self.sim = sim
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.run_id = run_id
+        self.snapshot_interval = snapshot_interval
+        self.diagnostics_interval = diagnostics_interval
+        self.prune_escapers_beyond = prune_escapers_beyond
+        self.escapers_removed = 0
+
+    def _grape_totals(self) -> dict | None:
+        machine = getattr(self.sim.backend, "machine", None)
+        totals = getattr(machine, "totals", None)
+        return totals.to_dict() if totals is not None else None
+
+    def execute(self, t_end: float) -> RunReport:
+        """Run to ``t_end`` with the configured management; blocking."""
+        sim = self.sim
+        if not sim._initialized:
+            sim.initialize()
+
+        tracker = EnergyTracker(sim.backend.eps, sim.external_field)
+        tracker.start(sim.system)
+
+        output = None
+        if self.snapshot_interval is not None:
+            output = OutputManager(
+                self.directory,
+                SnapshotSchedule(self.snapshot_interval, t_start=sim.time),
+            )
+        next_diag = (
+            sim.time + self.diagnostics_interval
+            if self.diagnostics_interval is not None
+            else None
+        )
+
+        with RunLogger(
+            self.directory / "run.jsonl",
+            run_id=self.run_id,
+            metadata={"n": sim.system.n, "t_end": t_end},
+        ) as log:
+
+            def per_block(s):
+                nonlocal next_diag
+                if output is not None:
+                    path = output.maybe_write(s, {"run_id": self.run_id})
+                    if path is not None:
+                        log.event("snapshot", file=path.name, t=s.time)
+                if next_diag is not None and s.time >= next_diag:
+                    snap = s.predicted_state()
+                    from ..core.diagnostics import energy
+
+                    e = energy(snap, s.backend.eps, s.external_field).total
+                    err = abs(e - tracker.reference_energy) / abs(
+                        tracker.reference_energy
+                    )
+                    tracker.samples.append((float(s.time), err))
+                    log.record(s, energy_error=err)
+                    if self.prune_escapers_beyond is not None:
+                        removed = s.remove_escapers(
+                            r_min=self.prune_escapers_beyond
+                        )
+                        if removed:
+                            self.escapers_removed += removed
+                            log.event("prune", removed=removed, t=s.time)
+                    while next_diag <= s.time:
+                        next_diag += self.diagnostics_interval
+
+            sim.evolve(t_end, callback=per_block)
+            sim.synchronize(min(t_end, float(sim.system.t.max())))
+            final_err = tracker.sample(sim.system)
+            log.record(sim, energy_error=final_err, note="final")
+
+        return RunReport(
+            t_final=float(sim.time),
+            block_steps=sim.block_steps,
+            particle_steps=sim.particle_steps,
+            n_final=sim.system.n,
+            mergers=getattr(sim, "mergers", 0),
+            escapers_removed=self.escapers_removed,
+            snapshots_written=output.n_snapshots if output is not None else 0,
+            max_energy_error=tracker.max_error,
+            grape_totals=self._grape_totals(),
+        )

@@ -1,0 +1,95 @@
+"""JSONL run logging for long simulations.
+
+One JSON object per line — append-only, crash-safe (a truncated final
+line is tolerated by the reader), trivially greppable.  Records
+whatever the caller samples, always stamped with simulation time and
+cumulative step counts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import SnapshotError
+
+__all__ = ["RunLogger", "read_run_log"]
+
+
+class RunLogger:
+    """Appends diagnostic records to a JSONL file.
+
+    Use as a context manager or call :meth:`close` explicitly::
+
+        with RunLogger(path, run_id="disk-n500") as log:
+            log.record(sim, energy_error=1e-9)
+    """
+
+    def __init__(self, path, run_id: str = "", metadata: dict | None = None) -> None:
+        self.path = Path(path)
+        self.run_id = run_id
+        self._fh = open(self.path, "a")
+        self.records_written = 0
+        header = {"kind": "header", "run_id": run_id, **(metadata or {})}
+        self._write(header)
+
+    def _write(self, obj: dict) -> None:
+        try:
+            self._fh.write(json.dumps(obj) + "\n")
+        except TypeError as exc:
+            raise SnapshotError(f"non-serialisable log record: {exc}") from exc
+        self._fh.flush()
+
+    def record(self, sim, **extra) -> None:
+        """Log one diagnostic sample of a Simulation."""
+        stats = sim.scheduler.stats
+        obj = {
+            "kind": "sample",
+            "t": float(sim.time),
+            "n": int(sim.system.n),
+            "block_steps": int(sim.block_steps),
+            "particle_steps": int(sim.particle_steps),
+            "mean_block": float(stats.mean_block),
+            "mergers": int(getattr(sim, "mergers", 0)),
+        }
+        obj.update(extra)
+        self._write(obj)
+        self.records_written += 1
+
+    def event(self, kind: str, **payload) -> None:
+        """Log a free-form event record."""
+        self._write({"kind": kind, **payload})
+        self.records_written += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "RunLogger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_run_log(path) -> list[dict]:
+    """Read every intact record of a JSONL run log.
+
+    A truncated final line (crash mid-write) is skipped silently; any
+    other malformed line raises :class:`SnapshotError`.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise SnapshotError(f"run log not found: {path}")
+    records = []
+    lines = path.read_text().splitlines()
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # torn tail record: tolerate
+            raise SnapshotError(f"corrupt run log line {i + 1} in {path}")
+    return records

@@ -1,0 +1,136 @@
+"""System of units used throughout the reproduction.
+
+The paper (Section 2) works in *heliocentric gravitational units*:
+
+* length unit  = 1 astronomical unit (AU)
+* mass unit    = 1 solar mass (Msun)
+* G            = 1
+
+In these units one year is ``2*pi`` time units, and a circular orbit at
+``r`` AU has period ``2*pi*r**1.5`` (Kepler's third law with M_sun = 1).
+
+This module provides conversion helpers and a couple of derived quantities
+(orbital period, circular velocity, Hill radius) that the initial-condition
+generators and analysis code share.  Everything is pure NumPy and accepts
+scalars or arrays.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "TWO_PI",
+    "YEAR",
+    "AU_IN_M",
+    "MSUN_IN_KG",
+    "G_SI",
+    "years_to_code",
+    "code_to_years",
+    "au_to_m",
+    "m_to_au",
+    "msun_to_kg",
+    "kg_to_msun",
+    "velocity_code_to_si",
+    "orbital_period",
+    "circular_velocity",
+    "keplerian_omega",
+    "hill_radius",
+    "escape_velocity",
+]
+
+TWO_PI = 2.0 * math.pi
+
+#: One Julian year expressed in code time units (G = Msun = AU = 1).
+YEAR = TWO_PI
+
+#: One astronomical unit in metres (IAU 2012 definition).
+AU_IN_M = 1.495978707e11
+
+#: One solar mass in kilograms.
+MSUN_IN_KG = 1.98892e30
+
+#: Newton's constant in SI units.
+G_SI = 6.674e-11
+
+
+def years_to_code(t_years):
+    """Convert a time in Julian years to code units (1 yr = 2*pi)."""
+    return np.asarray(t_years, dtype=float) * TWO_PI
+
+
+def code_to_years(t_code):
+    """Convert a time in code units to Julian years."""
+    return np.asarray(t_code, dtype=float) / TWO_PI
+
+
+def au_to_m(x_au):
+    """Convert a length in AU to metres."""
+    return np.asarray(x_au, dtype=float) * AU_IN_M
+
+
+def m_to_au(x_m):
+    """Convert a length in metres to AU."""
+    return np.asarray(x_m, dtype=float) / AU_IN_M
+
+
+def msun_to_kg(m):
+    """Convert a mass in solar masses to kilograms."""
+    return np.asarray(m, dtype=float) * MSUN_IN_KG
+
+
+def kg_to_msun(m):
+    """Convert a mass in kilograms to solar masses."""
+    return np.asarray(m, dtype=float) / MSUN_IN_KG
+
+
+def velocity_code_to_si(v_code):
+    """Convert a velocity in code units to metres per second.
+
+    The code velocity unit is AU per (yr / 2*pi); the Earth's circular
+    velocity at 1 AU is exactly 1 code unit = 29.78 km/s.
+    """
+    year_seconds = 365.25 * 86400.0
+    return np.asarray(v_code, dtype=float) * AU_IN_M / (year_seconds / TWO_PI)
+
+
+def orbital_period(a, m_central=1.0):
+    """Orbital period of a circular orbit with semi-major axis ``a`` (AU).
+
+    In code units ``P = 2*pi*sqrt(a**3 / m_central)``; with
+    ``m_central = 1`` and ``a = 1`` this is one year (``2*pi`` code units).
+    """
+    a = np.asarray(a, dtype=float)
+    return TWO_PI * np.sqrt(a**3 / m_central)
+
+
+def circular_velocity(a, m_central=1.0):
+    """Circular orbital velocity at radius ``a`` around mass ``m_central``."""
+    a = np.asarray(a, dtype=float)
+    return np.sqrt(m_central / a)
+
+
+def keplerian_omega(a, m_central=1.0):
+    """Keplerian angular frequency at radius ``a``."""
+    a = np.asarray(a, dtype=float)
+    return np.sqrt(m_central / a**3)
+
+
+def hill_radius(a, m, m_central=1.0):
+    """Hill radius of a body of mass ``m`` orbiting at ``a``.
+
+    ``r_H = a * (m / (3 m_central))**(1/3)``.  The paper notes its
+    softening (0.008 AU) is two orders of magnitude below the protoplanet
+    Hill radius, which this helper lets tests verify.
+    """
+    a = np.asarray(a, dtype=float)
+    m = np.asarray(m, dtype=float)
+    return a * np.cbrt(m / (3.0 * m_central))
+
+
+def escape_velocity(r, m_central=1.0):
+    """Escape velocity from radius ``r`` around mass ``m_central``."""
+    r = np.asarray(r, dtype=float)
+    return np.sqrt(2.0 * m_central / r)

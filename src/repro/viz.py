@@ -1,0 +1,94 @@
+"""Terminal-friendly visualisation helpers (ASCII figures).
+
+The paper's Figure 13 is a pair of (x, y) scatter plots of the
+planetesimal disk.  This module renders the same views as character
+rasters so the examples can "show the figure" without any plotting
+dependency:
+
+* :func:`scatter_map` — 2-D density raster of particle positions;
+* :func:`bar_series` — horizontal bar chart for radial histograms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+__all__ = ["scatter_map", "bar_series"]
+
+#: Density ramp from empty to crowded.
+_RAMP = " .:+*#@"
+
+
+def scatter_map(
+    x: np.ndarray,
+    y: np.ndarray,
+    extent: float,
+    size: int = 41,
+    markers: list | None = None,
+) -> str:
+    """Render points as a ``size x size`` character density map.
+
+    Parameters
+    ----------
+    x, y:
+        Point coordinates.
+    extent:
+        Half-width of the square window, centred on the origin.
+    size:
+        Raster resolution (odd keeps the Sun on a cell centre).
+    markers:
+        Optional ``(x, y, char)`` triples drawn on top (protoplanets).
+    """
+    if extent <= 0:
+        raise ConfigurationError("extent must be positive")
+    if size < 3:
+        raise ConfigurationError("size must be at least 3")
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+
+    edges = np.linspace(-extent, extent, size + 1)
+    grid, _, _ = np.histogram2d(y, x, bins=[edges, edges])
+    peak = grid.max()
+    raster = np.full((size, size), " ", dtype="<U1")
+    if peak > 0:
+        level = np.ceil(grid / peak * (len(_RAMP) - 1)).astype(int)
+        for i in range(size):
+            for j in range(size):
+                raster[i, j] = _RAMP[level[i, j]]
+
+    def to_cell(px: float, py: float):
+        cx = int((px + extent) / (2 * extent) * size)
+        cy = int((py + extent) / (2 * extent) * size)
+        return cy, cx
+
+    cy, cx = to_cell(0.0, 0.0)
+    if 0 <= cy < size and 0 <= cx < size:
+        raster[cy, cx] = "O"  # the Sun
+    for px, py, char in markers or []:
+        cy, cx = to_cell(px, py)
+        if 0 <= cy < size and 0 <= cx < size:
+            raster[cy, cx] = char
+
+    # y axis printed top-down
+    lines = ["".join(row) for row in raster[::-1]]
+    border = "+" + "-" * size + "+"
+    body = "\n".join("|" + line + "|" for line in lines)
+    return f"{border}\n{body}\n{border}"
+
+
+def bar_series(labels, values, width: int = 50) -> str:
+    """Horizontal bar chart; one row per (label, value)."""
+    values = list(values)
+    labels = [str(l) for l in labels]
+    if len(labels) != len(values):
+        raise ConfigurationError("labels and values must match")
+    if not values:
+        return ""
+    peak = max(max(values), 1e-300)
+    rows = []
+    for label, v in zip(labels, values):
+        bar = "#" * int(round(width * v / peak))
+        rows.append(f"  {label:>10} |{bar:<{width}}| {v:g}")
+    return "\n".join(rows)

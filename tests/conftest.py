@@ -1,0 +1,74 @@
+"""Shared fixtures and factories for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HostDirectBackend,
+    KeplerField,
+    ParticleSystem,
+    Simulation,
+    TimestepParams,
+)
+
+
+def make_two_body(m1: float = 1.0, m2: float = 1e-3, a: float = 1.0, e: float = 0.0):
+    """A bound two-body system in its centre-of-mass frame.
+
+    Returns a :class:`ParticleSystem` with the pair at apocentre
+    separation ``a * (1 + e)`` and the corresponding two-body velocity.
+    """
+    mtot = m1 + m2
+    r = a * (1.0 + e)
+    # Relative speed at apocentre from the vis-viva equation.
+    v_rel = np.sqrt(mtot * (2.0 / r - 1.0 / a))
+    pos = np.array([[-m2 / mtot * r, 0.0, 0.0], [m1 / mtot * r, 0.0, 0.0]])
+    vel = np.array([[0.0, -m2 / mtot * v_rel, 0.0], [0.0, m1 / mtot * v_rel, 0.0]])
+    return ParticleSystem(np.array([m1, m2]), pos, vel)
+
+
+def make_random_cluster(n: int, seed: int = 0, scale: float = 1.0):
+    """A Plummer-ish random particle blob for force-kernel tests."""
+    rng = np.random.default_rng(seed)
+    pos = rng.normal(scale=scale, size=(n, 3))
+    vel = rng.normal(scale=0.1, size=(n, 3))
+    mass = rng.uniform(0.5, 1.5, size=n) / n
+    return ParticleSystem(mass, pos, vel)
+
+
+def make_disk_sim(
+    n: int = 64,
+    seed: int = 1,
+    eps: float = 0.008,
+    eta: float = 0.02,
+    dt_max: float = 1.0,
+) -> Simulation:
+    """Small paper-style planetesimal simulation, initialised."""
+    from repro.planetesimal import PlanetesimalDiskConfig, build_disk_system
+
+    system = build_disk_system(PlanetesimalDiskConfig(n_planetesimals=n, seed=seed))
+    sim = Simulation(
+        system,
+        HostDirectBackend(eps=eps),
+        external_field=KeplerField(),
+        timestep_params=TimestepParams(eta=eta, dt_max=dt_max),
+    )
+    sim.initialize()
+    return sim
+
+
+@pytest.fixture
+def two_body():
+    return make_two_body()
+
+
+@pytest.fixture
+def small_cluster():
+    return make_random_cluster(32, seed=42)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,135 @@
+"""Tests for disk analysis: profiles, gaps, velocity state."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.planetesimal import (
+    PlanetesimalDiskConfig,
+    build_disk_system,
+    measure_gap,
+    rms_eccentricity_inclination,
+    surface_density_profile,
+    velocity_dispersion,
+)
+
+
+def ring_positions(n, r0, rng, width=0.0):
+    theta = rng.uniform(0, 2 * np.pi, n)
+    r = r0 + width * rng.standard_normal(n)
+    return np.stack([r * np.cos(theta), r * np.sin(theta), np.zeros(n)], axis=-1)
+
+
+class TestSurfaceDensity:
+    def test_uniform_ring_density(self, rng):
+        """All mass in one annulus: density = mass / annulus area."""
+        n = 2000
+        pos = ring_positions(n, 25.3, rng)  # off bin edges (roundoff-safe)
+        mass = np.full(n, 1e-9)
+        prof = surface_density_profile(pos, mass, 20.0, 30.0, nbins=10)
+        area = np.pi * (26.0**2 - 25.0**2)
+        assert prof.sigma_at(25.3) == pytest.approx(n * 1e-9 / area)
+        assert prof.counts.sum() == n
+
+    def test_profile_recovers_powerlaw_slope(self):
+        """A sampled r^-1.5 disk must profile as r^-1.5."""
+        c = PlanetesimalDiskConfig(n_planetesimals=30_000, seed=8, protoplanets=[])
+        s = build_disk_system(c)
+        prof = surface_density_profile(s.pos, s.mass, 17.0, 33.0, nbins=8)
+        # least-squares slope in log space
+        slope = np.polyfit(np.log(prof.r_centers), np.log(prof.sigma), 1)[0]
+        assert slope == pytest.approx(-1.5, abs=0.25)
+
+    def test_sigma_at(self, rng):
+        pos = ring_positions(100, 25.0, rng)
+        prof = surface_density_profile(pos, np.ones(100), 20.0, 30.0, nbins=5)
+        assert prof.sigma_at(25.0) > 0
+        with pytest.raises(ConfigurationError):
+            prof.sigma_at(50.0)
+
+    def test_rejects_bad_bins(self, rng):
+        pos = ring_positions(10, 25.0, rng)
+        with pytest.raises(ConfigurationError):
+            surface_density_profile(pos, np.ones(10), 20.0, 30.0, nbins=0)
+
+
+class TestGap:
+    def make_disk_with_gap(self, rng, depth):
+        """Uniform-density disk from 15-35 AU with a carved gap at 25 AU."""
+        n = 40_000
+        # p(r) ∝ r gives uniform surface density
+        r = np.sqrt(rng.uniform(15.0**2, 35.0**2, n))
+        keep = ~((np.abs(r - 25.0) < 1.0) & (rng.random(n) < depth))
+        r = r[keep]
+        theta = rng.uniform(0, 2 * np.pi, r.size)
+        pos = np.stack([r * np.cos(theta), r * np.sin(theta), np.zeros(r.size)], axis=-1)
+        return pos, np.full(r.size, 1e-9)
+
+    def test_no_gap_measures_zero(self, rng):
+        pos, mass = self.make_disk_with_gap(rng, depth=0.0)
+        prof = surface_density_profile(pos, mass, 16.0, 34.0, nbins=36)
+        g = measure_gap(prof, 25.0, gap_half_width=1.0)
+        assert abs(g.depth) < 0.1
+
+    def test_full_gap_measures_deep(self, rng):
+        pos, mass = self.make_disk_with_gap(rng, depth=0.9)
+        prof = surface_density_profile(pos, mass, 16.0, 34.0, nbins=36)
+        g = measure_gap(prof, 25.0, gap_half_width=1.0)
+        assert g.depth > 0.6
+
+    def test_depth_monotone_in_carving(self, rng):
+        depths = []
+        for carve in (0.0, 0.5, 0.95):
+            pos, mass = self.make_disk_with_gap(rng, depth=carve)
+            prof = surface_density_profile(pos, mass, 16.0, 34.0, nbins=36)
+            depths.append(measure_gap(prof, 25.0, gap_half_width=1.0).depth)
+        assert depths[0] < depths[1] < depths[2]
+
+    def test_too_coarse_profile_raises(self, rng):
+        pos, mass = self.make_disk_with_gap(rng, depth=0.0)
+        prof = surface_density_profile(pos, mass, 16.0, 34.0, nbins=2)
+        with pytest.raises(ConfigurationError):
+            measure_gap(prof, 25.0, gap_half_width=0.5)
+
+    def test_zero_reference_density_gives_zero_depth(self):
+        from repro.planetesimal.analysis import GapMeasurement
+
+        g = GapMeasurement(radius_au=25.0, sigma_gap=0.0, sigma_ref=0.0)
+        assert g.depth == 0.0
+
+
+class TestVelocityState:
+    def test_rms_ei_of_generated_disk(self):
+        c = PlanetesimalDiskConfig(
+            n_planetesimals=10_000, seed=9, e_rms=0.02, protoplanets=[]
+        )
+        s = build_disk_system(c)
+        e_rms, i_rms = rms_eccentricity_inclination(s.pos, s.vel)
+        assert e_rms == pytest.approx(0.02, rel=0.1)
+        assert i_rms == pytest.approx(0.01, rel=0.1)
+
+    def test_all_unbound_returns_nan(self):
+        pos = np.array([[10.0, 0, 0]])
+        vel = np.array([[2.0, 0, 0]])  # radially escaping
+        e_rms, i_rms = rms_eccentricity_inclination(pos, vel)
+        assert np.isnan(e_rms) and np.isnan(i_rms)
+
+    def test_velocity_dispersion_cold_disk_is_zero(self, rng):
+        """Perfectly circular planar orbits have zero dispersion."""
+        n = 500
+        r = rng.uniform(15, 35, n)
+        theta = rng.uniform(0, 2 * np.pi, n)
+        pos = np.stack([r * np.cos(theta), r * np.sin(theta), np.zeros(n)], axis=-1)
+        v = 1.0 / np.sqrt(r)
+        vel = np.stack([-v * np.sin(theta), v * np.cos(theta), np.zeros(n)], axis=-1)
+        assert velocity_dispersion(pos, vel) == pytest.approx(0.0, abs=1e-12)
+
+    def test_velocity_dispersion_grows_with_e(self):
+        disp = []
+        for e_rms in (0.005, 0.02, 0.08):
+            c = PlanetesimalDiskConfig(
+                n_planetesimals=3000, seed=10, e_rms=e_rms, protoplanets=[]
+            )
+            s = build_disk_system(c)
+            disp.append(velocity_dispersion(s.pos, s.vel))
+        assert disp[0] < disp[1] < disp[2]

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.n == 256
+        assert args.backend == "host"
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--backend", "warp"])
+
+
+class TestInfo:
+    def test_info_prints_paper_numbers(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "1,799,998" in out
+        assert "29.5" in out
+        assert "63.4" in out
+        assert "2048 chips" in out
+
+
+class TestPerf:
+    def test_perf_full_system(self, capsys):
+        assert main(["perf", "--block", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "2048 chips" in out
+        assert "sustained:" in out
+        assert "pipe" in out
+
+    def test_perf_single_board(self, capsys):
+        assert main(["perf", "--config", "board", "--n", "10000", "--block", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "32 chips" in out
+
+
+class TestSelfTest:
+    def test_selftest_board(self, capsys):
+        assert main(["selftest", "--config", "board"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "32/32" in out
+
+    def test_selftest_precision(self, capsys):
+        assert main(["selftest", "--config", "board", "--precision"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_missing_dir(self, capsys, tmp_path):
+        assert main(["report", "--results-dir", str(tmp_path / "none")]) == 1
+
+    def test_report_prints_tables(self, capsys, tmp_path):
+        d = tmp_path / "results"
+        d.mkdir()
+        (d / "a.txt").write_text("== T ==\nrow\n")
+        assert main(["report", "--results-dir", str(d)]) == 0
+        assert "== T ==" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_host(self, capsys):
+        assert main(["run", "--n", "32", "--t-end", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "particles:        34" in out
+        assert "energy error:" in out
+
+    def test_run_grape(self, capsys):
+        assert main(["run", "--n", "32", "--t-end", "2", "--backend", "grape"]) == 0
+        out = capsys.readouterr().out
+        assert "GRAPE model:" in out
+        assert "Tflops" in out
+
+    def test_run_tree(self, capsys):
+        assert main(["run", "--n", "32", "--t-end", "1", "--backend", "tree"]) == 0
+        out = capsys.readouterr().out
+        assert "block steps:" in out

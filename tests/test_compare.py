@@ -1,0 +1,77 @@
+"""Tests for system comparison utilities."""
+
+import numpy as np
+import pytest
+
+from repro.compare import compare_systems
+from repro.errors import ConfigurationError
+
+from conftest import make_disk_sim
+
+
+class TestCompareSystems:
+    def test_identical(self):
+        sim = make_disk_sim(n=16, seed=4)
+        c = compare_systems(sim.system, sim.system.copy())
+        assert c.identical_sets
+        assert c.max_pos_diff == 0.0
+        assert c.rms_da == 0.0
+        assert c.close()
+        assert "16" in c.summary() or "18" in c.summary()
+
+    def test_reordered_match_by_key(self):
+        sim = make_disk_sim(n=16, seed=4)
+        a = sim.system
+        perm = np.random.default_rng(0).permutation(a.n)
+        b = a.select(perm)
+        c = compare_systems(a, b)
+        assert c.identical_sets
+        assert c.max_pos_diff == 0.0
+
+    def test_detects_displacement(self):
+        sim = make_disk_sim(n=16, seed=4)
+        b = sim.system.copy()
+        b.pos[3] += 0.5  # +0.5 on every component
+        c = compare_systems(sim.system, b)
+        assert c.max_pos_diff == pytest.approx(0.5 * np.sqrt(3.0), rel=1e-12)
+        assert not c.close(pos_tol=1e-3)
+
+    def test_subset_counts(self):
+        sim = make_disk_sim(n=16, seed=4)
+        a = sim.system
+        b = a.remove(np.array([0, 1]))
+        c = compare_systems(a, b)
+        assert c.n_only_a == 2
+        assert c.n_only_b == 0
+        assert not c.identical_sets
+        assert c.close(require_same_sets=False)
+
+    def test_disjoint_rejected(self):
+        sim1 = make_disk_sim(n=8, seed=1)
+        sim2 = make_disk_sim(n=8, seed=1)
+        sim2.system.key += 1000
+        with pytest.raises(ConfigurationError):
+            compare_systems(sim1.system, sim2.system)
+
+    def test_backend_comparison_use_case(self):
+        """The intended workflow: two backends, same disk, same time."""
+        from repro.grape import Grape6Backend, Grape6Config, Grape6Machine
+        from repro.core import KeplerField, Simulation, TimestepParams
+        from repro.planetesimal import PlanetesimalDiskConfig, build_disk_system
+
+        sim_h = make_disk_sim(n=20, seed=13)
+        sim_h.evolve(3.0)
+
+        sys_g = build_disk_system(PlanetesimalDiskConfig(n_planetesimals=20, seed=13))
+        machine = Grape6Machine(Grape6Config.single_node(), eps=0.008, mode="flat")
+        sim_g = Simulation(
+            sys_g, Grape6Backend(machine),
+            external_field=KeplerField(), timestep_params=TimestepParams(),
+        )
+        sim_g.initialize()
+        sim_g.evolve(3.0)
+
+        c = compare_systems(
+            sim_h.predicted_state(3.0), sim_g.predicted_state(3.0)
+        )
+        assert c.close(pos_tol=1e-12)

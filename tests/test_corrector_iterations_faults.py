@@ -1,0 +1,166 @@
+"""Tests for P(EC)^n corrector iteration and pipeline-fault handling."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HostDirectBackend,
+    KeplerField,
+    Simulation,
+    TimestepParams,
+    energy,
+)
+from repro.core.forces import acc_jerk
+from repro.errors import ConfigurationError, GrapeError, GrapeMemoryError
+from repro.grape.board import ProcessorBoard
+from repro.grape.pipeline import VMP_FACTOR, ForcePipelineArray
+
+from conftest import make_two_body
+
+
+class TestCorrectorIterations:
+    def make(self, iters, e=0.8, eta=0.05):
+        s = make_two_body(m1=1.0, m2=1e-3, a=1.0, e=e)
+        params = TimestepParams(eta=eta, eta_start=eta / 2, dt_max=2.0**-3)
+        sim = Simulation(
+            s, HostDirectBackend(eps=0.0), timestep_params=params,
+            corrector_iterations=iters,
+        )
+        sim.initialize()
+        return sim
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ConfigurationError):
+            self.make(0)
+
+    def test_iteration_improves_energy_error(self):
+        """At coarse eta on an eccentric binary the (EC)^2 corrector
+        conserves energy better than plain PEC."""
+        errs = {}
+        for iters in (1, 2):
+            sim = self.make(iters)
+            e0 = energy(sim.system, eps=0.0).total
+            sim.evolve(4 * np.pi)
+            sim.synchronize(4 * np.pi)
+            e1 = energy(sim.system, eps=0.0).total
+            errs[iters] = abs(e1 - e0) / abs(e0)
+        assert errs[2] < errs[1]
+
+    def test_iteration_costs_force_evaluations(self):
+        sim1 = self.make(1, e=0.3)
+        sim1.evolve(1.0)
+        sim2 = self.make(2, e=0.3)
+        sim2.evolve(1.0)
+        # roughly double the force calls for the same span
+        assert sim2.backend.counter.force_calls > 1.5 * sim1.backend.counter.force_calls
+
+    def test_results_remain_consistent(self):
+        """Iterated runs stay close to the PEC trajectory (they solve
+        the same ODE; differences are at truncation-error level)."""
+        sims = [self.make(i, e=0.3, eta=0.01) for i in (1, 3)]
+        for sim in sims:
+            sim.evolve(2.0)
+            sim.synchronize(2.0)
+        assert np.allclose(sims[0].system.pos, sims[1].system.pos, atol=1e-6)
+
+
+class TestPipelineMasking:
+    def test_mask_reduces_capacity(self):
+        p = ForcePipelineArray(n_pipelines=6)
+        p.mask_pipelines(2)
+        assert p.active_pipelines == 4
+        assert p.i_capacity == 4 * VMP_FACTOR
+
+    def test_masking_increases_cycles(self):
+        healthy = ForcePipelineArray(n_pipelines=6)
+        degraded = ForcePipelineArray(n_pipelines=6)
+        degraded.mask_pipelines(3)
+        assert degraded.cycles_for(48, 1000) > healthy.cycles_for(48, 1000)
+
+    def test_masking_does_not_change_results(self, rng):
+        pos = rng.normal(size=(20, 3))
+        vel = rng.normal(size=(20, 3))
+        mass = rng.uniform(0.1, 1, 20)
+        healthy = ForcePipelineArray(eps=0.01)
+        degraded = ForcePipelineArray(eps=0.01)
+        degraded.mask_pipelines(5)
+        r1 = healthy.evaluate(pos[:4], vel[:4], pos, vel, mass)
+        r2 = degraded.evaluate(pos[:4], vel[:4], pos, vel, mass)
+        assert np.array_equal(r1.acc, r2.acc)
+        assert np.array_equal(r1.jerk, r2.jerk)
+
+    def test_dead_chip_raises_on_cycles(self):
+        p = ForcePipelineArray(n_pipelines=6)
+        p.mask_pipelines(6)
+        assert p.is_dead
+        with pytest.raises(GrapeError):
+            p.cycles_for(1, 10)
+
+    def test_invalid_mask_count(self):
+        p = ForcePipelineArray(n_pipelines=6)
+        with pytest.raises(GrapeError):
+            p.mask_pipelines(7)
+
+
+class TestBoardFaultHandling:
+    def make_particles(self, rng, n=16):
+        return {
+            "key": np.arange(n, dtype=np.int64),
+            "mass": rng.uniform(0.1, 1, n),
+            "pos": rng.normal(size=(n, 3)),
+            "vel": rng.normal(size=(n, 3)),
+            "acc": np.zeros((n, 3)),
+            "jerk": np.zeros((n, 3)),
+            "t": np.zeros(n),
+        }
+
+    def test_dead_chip_gets_no_particles(self, rng):
+        b = ProcessorBoard(board_id=0, eps=0.01, n_chips=4)
+        b.chips[1].pipelines.mask_pipelines(6)
+        p = self.make_particles(rng)
+        b.load(**p)
+        assert b.chips[1].n_resident == 0
+        assert sum(c.n_resident for c in b.chips) == 16
+
+    def test_forces_correct_with_dead_chip(self, rng):
+        b = ProcessorBoard(board_id=0, eps=0.01, n_chips=4)
+        b.chips[2].pipelines.mask_pipelines(6)
+        p = self.make_particles(rng)
+        b.load(**p)
+        res = b.compute(p["pos"][:5], p["vel"][:5], p["key"][:5], 0.0, 90e6)
+        a_ref, _ = acc_jerk(
+            p["pos"][:5], p["vel"][:5], p["pos"], p["vel"], p["mass"], 0.01,
+            self_indices=np.arange(5),
+        )
+        assert np.allclose(res.acc, a_ref, rtol=1e-12, atol=1e-16)
+
+    def test_reload_after_failure_redistributes(self, rng):
+        """A chip dying between runs: reloading moves its particles."""
+        b = ProcessorBoard(board_id=0, eps=0.01, n_chips=4)
+        p = self.make_particles(rng)
+        b.load(**p)
+        assert b.chips[0].n_resident > 0
+        b.chips[0].pipelines.mask_pipelines(6)
+        b.load(**p)
+        assert b.chips[0].n_resident == 0
+        assert sum(c.n_resident for c in b.chips) == 16
+
+    def test_all_chips_dead_raises(self, rng):
+        b = ProcessorBoard(board_id=0, eps=0.01, n_chips=2)
+        for c in b.chips:
+            c.pipelines.mask_pipelines(6)
+        with pytest.raises(GrapeMemoryError):
+            b.load(**self.make_particles(rng))
+
+    def test_degraded_board_is_slower(self, rng):
+        """Masked pipelines show up in the cycle accounting."""
+        p = self.make_particles(rng, n=64)
+        times = {}
+        for defective in (0, 4):
+            b = ProcessorBoard(board_id=0, eps=0.01, n_chips=2)
+            for c in b.chips:
+                c.pipelines.mask_pipelines(defective)
+            b.load(**p)
+            b.compute(p["pos"], p["vel"], p["key"], 0.0, 90e6)
+            times[defective] = b.force_seconds
+        assert times[4] > times[0]

@@ -1,0 +1,90 @@
+"""Tests for energy/angular-momentum diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EnergyTracker,
+    KeplerField,
+    ParticleSystem,
+    angular_momentum,
+    energy,
+)
+
+from conftest import make_two_body
+
+
+class TestEnergy:
+    def test_kinetic_term(self):
+        s = ParticleSystem(
+            np.array([2.0]), np.zeros((1, 3)) + 5.0, np.array([[3.0, 0.0, 4.0]])
+        )
+        e = energy(s, eps=0.0)
+        assert e.kinetic == pytest.approx(0.5 * 2.0 * 25.0)
+        assert e.mutual == 0.0
+
+    def test_mutual_term_pair(self):
+        s = make_two_body(m1=1.0, m2=1.0, a=1.0, e=0.0)
+        e = energy(s, eps=0.0)
+        sep = np.linalg.norm(s.pos[1] - s.pos[0])
+        assert e.mutual == pytest.approx(-1.0 / sep)
+
+    def test_external_term(self):
+        field = KeplerField(mass=1.0)
+        s = ParticleSystem(
+            np.array([3.0]), np.array([[2.0, 0.0, 0.0]]), np.zeros((1, 3))
+        )
+        e = energy(s, eps=0.0, external_field=field)
+        assert e.external == pytest.approx(-3.0 / 2.0)
+        assert e.total == pytest.approx(-1.5)
+
+    def test_virial_circular_two_body(self):
+        """Circular binary: 2K + W = 0."""
+        s = make_two_body(m1=1.0, m2=1.0, a=1.0, e=0.0)
+        e = energy(s, eps=0.0)
+        assert 2 * e.kinetic + e.mutual == pytest.approx(0.0, abs=1e-12)
+
+
+class TestAngularMomentum:
+    def test_circular_orbit_l(self):
+        s = ParticleSystem(
+            np.array([2.0]),
+            np.array([[3.0, 0.0, 0.0]]),
+            np.array([[0.0, 0.5, 0.0]]),
+        )
+        l = angular_momentum(s)
+        assert np.allclose(l, [0.0, 0.0, 2.0 * 3.0 * 0.5])
+
+    def test_antiparallel_pair_cancels(self):
+        s = ParticleSystem(
+            np.ones(2),
+            np.array([[1.0, 0, 0], [-1.0, 0, 0]]),
+            np.array([[0.0, 1.0, 0], [0.0, -1.0, 0]]),
+        )
+        # both contribute +z angular momentum r x v: (1,0,0)x(0,1,0)=(0,0,1); (-1,0,0)x(0,-1,0)=(0,0,1)
+        assert np.allclose(angular_momentum(s), [0, 0, 2.0])
+
+
+class TestEnergyTracker:
+    def test_tracker_flow(self):
+        s = make_two_body()
+        tr = EnergyTracker(eps=0.0)
+        e0 = tr.start(s)
+        assert tr.reference_energy == e0
+        err = tr.sample(s)
+        assert err == 0.0
+        assert tr.max_error == 0.0
+        assert len(tr.samples) == 2
+
+    def test_tracker_detects_change(self):
+        s = make_two_body()
+        tr = EnergyTracker(eps=0.0)
+        tr.start(s)
+        s.vel *= 1.1
+        assert tr.sample(s) > 0.0
+        assert tr.max_error > 0.0
+
+    def test_tracker_requires_start(self):
+        tr = EnergyTracker(eps=0.0)
+        with pytest.raises(RuntimeError):
+            _ = tr.reference_energy

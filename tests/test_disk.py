@@ -1,0 +1,158 @@
+"""Tests for planetesimal-disk initial conditions."""
+
+import numpy as np
+import pytest
+
+from repro.constants import PAPER_RING_INNER_AU, PAPER_RING_OUTER_AU
+from repro.errors import ConfigurationError
+from repro.planetesimal import (
+    HayashiNebula,
+    PlanetesimalDiskConfig,
+    build_disk_system,
+    cartesian_to_elements,
+    sample_ring_radii,
+)
+
+
+class TestRadiusSampling:
+    def test_within_ring(self, rng):
+        r = sample_ring_radii(5000, 15.0, 35.0, -1.5, rng)
+        assert r.min() >= 15.0
+        assert r.max() <= 35.0
+
+    def test_distribution_shape(self, rng):
+        """p(r) ∝ r^-0.5 for the paper's Sigma ∝ r^-1.5."""
+        from scipy import stats
+
+        r = sample_ring_radii(30_000, 15.0, 35.0, -1.5, rng)
+
+        def cdf(x):
+            x = np.clip(x, 15.0, 35.0)
+            return (np.sqrt(x) - np.sqrt(15.0)) / (np.sqrt(35.0) - np.sqrt(15.0))
+
+        d, p = stats.kstest(r, cdf)
+        assert p > 1e-3
+
+    def test_uniform_surface_density_case(self, rng):
+        # exponent 0: p(r) ∝ r
+        r = sample_ring_radii(50_000, 1.0, 2.0, 0.0, rng)
+        # E[r] for p∝r on [1,2] = (2/3)(2^3-1)/(2^2-1) = 14/9
+        assert r.mean() == pytest.approx(14.0 / 9.0, rel=0.01)
+
+    def test_rejects_bad_ring(self, rng):
+        with pytest.raises(ConfigurationError):
+            sample_ring_radii(10, 35.0, 15.0, -1.5, rng)
+
+
+class TestConfig:
+    def test_defaults(self):
+        c = PlanetesimalDiskConfig()
+        assert c.r_inner == PAPER_RING_INNER_AU
+        assert c.r_outer == PAPER_RING_OUTER_AU
+        assert len(c.protoplanets) == 2
+        assert c.i_rms == pytest.approx(c.e_rms / 2)
+
+    def test_total_mass_defaults_to_hayashi(self):
+        c = PlanetesimalDiskConfig()
+        expected = HayashiNebula().ring_mass(c.r_inner, c.r_outer)
+        assert c.resolved_total_mass() == pytest.approx(expected)
+
+    def test_explicit_total_mass(self):
+        c = PlanetesimalDiskConfig(total_mass=1e-4)
+        assert c.resolved_total_mass() == 1e-4
+
+    def test_rejects_zero_particles(self):
+        with pytest.raises(ConfigurationError):
+            PlanetesimalDiskConfig(n_planetesimals=0)
+
+    def test_no_protoplanets_option(self):
+        c = PlanetesimalDiskConfig(protoplanets=[])
+        s = build_disk_system(c)
+        assert s.n == c.n_planetesimals
+
+
+class TestBuildSystem:
+    def test_particle_count_and_order(self):
+        c = PlanetesimalDiskConfig(n_planetesimals=100, seed=1)
+        s = build_disk_system(c)
+        assert s.n == 102
+        # protoplanets are the last two and the most massive
+        assert np.argmax(s.mass) >= 100
+
+    def test_total_planetesimal_mass_matches_target(self):
+        c = PlanetesimalDiskConfig(n_planetesimals=2000, seed=2)
+        s = build_disk_system(c)
+        disk_mass = s.mass[:2000].sum()
+        # sampled mean converges to the scaled mean at the few-% level
+        assert disk_mass == pytest.approx(c.resolved_total_mass(), rel=0.1)
+
+    def test_planetesimals_inside_ring(self):
+        c = PlanetesimalDiskConfig(n_planetesimals=500, seed=3)
+        s = build_disk_system(c)
+        el = cartesian_to_elements(s.pos[:500], s.vel[:500])
+        assert el.a.min() > 14.0
+        assert el.a.max() < 36.0
+
+    def test_eccentricity_distribution(self):
+        c = PlanetesimalDiskConfig(n_planetesimals=5000, seed=4, e_rms=0.01)
+        s = build_disk_system(c)
+        el = cartesian_to_elements(s.pos[:5000], s.vel[:5000])
+        e_rms = np.sqrt(np.mean(el.e**2))
+        assert e_rms == pytest.approx(0.01, rel=0.1)
+
+    def test_inclination_distribution(self):
+        c = PlanetesimalDiskConfig(n_planetesimals=5000, seed=4, e_rms=0.01)
+        s = build_disk_system(c)
+        el = cartesian_to_elements(s.pos[:5000], s.vel[:5000])
+        i_rms = np.sqrt(np.mean(el.inc**2))
+        assert i_rms == pytest.approx(0.005, rel=0.1)
+
+    def test_protoplanets_on_circular_orbits(self):
+        c = PlanetesimalDiskConfig(n_planetesimals=10, seed=5)
+        s = build_disk_system(c)
+        el = cartesian_to_elements(s.pos[10:], s.vel[10:])
+        assert np.allclose(el.e, 0.0, atol=1e-12)
+        assert np.allclose(sorted(el.a), [20.0, 30.0])
+        assert np.allclose(el.inc, 0.0, atol=1e-14)
+
+    def test_cold_disk_option(self):
+        c = PlanetesimalDiskConfig(n_planetesimals=50, seed=6, e_rms=0.0)
+        s = build_disk_system(c)
+        el = cartesian_to_elements(s.pos[:50], s.vel[:50])
+        assert np.allclose(el.e, 0.0, atol=1e-12)
+
+    def test_reproducible_with_seed(self):
+        c1 = build_disk_system(PlanetesimalDiskConfig(n_planetesimals=64, seed=42))
+        c2 = build_disk_system(PlanetesimalDiskConfig(n_planetesimals=64, seed=42))
+        assert np.array_equal(c1.pos, c2.pos)
+        assert np.array_equal(c1.mass, c2.mass)
+
+    def test_different_seeds_differ(self):
+        c1 = build_disk_system(PlanetesimalDiskConfig(n_planetesimals=64, seed=1))
+        c2 = build_disk_system(PlanetesimalDiskConfig(n_planetesimals=64, seed=2))
+        assert not np.array_equal(c1.pos, c2.pos)
+
+
+class TestNebula:
+    def test_ring_mass_positive_and_increasing(self):
+        neb = HayashiNebula()
+        m1 = neb.ring_mass(15.0, 25.0)
+        m2 = neb.ring_mass(15.0, 35.0)
+        assert 0 < m1 < m2
+
+    def test_paper_ring_mass_order_of_magnitude(self):
+        """The 15-35 AU MMSN solid ring holds tens of Earth masses."""
+        m = HayashiNebula().ring_mass(15.0, 35.0)
+        m_earth = 3.0e-6
+        assert 10 * m_earth < m < 100 * m_earth
+
+    def test_surface_density_slope(self):
+        neb = HayashiNebula()
+        s15 = neb.surface_density(15.0)
+        s35 = neb.surface_density(35.0)
+        assert s15 / s35 == pytest.approx((35.0 / 15.0) ** 1.5)
+
+    def test_enhancement_factor(self):
+        m1 = HayashiNebula().ring_mass(15.0, 35.0)
+        m3 = HayashiNebula(enhancement=3.0).ring_mass(15.0, 35.0)
+        assert m3 == pytest.approx(3.0 * m1)

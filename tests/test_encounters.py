@@ -1,0 +1,93 @@
+"""Tests for close-encounter / timescale measurement."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ParticleSystem,
+    TimescaleCensus,
+    encounter_timescale,
+    measure_timescales,
+)
+from repro.errors import ConfigurationError
+
+
+class TestEncounterTimescale:
+    def test_formula(self):
+        # d=1, m=1: t = 1
+        assert encounter_timescale(1.0, 1.0) == pytest.approx(1.0)
+        # scales as d^(3/2)
+        assert encounter_timescale(4.0, 1.0) == pytest.approx(8.0)
+        # scales as m^(-1/2)
+        assert encounter_timescale(1.0, 4.0) == pytest.approx(0.5)
+
+    def test_vectorised(self):
+        t = encounter_timescale(np.array([1.0, 4.0]), np.array([1.0, 1.0]))
+        assert np.allclose(t, [1.0, 8.0])
+
+    def test_rejects_nonpositive_mass(self):
+        with pytest.raises(ConfigurationError):
+            encounter_timescale(1.0, 0.0)
+
+    def test_paper_contact_encounter_is_hours(self):
+        """Two smallest paper planetesimals touching: ~1 hour."""
+        from repro.constants import PAPER_MASS_LO
+        from repro.planetesimal import radius_from_mass
+        from repro.units import code_to_years
+
+        d = 2 * float(radius_from_mass(PAPER_MASS_LO))
+        t = encounter_timescale(d, 2 * PAPER_MASS_LO)
+        hours = float(code_to_years(t)) * 365.25 * 24
+        assert 0.2 < hours < 10.0
+
+
+class TestCensus:
+    def make_system(self):
+        # three particles: a close pair and a distant one
+        pos = np.array([[20.0, 0, 0], [20.0, 0.01, 0], [30.0, 0, 0]])
+        vel = np.zeros((3, 3))
+        s = ParticleSystem(np.array([1e-8, 1e-8, 1e-8]), pos, vel)
+        s.dt[:] = [0.25, 0.25, 2.0]
+        return s
+
+    def test_census_fields(self):
+        c = measure_timescales(self.make_system())
+        assert isinstance(c, TimescaleCensus)
+        assert c.closest_approach == pytest.approx(0.01)
+        assert c.dt_min == 0.25
+        assert c.dt_max == 2.0
+        assert c.dt_dynamic_range == 8.0
+
+    def test_encounter_uses_pair_mass(self):
+        c = measure_timescales(self.make_system())
+        expected = encounter_timescale(0.01, 2e-8)
+        assert c.t_encounter_min == pytest.approx(float(expected))
+
+    def test_physical_range_positive(self):
+        c = measure_timescales(self.make_system())
+        assert c.physical_dynamic_range > 0
+
+    def test_single_particle_rejected(self):
+        s = ParticleSystem(np.ones(1), np.zeros((1, 3)) + 20, np.zeros((1, 3)))
+        with pytest.raises(ConfigurationError):
+            measure_timescales(s)
+
+    def test_chunked_sweep_consistency(self):
+        """The O(N^2) sweep gives the same answer regardless of chunking."""
+        import repro.core.forces as forces
+
+        rng = np.random.default_rng(3)
+        s = ParticleSystem(
+            np.full(40, 1e-9), rng.normal(size=(40, 3)) * 5 + 25,
+            np.zeros((40, 3)),
+        )
+        s.dt[:] = 1.0
+        c1 = measure_timescales(s)
+        old = forces._TILE_BUDGET
+        try:
+            forces._TILE_BUDGET = 64
+            c2 = measure_timescales(s)
+        finally:
+            forces._TILE_BUDGET = old
+        assert c1.closest_approach == pytest.approx(c2.closest_approach)
+        assert c1.t_encounter_min == pytest.approx(c2.t_encounter_min)

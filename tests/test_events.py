@@ -1,0 +1,63 @@
+"""Tests for event detection and logging."""
+
+import numpy as np
+
+from repro.core.events import Event, EventLog, detect_escapers
+from repro.core.particles import ParticleSystem
+
+
+class TestEventLog:
+    def test_append_and_query(self):
+        log = EventLog()
+        log.append(Event("escape", 1.0, 3))
+        log.append(Event("close_encounter", 2.0, 4, {"partner": 5}))
+        log.append(Event("escape", 3.0, 6))
+        assert len(log) == 3
+        assert log.count("escape") == 2
+        assert [e.key for e in log.of_kind("escape")] == [3, 6]
+
+    def test_extend(self):
+        log = EventLog()
+        log.extend([Event("escape", 0.0, i) for i in range(4)])
+        assert len(log) == 4
+
+    def test_iteration_order(self):
+        log = EventLog()
+        for i in range(5):
+            log.append(Event("x", float(i), i))
+        assert [e.time for e in log] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+class TestEscapers:
+    def make(self, pos, vel):
+        n = len(pos)
+        return ParticleSystem(np.ones(n) * 1e-10, np.array(pos, float), np.array(vel, float))
+
+    def test_bound_particle_not_flagged(self):
+        # circular orbit at r=60 (outside r_min but bound)
+        v = 1.0 / np.sqrt(60.0)
+        s = self.make([[60.0, 0, 0]], [[0, v, 0]])
+        assert detect_escapers(s).size == 0
+
+    def test_hyperbolic_far_particle_flagged(self):
+        r = 80.0
+        v_esc = np.sqrt(2.0 / r)
+        s = self.make([[r, 0, 0]], [[0, 1.5 * v_esc, 0]])
+        assert np.array_equal(detect_escapers(s), [0])
+
+    def test_hyperbolic_near_particle_not_flagged(self):
+        # fast but inside r_min: could still be deflected
+        r = 20.0
+        v_esc = np.sqrt(2.0 / r)
+        s = self.make([[r, 0, 0]], [[0, 2.0 * v_esc, 0]])
+        assert detect_escapers(s, r_min=50.0).size == 0
+
+    def test_mixed_population(self):
+        r = 70.0
+        v_circ = 1.0 / np.sqrt(r)
+        v_esc = np.sqrt(2.0) * v_circ
+        s = self.make(
+            [[r, 0, 0], [0, r, 0], [0, 0, r]],
+            [[0, v_circ, 0], [1.2 * v_esc, 0, 0], [0, 0.5 * v_circ, 0]],
+        )
+        assert np.array_equal(detect_escapers(s), [1])

@@ -1,0 +1,40 @@
+"""Every example script must at least parse and import cleanly."""
+
+import ast
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_parses(path):
+    tree = ast.parse(path.read_text())
+    # every example must be main-guarded (imports must not run the demo)
+    guards = [
+        node for node in tree.body
+        if isinstance(node, ast.If)
+        and isinstance(node.test, ast.Compare)
+        and getattr(node.test.left, "id", "") == "__name__"
+    ]
+    assert guards, f"{path.name} lacks an if __name__ == '__main__' guard"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_without_running(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    # examples importing conftest-style helpers need their dir on the path
+    sys.path.insert(0, str(path.parent))
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.path.pop(0)
+    assert hasattr(module, "main")
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 8

@@ -1,0 +1,78 @@
+"""Tests for external fields (solar potential)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompositeField, KeplerField, NullField
+from repro.errors import ConfigurationError
+
+
+class TestKepler:
+    def test_acceleration_magnitude(self):
+        f = KeplerField(mass=1.0)
+        pos = np.array([[2.0, 0.0, 0.0]])
+        vel = np.zeros((1, 3))
+        acc, _ = f.acc_jerk(pos, vel)
+        assert np.allclose(acc, [[-0.25, 0, 0]])
+
+    def test_jerk_finite_difference(self):
+        f = KeplerField(mass=1.0)
+        rng = np.random.default_rng(0)
+        pos = rng.normal(size=(5, 3)) * 3.0
+        vel = rng.normal(size=(5, 3))
+        acc0, jerk0 = f.acc_jerk(pos, vel)
+        h = 1e-7
+        acc1, _ = f.acc_jerk(pos + h * vel, vel)
+        assert np.allclose((acc1 - acc0) / h, jerk0, rtol=1e-4, atol=1e-7)
+
+    def test_potential(self):
+        f = KeplerField(mass=2.0)
+        pos = np.array([[0.0, 4.0, 0.0]])
+        assert f.potential(pos)[0] == pytest.approx(-0.5)
+
+    def test_circular_orbit_balance(self):
+        """Centripetal acceleration equals field acceleration on a circle."""
+        f = KeplerField()
+        r = 20.0
+        v = 1.0 / np.sqrt(r)
+        pos = np.array([[r, 0.0, 0.0]])
+        vel = np.array([[0.0, v, 0.0]])
+        acc, _ = f.acc_jerk(pos, vel)
+        assert np.allclose(acc[0], [-(v**2) / r, 0, 0])
+
+    def test_rejects_nonpositive_mass(self):
+        with pytest.raises(ConfigurationError):
+            KeplerField(mass=0.0)
+
+    def test_rejects_particle_at_origin(self):
+        f = KeplerField()
+        with pytest.raises(ConfigurationError):
+            f.acc_jerk(np.zeros((1, 3)), np.zeros((1, 3)))
+
+
+class TestNull:
+    def test_zero_everything(self):
+        f = NullField()
+        pos = np.ones((3, 3))
+        acc, jerk = f.acc_jerk(pos, pos)
+        assert np.all(acc == 0) and np.all(jerk == 0)
+        assert np.all(f.potential(pos) == 0)
+
+
+class TestComposite:
+    def test_sum_of_two_keplers(self):
+        f1 = KeplerField(mass=1.0)
+        f2 = KeplerField(mass=2.0)
+        comp = CompositeField([f1, f2])
+        f3 = KeplerField(mass=3.0)
+        pos = np.array([[1.0, 2.0, 3.0]])
+        vel = np.array([[0.1, 0.2, 0.3]])
+        a_c, j_c = comp.acc_jerk(pos, vel)
+        a_3, j_3 = f3.acc_jerk(pos, vel)
+        assert np.allclose(a_c, a_3)
+        assert np.allclose(j_c, j_3)
+        assert np.allclose(comp.potential(pos), f3.potential(pos))
+
+    def test_empty_composite_raises(self):
+        with pytest.raises(ConfigurationError):
+            CompositeField([])

@@ -1,0 +1,204 @@
+"""Tests for the direct-summation force/jerk kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core.forces import (
+    InteractionCounter,
+    acc_jerk,
+    acc_only,
+    min_pairwise_distance,
+    pairwise_potential,
+    potential_energy,
+)
+
+
+def brute_force(pos_i, vel_i, pos_j, vel_j, mass_j, eps, self_idx=None):
+    """Slow per-pair reference implementation."""
+    n_i = len(pos_i)
+    acc = np.zeros((n_i, 3))
+    jerk = np.zeros((n_i, 3))
+    for i in range(n_i):
+        for j in range(len(pos_j)):
+            if self_idx is not None and self_idx[i] == j:
+                continue
+            dr = pos_j[j] - pos_i[i]
+            dv = vel_j[j] - vel_i[i]
+            r2 = dr @ dr + eps**2
+            inv_r3 = r2**-1.5
+            acc[i] += mass_j[j] * dr * inv_r3
+            jerk[i] += mass_j[j] * (dv * inv_r3 - 3.0 * (dr @ dv) / r2 * dr * inv_r3)
+    return acc, jerk
+
+
+@pytest.fixture
+def random_set(rng):
+    n = 17
+    pos = rng.normal(size=(n, 3))
+    vel = rng.normal(size=(n, 3))
+    mass = rng.uniform(0.1, 1.0, n)
+    return pos, vel, mass
+
+
+class TestAccJerk:
+    def test_matches_brute_force_disjoint(self, random_set, rng):
+        pos_j, vel_j, mass_j = random_set
+        pos_i = rng.normal(size=(5, 3)) + 5.0  # well separated
+        vel_i = rng.normal(size=(5, 3))
+        a, j = acc_jerk(pos_i, vel_i, pos_j, vel_j, mass_j, eps=0.01)
+        a_ref, j_ref = brute_force(pos_i, vel_i, pos_j, vel_j, mass_j, 0.01)
+        assert np.allclose(a, a_ref, rtol=1e-12)
+        assert np.allclose(j, j_ref, rtol=1e-12)
+
+    def test_matches_brute_force_self_exclusion(self, random_set):
+        pos, vel, mass = random_set
+        idx = np.arange(len(pos))
+        a, j = acc_jerk(pos, vel, pos, vel, mass, eps=0.01, self_indices=idx)
+        a_ref, j_ref = brute_force(pos, vel, pos, vel, mass, 0.01, self_idx=idx)
+        assert np.allclose(a, a_ref, rtol=1e-12)
+        assert np.allclose(j, j_ref, rtol=1e-12)
+
+    def test_subset_self_exclusion(self, random_set):
+        pos, vel, mass = random_set
+        active = np.array([3, 7, 11])
+        a, j = acc_jerk(
+            pos[active], vel[active], pos, vel, mass, eps=0.01, self_indices=active
+        )
+        a_ref, j_ref = brute_force(
+            pos[active], vel[active], pos, vel, mass, 0.01, self_idx=active
+        )
+        assert np.allclose(a, a_ref, rtol=1e-12)
+        assert np.allclose(j, j_ref, rtol=1e-12)
+
+    def test_two_body_analytic(self):
+        # Unit masses 2 apart on x, eps=0: |a| = 1/4 toward each other.
+        pos = np.array([[-1.0, 0, 0], [1.0, 0, 0]])
+        vel = np.zeros((2, 3))
+        a, j = acc_jerk(pos, vel, pos, vel, np.ones(2), eps=0.0, self_indices=np.arange(2))
+        assert np.allclose(a[0], [0.25, 0, 0])
+        assert np.allclose(a[1], [-0.25, 0, 0])
+        assert np.allclose(j, 0.0)
+
+    def test_jerk_against_finite_difference(self):
+        """Jerk should equal d(acc)/dt along the trajectory."""
+        rng = np.random.default_rng(3)
+        pos = rng.normal(size=(6, 3)) * 2.0
+        vel = rng.normal(size=(6, 3)) * 0.3
+        mass = rng.uniform(0.5, 1.0, 6)
+        eps = 0.05
+        idx = np.arange(6)
+        h = 1e-6
+        a0, j0 = acc_jerk(pos, vel, pos, vel, mass, eps, self_indices=idx)
+        pos_h = pos + vel * h  # freeze acceleration's effect: O(h^2)
+        a1, _ = acc_jerk(pos_h, vel, pos_h, vel, mass, eps, self_indices=idx)
+        j_fd = (a1 - a0) / h
+        assert np.allclose(j0, j_fd, rtol=1e-4, atol=1e-6)
+
+    def test_newton_third_law(self, random_set):
+        """Total momentum change rate must vanish for mutual forces."""
+        pos, vel, mass = random_set
+        idx = np.arange(len(pos))
+        a, j = acc_jerk(pos, vel, pos, vel, mass, eps=0.02, self_indices=idx)
+        assert np.allclose((mass[:, None] * a).sum(axis=0), 0.0, atol=1e-12)
+        assert np.allclose((mass[:, None] * j).sum(axis=0), 0.0, atol=1e-12)
+
+    def test_softening_caps_close_forces(self):
+        pos = np.array([[0.0, 0, 0], [1e-8, 0, 0]])
+        vel = np.zeros((2, 3))
+        a, _ = acc_jerk(pos, vel, pos, vel, np.ones(2), eps=0.1, self_indices=np.arange(2))
+        # With eps=0.1, |a| <= m * r / eps^3 which is tiny for r=1e-8.
+        assert np.all(np.abs(a) < 1e-4)
+
+    def test_chunking_consistency(self, rng):
+        """Results must not depend on the internal i-chunk size."""
+        import repro.core.forces as forces
+
+        n = 50
+        pos = rng.normal(size=(n, 3))
+        vel = rng.normal(size=(n, 3))
+        mass = rng.uniform(0.1, 1.0, n)
+        idx = np.arange(n)
+        a_big, j_big = acc_jerk(pos, vel, pos, vel, mass, 0.01, self_indices=idx)
+        old = forces._TILE_BUDGET
+        try:
+            forces._TILE_BUDGET = 64  # force many small chunks
+            a_small, j_small = acc_jerk(pos, vel, pos, vel, mass, 0.01, self_indices=idx)
+        finally:
+            forces._TILE_BUDGET = old
+        assert np.array_equal(a_big, a_small)
+        assert np.array_equal(j_big, j_small)
+
+
+class TestAccOnly:
+    def test_matches_acc_jerk(self, random_set):
+        pos, vel, mass = random_set
+        idx = np.arange(len(pos))
+        a_ref, _ = acc_jerk(pos, vel, pos, vel, mass, 0.01, self_indices=idx)
+        a = acc_only(pos, pos, mass, 0.01, self_indices=idx)
+        assert np.allclose(a, a_ref, rtol=1e-13)
+
+
+class TestPotential:
+    def test_point_pair_potential(self):
+        pos = np.array([[0.0, 0, 0], [2.0, 0, 0]])
+        phi = pairwise_potential(pos, pos, np.array([3.0, 5.0]), eps=0.0, self_indices=np.arange(2))
+        assert phi[0] == pytest.approx(-5.0 / 2.0)
+        assert phi[1] == pytest.approx(-3.0 / 2.0)
+
+    def test_total_energy_pair(self):
+        pos = np.array([[0.0, 0, 0], [2.0, 0, 0]])
+        w = potential_energy(pos, np.array([3.0, 5.0]), eps=0.0)
+        assert w == pytest.approx(-15.0 / 2.0)
+
+    def test_potential_softening(self):
+        pos = np.array([[0.0, 0, 0], [0.0, 0, 0.003]])
+        w = potential_energy(pos, np.ones(2), eps=0.004)
+        assert w == pytest.approx(-1.0 / 0.005)
+
+    def test_energy_symmetric_under_permutation(self, random_set):
+        pos, _, mass = random_set
+        w1 = potential_energy(pos, mass, eps=0.01)
+        perm = np.random.default_rng(0).permutation(len(pos))
+        w2 = potential_energy(pos[perm], mass[perm], eps=0.01)
+        assert w1 == pytest.approx(w2, rel=1e-12)
+
+
+class TestCounter:
+    def test_counts_interactions(self):
+        c = InteractionCounter()
+        pos = np.zeros((4, 3)) + np.arange(4)[:, None]
+        vel = np.zeros((4, 3))
+        acc_jerk(pos[:2], vel[:2], pos, vel, np.ones(4), 0.01,
+                 self_indices=np.array([0, 1]), counter=c)
+        assert c.force_interactions == 8
+        assert c.jerk_interactions == 8
+        assert c.force_calls == 1
+
+    def test_acc_only_counts_no_jerk(self):
+        c = InteractionCounter()
+        pos = np.zeros((3, 3)) + np.arange(3)[:, None]
+        acc_only(pos, pos, np.ones(3), 0.01, self_indices=np.arange(3), counter=c)
+        assert c.force_interactions == 9
+        assert c.jerk_interactions == 0
+
+    def test_reset(self):
+        c = InteractionCounter()
+        c.add(10, 10, True)
+        c.reset()
+        assert c.force_interactions == 0
+        assert c.force_calls == 0
+
+    def test_trace(self):
+        c = InteractionCounter(trace=True)
+        c.add(3, 7, True)
+        c.add(2, 7, False)
+        assert c.history == [(3, 7, True), (2, 7, False)]
+
+
+class TestMinPairwiseDistance:
+    def test_known_minimum(self):
+        pos = np.array([[0.0, 0, 0], [1.0, 0, 0], [0.0, 0.25, 0]])
+        assert min_pairwise_distance(pos) == pytest.approx(0.25)
+
+    def test_single_particle_is_inf(self):
+        assert min_pairwise_distance(np.zeros((1, 3))) == np.inf

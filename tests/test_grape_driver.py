@@ -1,0 +1,141 @@
+"""Tests for the historical GRAPE-6 host-library driver shim."""
+
+import numpy as np
+import pytest
+
+from repro.core.forces import acc_jerk
+from repro.errors import ConfigurationError, GrapeError
+from repro.grape import Grape6Config, Grape6Driver, Grape6Machine
+
+
+@pytest.fixture
+def driver():
+    machine = Grape6Machine(Grape6Config.single_board(), eps=0.01, mode="flat")
+    d = Grape6Driver(machine)
+    d.open()
+    return d
+
+
+def write_particles(driver, rng, n=12):
+    pos = rng.normal(size=(n, 3))
+    vel = rng.normal(size=(n, 3))
+    mass = rng.uniform(0.1, 1, n)
+    for k in range(n):
+        driver.set_j_particle(k, mass[k], pos[k], vel[k])
+    return pos, vel, mass
+
+
+class TestLifecycle:
+    def test_double_open(self, driver):
+        with pytest.raises(GrapeError):
+            driver.open()
+
+    def test_use_after_close(self, driver):
+        driver.close()
+        with pytest.raises(GrapeError):
+            driver.set_j_particle(0, 1.0, np.zeros(3), np.zeros(3))
+
+    def test_closed_by_default(self):
+        machine = Grape6Machine(Grape6Config.single_board(), eps=0.01)
+        d = Grape6Driver(machine)
+        with pytest.raises(GrapeError):
+            d.calc_lasthalf()
+
+
+class TestForceSequence:
+    def test_matches_reference(self, driver, rng):
+        pos, vel, mass = write_particles(driver, rng)
+        n = len(pos)
+        driver.calc_firsthalf(0.0, np.arange(n))
+        acc, jerk = driver.calc_lasthalf()
+        a_ref, j_ref = acc_jerk(pos, vel, pos, vel, mass, 0.01,
+                                self_indices=np.arange(n))
+        assert np.allclose(acc, a_ref, rtol=1e-13)
+        assert np.allclose(jerk, j_ref, rtol=1e-13)
+
+    def test_subset_block(self, driver, rng):
+        pos, vel, mass = write_particles(driver, rng)
+        driver.calc_firsthalf(0.0, np.array([2, 5, 7]))
+        acc, _ = driver.calc_lasthalf()
+        a_ref, _ = acc_jerk(pos[[2, 5, 7]], vel[[2, 5, 7]], pos, vel, mass,
+                            0.01, self_indices=np.array([2, 5, 7]))
+        assert np.allclose(acc, a_ref, rtol=1e-13)
+
+    def test_overwrite_j_particle(self, driver, rng):
+        pos, vel, mass = write_particles(driver, rng)
+        # move particle 0 far away and verify the force changes
+        driver.calc_firsthalf(0.0, np.array([1]))
+        a1, _ = driver.calc_lasthalf()
+        driver.set_j_particle(0, mass[0], pos[0] + 100.0, vel[0])
+        driver.calc_firsthalf(0.0, np.array([1]))
+        a2, _ = driver.calc_lasthalf()
+        assert not np.allclose(a1, a2)
+
+    def test_firsthalf_twice_rejected(self, driver, rng):
+        write_particles(driver, rng)
+        driver.calc_firsthalf(0.0, np.array([0]))
+        with pytest.raises(GrapeError):
+            driver.calc_firsthalf(0.0, np.array([1]))
+
+    def test_lasthalf_without_firsthalf(self, driver, rng):
+        write_particles(driver, rng)
+        with pytest.raises(GrapeError):
+            driver.calc_lasthalf()
+
+    def test_unknown_i_key(self, driver, rng):
+        write_particles(driver, rng)
+        with pytest.raises(GrapeError):
+            driver.calc_firsthalf(0.0, np.array([999]))
+
+    def test_empty_block_rejected(self, driver, rng):
+        write_particles(driver, rng)
+        with pytest.raises(ConfigurationError):
+            driver.calc_firsthalf(0.0, np.array([], dtype=int))
+
+    def test_no_j_particles(self, driver):
+        with pytest.raises(GrapeError):
+            driver.calc_firsthalf(0.0, np.array([0]))
+
+
+class TestWireTrace:
+    def test_trace_captures_decodable_frames(self, rng):
+        from repro.grape.protocol import Command, FrameCodec, decode_frame
+
+        machine = Grape6Machine(Grape6Config.single_board(), eps=0.01, mode="flat")
+        d = Grape6Driver(machine, trace_wire=True)
+        d.open()
+        pos, vel, mass = write_particles(d, rng, n=6)
+        d.calc_firsthalf(0.0, np.arange(6))
+        acc, jerk = d.calc_lasthalf()
+
+        # 6 SET_J + SET_TI + CALC + RESULT frames
+        assert len(d.wire_log) == 9
+        assert d.wire_bytes_total == sum(len(b) for b in d.wire_log)
+        codec = FrameCodec()
+        kinds = []
+        for raw in d.wire_log:
+            frame, consumed = decode_frame(raw)
+            assert consumed == len(raw)
+            kinds.append(frame.command)
+        assert kinds.count(Command.SET_J) == 6
+        assert kinds[-1] is Command.RESULT
+        a2, j2 = codec.decode_result(decode_frame(d.wire_log[-1])[0])
+        assert np.array_equal(a2, acc)
+        assert np.array_equal(j2, jerk)
+
+    def test_no_trace_by_default(self, driver, rng):
+        write_particles(driver, rng, n=3)
+        driver.calc_firsthalf(0.0, np.arange(3))
+        driver.calc_lasthalf()
+        assert driver.wire_log == []
+
+
+class TestCounters:
+    def test_counters_accumulate(self, driver, rng):
+        write_particles(driver, rng, n=10)
+        driver.calc_firsthalf(0.0, np.arange(10))
+        driver.calc_lasthalf()
+        c = driver.read_counters()
+        assert c["blocks"] == 1
+        assert c["interactions"] == 100
+        assert c["achieved_flops"] > 0

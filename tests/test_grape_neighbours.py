@@ -1,0 +1,125 @@
+"""Tests for the GRAPE-6 neighbour-list hardware emulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.grape import Grape6Backend, Grape6Config, Grape6Machine
+from repro.grape.neighbours import (
+    NeighbourResult,
+    merge_neighbour_results,
+    neighbour_search,
+)
+from repro.planetesimal import PlanetesimalDiskConfig, build_disk_system
+
+
+class TestNeighbourSearch:
+    def test_basic_range_query(self):
+        pos_j = np.array([[0.0, 0, 0], [1.0, 0, 0], [5.0, 0, 0]])
+        keys = np.array([10, 11, 12])
+        res = neighbour_search(np.array([[0.1, 0, 0]]), pos_j, keys, h=2.0)
+        assert set(res.lists[0].tolist()) == {10, 11}
+        assert res.nearest_key[0] == 10
+        assert res.nearest_dist[0] == pytest.approx(0.1)
+
+    def test_per_particle_radius(self):
+        pos_j = np.array([[0.0, 0, 0], [3.0, 0, 0]])
+        keys = np.array([1, 2])
+        pos_i = np.array([[0.5, 0, 0], [0.5, 0, 0]])
+        res = neighbour_search(pos_i, pos_j, keys, h=np.array([1.0, 10.0]))
+        assert res.lists[0].tolist() == [1]
+        assert set(res.lists[1].tolist()) == {1, 2}
+
+    def test_self_exclusion(self):
+        pos = np.array([[0.0, 0, 0], [0.5, 0, 0]])
+        keys = np.array([7, 8])
+        res = neighbour_search(pos, pos, keys, h=1.0, exclude_keys=keys)
+        assert res.lists[0].tolist() == [8]
+        assert res.nearest_key[0] == 8
+
+    def test_no_candidates(self):
+        pos_j = np.array([[100.0, 0, 0]])
+        res = neighbour_search(np.zeros((1, 3)), pos_j, np.array([5]), h=1.0)
+        assert res.lists[0].size == 0
+        assert res.nearest_key[0] == 5  # nearest is reported even outside h
+
+    def test_all_excluded_gives_minus_one(self):
+        pos = np.zeros((1, 3))
+        res = neighbour_search(pos, pos, np.array([3]), h=1.0,
+                               exclude_keys=np.array([3]))
+        assert res.nearest_key[0] == -1
+        assert np.isinf(res.nearest_dist[0])
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ConfigurationError):
+            neighbour_search(np.zeros((1, 3)), np.zeros((1, 3)), np.array([0]), h=-1.0)
+
+
+class TestMerge:
+    def test_merge_combines_lists_and_nearest(self):
+        r1 = NeighbourResult(
+            lists=[np.array([1, 2])], nearest_key=np.array([1]),
+            nearest_dist=np.array([0.5]),
+        )
+        r2 = NeighbourResult(
+            lists=[np.array([9])], nearest_key=np.array([9]),
+            nearest_dist=np.array([0.1]),
+        )
+        merged = merge_neighbour_results([r1, r2])
+        assert set(merged.lists[0].tolist()) == {1, 2, 9}
+        assert merged.nearest_key[0] == 9
+        assert merged.nearest_dist[0] == pytest.approx(0.1)
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            merge_neighbour_results([])
+
+
+class TestMachineNeighbours:
+    def make(self, mode):
+        sys_ = build_disk_system(PlanetesimalDiskConfig(n_planetesimals=30, seed=6))
+        m = Grape6Machine(Grape6Config.scaled_down(), eps=0.008, mode=mode)
+        b = Grape6Backend(m)
+        b.load(sys_)
+        return sys_, m
+
+    def test_flat_matches_bruteforce(self):
+        sys_, m = self.make("flat")
+        active = np.arange(sys_.n)
+        res = m.neighbours_of(sys_, active, 0.0, h=2.0)
+        # brute force
+        for i in range(sys_.n):
+            d = np.linalg.norm(sys_.pos - sys_.pos[i], axis=1)
+            d[i] = np.inf
+            expect = set(sys_.key[d < 2.0].tolist())
+            assert set(res.lists[i].tolist()) == expect
+            assert res.nearest_key[i] == sys_.key[np.argmin(d)]
+
+    def test_hierarchy_matches_flat(self):
+        sys_f, mf = self.make("flat")
+        sys_h, mh = self.make("hierarchy")
+        active = np.arange(sys_f.n)
+        rf = mf.neighbours_of(sys_f, active, 0.0, h=3.0)
+        rh = mh.neighbours_of(sys_h, active, 0.0, h=3.0)
+        for lf, lh in zip(rf.lists, rh.lists):
+            assert set(lf.tolist()) == set(lh.tolist())
+        assert np.array_equal(rf.nearest_key, rh.nearest_key)
+        assert np.allclose(rf.nearest_dist, rh.nearest_dist)
+
+    def test_subset_active(self):
+        sys_, m = self.make("flat")
+        active = np.array([3, 17])
+        res = m.neighbours_of(sys_, active, 0.0, h=5.0)
+        assert len(res.lists) == 2
+
+    def test_neighbours_at_predicted_time(self):
+        """Sources are predicted to t_now before the query."""
+        sys_, m = self.make("flat")
+        # give everything a common velocity: neighbour sets at t=0 and
+        # t=1 must be identical (rigid translation)
+        sys_.vel[:] = [0.01, 0.0, 0.0]
+        active = np.arange(sys_.n)
+        r0 = m.neighbours_of(sys_, active, 0.0, h=2.0)
+        r1 = m.neighbours_of(sys_, active, 1.0, h=2.0)
+        for l0, l1 in zip(r0.lists, r1.lists):
+            assert set(l0.tolist()) == set(l1.tolist())

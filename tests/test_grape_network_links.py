@@ -1,0 +1,173 @@
+"""Tests for link models, network boards, and node/cluster structure."""
+
+import numpy as np
+import pytest
+
+from repro.core.forces import acc_jerk
+from repro.errors import ConfigurationError, GrapeLinkError
+from repro.grape.board import ProcessorBoard
+from repro.grape.cluster import Cluster, Node
+from repro.grape.host import HostInterface
+from repro.grape.links import Link, gbe_link, lvds_link, pci_link
+from repro.grape.network import NetworkBoard, NetworkMode
+
+
+class TestLink:
+    def test_transfer_time(self):
+        link = Link("x", bandwidth_bytes_per_s=1e6, latency_s=1e-3)
+        assert link.transfer_time(1000) == pytest.approx(1e-3 + 1e-3)
+
+    def test_transfer_accumulates(self):
+        link = Link("x", 1e6, 0.0)
+        link.transfer(500)
+        link.transfer(500)
+        assert link.bytes_total == 1000
+        assert link.messages == 2
+
+    def test_reset(self):
+        link = Link("x", 1e6, 0.0)
+        link.transfer(100)
+        link.reset()
+        assert link.bytes_total == 0
+
+    def test_negative_bytes_rejected(self):
+        link = Link("x", 1e6, 0.0)
+        with pytest.raises(GrapeLinkError):
+            link.transfer(-1)
+
+    def test_bad_bandwidth_rejected(self):
+        with pytest.raises(GrapeLinkError):
+            Link("x", 0.0, 0.0)
+
+    def test_paper_link_speeds(self):
+        assert lvds_link().bandwidth == 90e6  # paper: 90 MB/s LVDS
+        assert pci_link().bandwidth == 133e6
+        assert gbe_link().bandwidth == 100e6
+
+
+def make_boards(rng, n_boards=2, n_chips=2, n_particles=12, eps=0.01):
+    boards = [ProcessorBoard(board_id=b, eps=eps, n_chips=n_chips) for b in range(n_boards)]
+    p = {
+        "key": np.arange(n_particles, dtype=np.int64),
+        "mass": rng.uniform(0.1, 1, n_particles),
+        "pos": rng.normal(size=(n_particles, 3)),
+        "vel": rng.normal(size=(n_particles, 3)),
+        "acc": np.zeros((n_particles, 3)),
+        "jerk": np.zeros((n_particles, 3)),
+        "t": np.zeros(n_particles),
+    }
+    return boards, p
+
+
+class TestNetworkBoard:
+    def test_max_downlinks(self, rng):
+        boards, _ = make_boards(rng, n_boards=5)
+        with pytest.raises(ConfigurationError):
+            NetworkBoard(nb_id=0, targets=boards)
+
+    def test_needs_targets(self):
+        with pytest.raises(ConfigurationError):
+            NetworkBoard(nb_id=0, targets=[])
+
+    def test_load_splits_and_compute_sums(self, rng):
+        boards, p = make_boards(rng, n_boards=2, n_particles=12)
+        nb = NetworkBoard(nb_id=0, targets=boards)
+        nb.load(**p)
+        assert nb.n_resident == 12
+        assert all(b.n_resident > 0 for b in boards)
+        res = nb.compute(p["pos"][:4], p["vel"][:4], p["key"][:4], 0.0, 90e6)
+        a_ref, _ = acc_jerk(
+            p["pos"][:4], p["vel"][:4], p["pos"], p["vel"], p["mass"], 0.01,
+            self_indices=np.arange(4),
+        )
+        assert np.allclose(res.acc, a_ref, rtol=1e-12, atol=1e-16)
+
+    def test_broadcast_forbidden_in_p2p(self, rng):
+        boards, _ = make_boards(rng)
+        nb = NetworkBoard(nb_id=0, targets=boards, mode=NetworkMode.POINT_TO_POINT)
+        with pytest.raises(GrapeLinkError):
+            nb.broadcast_time(100)
+
+    def test_broadcast_time_parallel_links(self, rng):
+        boards, _ = make_boards(rng)
+        nb = NetworkBoard(nb_id=0, targets=boards)
+        t = nb.broadcast_time(90_000)
+        # 90 kB at 90 MB/s = 1 ms (+ latency), regardless of target count
+        assert t == pytest.approx(1e-3, rel=0.01)
+
+    def test_cascade(self, rng):
+        """NBs cascade: an NB of NBs reaches all boards (paper 4.3)."""
+        boards, p = make_boards(rng, n_boards=4, n_particles=16)
+        nb_lo1 = NetworkBoard(nb_id=1, targets=boards[:2])
+        nb_lo2 = NetworkBoard(nb_id=2, targets=boards[2:])
+        nb_top = NetworkBoard(nb_id=0, targets=[nb_lo1, nb_lo2])
+        nb_top.load(**p)
+        assert len(nb_top.descendants_boards()) == 4
+        res = nb_top.compute(p["pos"][:3], p["vel"][:3], p["key"][:3], 0.0, 90e6)
+        a_ref, _ = acc_jerk(
+            p["pos"][:3], p["vel"][:3], p["pos"], p["vel"], p["mass"], 0.01,
+            self_indices=np.arange(3),
+        )
+        assert np.allclose(res.acc, a_ref, rtol=1e-12, atol=1e-16)
+
+
+class TestHostInterface:
+    def test_pci_accounting(self):
+        h = HostInterface()
+        h.send_i_particles(100)
+        h.receive_results(100)
+        h.write_j_particles(10)
+        assert h.pci.messages == 3
+        assert h.pci.bytes_total == 100 * 56 + 100 * 56 + 10 * 88
+        assert h.pci_seconds > 0
+
+    def test_host_block_charge(self):
+        h = HostInterface()
+        t = h.charge_host_block(100)
+        assert t > 0
+        assert h.host_seconds == t
+
+    def test_reset(self):
+        h = HostInterface()
+        h.send_i_particles(10)
+        h.charge_host_block(10)
+        h.reset_counters()
+        assert h.host_seconds == 0.0
+        assert h.pci.bytes_total == 0
+
+
+class TestNodeCluster:
+    def test_node_structure(self):
+        node = Node(node_id=0, eps=0.01, boards_per_node=4, chips_per_board=2)
+        assert node.n_chips == 8
+        assert len(node.boards) == 4
+
+    def test_cluster_force_correct(self, rng):
+        nodes = [
+            Node(node_id=k, eps=0.01, boards_per_node=2, chips_per_board=2)
+            for k in range(2)
+        ]
+        cluster = Cluster(cluster_id=0, nodes=nodes)
+        n = 20
+        p = {
+            "key": np.arange(n, dtype=np.int64),
+            "mass": rng.uniform(0.1, 1, n),
+            "pos": rng.normal(size=(n, 3)),
+            "vel": rng.normal(size=(n, 3)),
+            "acc": np.zeros((n, 3)),
+            "jerk": np.zeros((n, 3)),
+            "t": np.zeros(n),
+        }
+        cluster.load(**p)
+        assert cluster.n_resident == n
+        res = cluster.compute(p["pos"][:6], p["vel"][:6], p["key"][:6], 0.0, 90e6)
+        a_ref, j_ref = acc_jerk(
+            p["pos"][:6], p["vel"][:6], p["pos"], p["vel"], p["mass"], 0.01,
+            self_indices=np.arange(6),
+        )
+        assert np.allclose(res.acc, a_ref, rtol=1e-12, atol=1e-16)
+        assert np.allclose(res.jerk, j_ref, rtol=1e-12, atol=1e-16)
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cluster(cluster_id=0, nodes=[])

@@ -1,0 +1,171 @@
+"""Tests for the GRAPE-6 pipeline and number-format emulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.forces import acc_jerk
+from repro.errors import ConfigurationError, GrapeError
+from repro.grape.fixedpoint import FixedPointGrid, round_mantissa
+from repro.grape.pipeline import (
+    PIPELINE_DEPTH,
+    VMP_FACTOR,
+    ForcePipelineArray,
+)
+
+
+class TestRoundMantissa:
+    def test_identity_at_52_bits(self):
+        x = np.array([1.2345678901234567, -9.87e-12])
+        assert np.array_equal(round_mantissa(x, 52), x)
+
+    def test_powers_of_two_exact(self):
+        x = np.array([1.0, 2.0, 0.5, -8.0])
+        assert np.array_equal(round_mantissa(x, 4), x)
+
+    def test_relative_error_bound(self, rng):
+        x = rng.normal(size=1000) * 10.0 ** rng.uniform(-8, 8, 1000)
+        for bits in (8, 16, 24):
+            y = round_mantissa(x, bits)
+            rel = np.abs(y - x) / np.abs(x)
+            assert rel.max() <= 2.0 ** (-bits)
+
+    def test_special_values_pass_through(self):
+        x = np.array([0.0, np.inf, -np.inf, np.nan])
+        y = round_mantissa(x, 8)
+        assert y[0] == 0.0 and np.isinf(y[1]) and np.isinf(y[2]) and np.isnan(y[3])
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ConfigurationError):
+            round_mantissa(np.array([1.0]), 0)
+
+
+class TestFixedPointGrid:
+    def test_quantisation_error_bound(self, rng):
+        grid = FixedPointGrid(extent=100.0, bits=20)
+        x = rng.uniform(-100, 100, 1000)
+        q = grid.quantize(x)
+        assert np.abs(q - x).max() <= grid.roundtrip_error_bound() + 1e-15
+
+    def test_64_bit_grid_is_subdouble(self):
+        grid = FixedPointGrid(extent=100.0, bits=64)
+        # the grid step is far below double ULP at 35 AU
+        assert grid.step < np.spacing(35.0)
+
+    def test_out_of_range_raises(self):
+        grid = FixedPointGrid(extent=10.0, bits=16)
+        with pytest.raises(ConfigurationError):
+            grid.quantize(np.array([11.0]))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            FixedPointGrid(extent=-1.0)
+        with pytest.raises(ConfigurationError):
+            FixedPointGrid(extent=1.0, bits=65)
+
+
+class TestPipelineCycles:
+    def setup_method(self):
+        self.p = ForcePipelineArray(n_pipelines=6, eps=0.01)
+
+    def test_capacity(self):
+        assert self.p.i_capacity == 48
+
+    def test_passes(self):
+        assert self.p.passes_required(1) == 1
+        assert self.p.passes_required(48) == 1
+        assert self.p.passes_required(49) == 2
+        assert self.p.passes_required(0) == 0
+
+    def test_cycles_formula(self):
+        # one pass, 100 j: VMP_FACTOR*100 + depth
+        assert self.p.cycles_for(10, 100) == VMP_FACTOR * 100 + PIPELINE_DEPTH
+        assert self.p.cycles_for(96, 100) == 2 * (VMP_FACTOR * 100 + PIPELINE_DEPTH)
+
+    def test_full_occupancy_hits_six_per_cycle(self):
+        """48 i-particles: 6 interactions per cycle (the 30.7 Gflops peak)."""
+        n_j = 10_000
+        cycles = self.p.cycles_for(48, n_j)
+        rate = 48 * n_j / cycles
+        assert rate == pytest.approx(6.0, rel=0.01)
+
+    def test_small_blocks_waste_pipelines(self):
+        """A 6-particle block runs at 1/8 of peak (paper Section 4.2)."""
+        n_j = 10_000
+        rate = 6 * n_j / self.p.cycles_for(6, n_j)
+        assert rate < 1.0
+
+    def test_rejects_zero_pipelines(self):
+        with pytest.raises(GrapeError):
+            ForcePipelineArray(n_pipelines=0)
+
+
+class TestPipelineEvaluate:
+    def test_matches_reference_kernel(self, rng):
+        p = ForcePipelineArray(eps=0.01)
+        pos_j = rng.normal(size=(40, 3))
+        vel_j = rng.normal(size=(40, 3))
+        mass_j = rng.uniform(0.1, 1, 40)
+        pos_i = rng.normal(size=(7, 3)) + 3
+        vel_i = rng.normal(size=(7, 3))
+        res = p.evaluate(pos_i, vel_i, pos_j, vel_j, mass_j)
+        a_ref, j_ref = acc_jerk(pos_i, vel_i, pos_j, vel_j, mass_j, 0.01)
+        assert np.allclose(res.acc, a_ref, rtol=1e-14)
+        assert np.allclose(res.jerk, j_ref, rtol=1e-14)
+        assert res.interactions == 7 * 40
+
+    def test_self_exclusion_by_key(self, rng):
+        p = ForcePipelineArray(eps=0.01)
+        pos = rng.normal(size=(10, 3))
+        vel = rng.normal(size=(10, 3))
+        mass = rng.uniform(0.1, 1, 10)
+        keys = np.arange(100, 110)
+        res = p.evaluate(pos[2:5], vel[2:5], pos, vel, mass,
+                         exclude_keys=(keys[2:5], keys))
+        a_ref, j_ref = acc_jerk(pos[2:5], vel[2:5], pos, vel, mass, 0.01,
+                                self_indices=np.arange(2, 5))
+        assert np.allclose(res.acc, a_ref, rtol=1e-14)
+        assert np.allclose(res.jerk, j_ref, rtol=1e-14)
+
+    def test_mixed_resident_nonresident_keys(self, rng):
+        """i-particles not resident in the j-set must not be masked."""
+        p = ForcePipelineArray(eps=0.01)
+        pos_j = rng.normal(size=(8, 3))
+        vel_j = rng.normal(size=(8, 3))
+        mass_j = rng.uniform(0.1, 1, 8)
+        j_keys = np.arange(8)
+        pos_i = np.vstack([pos_j[3], rng.normal(size=3) + 5])
+        vel_i = np.vstack([vel_j[3], rng.normal(size=3)])
+        i_keys = np.array([3, 999])  # second sink is foreign
+        res = p.evaluate(pos_i, vel_i, pos_j, vel_j, mass_j,
+                         exclude_keys=(i_keys, j_keys))
+        a0, _ = acc_jerk(pos_i[:1], vel_i[:1], pos_j, vel_j, mass_j, 0.01,
+                         self_indices=np.array([3]))
+        a1, _ = acc_jerk(pos_i[1:], vel_i[1:], pos_j, vel_j, mass_j, 0.01)
+        assert np.allclose(res.acc[0], a0[0], rtol=1e-14)
+        assert np.allclose(res.acc[1], a1[0], rtol=1e-14)
+
+    def test_empty_inputs(self):
+        p = ForcePipelineArray(eps=0.01)
+        res = p.evaluate(
+            np.zeros((0, 3)), np.zeros((0, 3)),
+            np.zeros((3, 3)), np.zeros((3, 3)), np.ones(3),
+        )
+        assert res.acc.shape == (0, 3)
+        assert res.cycles == 0
+
+    def test_precision_emulation_error_small(self, rng):
+        """16-bit-mantissa pipelines: per-force error ~1e-4 relative."""
+        exact = ForcePipelineArray(eps=0.01)
+        emul = ForcePipelineArray(eps=0.01, emulate_precision=True)
+        pos_j = rng.normal(size=(100, 3)) * 5
+        vel_j = rng.normal(size=(100, 3))
+        mass_j = rng.uniform(0.1, 1, 100)
+        pos_i = rng.normal(size=(5, 3)) * 5 + 20
+        vel_i = rng.normal(size=(5, 3))
+        r_ex = exact.evaluate(pos_i, vel_i, pos_j, vel_j, mass_j)
+        r_em = emul.evaluate(pos_i, vel_i, pos_j, vel_j, mass_j)
+        rel = np.linalg.norm(r_em.acc - r_ex.acc, axis=1) / np.linalg.norm(
+            r_ex.acc, axis=1
+        )
+        assert rel.max() < 1e-3
+        assert rel.max() > 0  # the emulation must actually do something

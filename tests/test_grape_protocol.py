@@ -1,0 +1,135 @@
+"""Tests for the host-interface wire protocol."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GrapeLinkError
+from repro.grape.protocol import (
+    Command,
+    FrameCodec,
+    decode_frame,
+    encode_frame,
+)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        raw = encode_frame(Command.SET_TI, b"\x01" * 8)
+        frame, consumed = decode_frame(raw)
+        assert frame.command is Command.SET_TI
+        assert frame.payload == b"\x01" * 8
+        assert consumed == len(raw)
+
+    def test_stream_of_frames(self):
+        raw = encode_frame(Command.SET_TI, b"A" * 8) + encode_frame(
+            Command.SET_TI, b"B" * 8
+        )
+        f1, used = decode_frame(raw)
+        f2, _ = decode_frame(raw[used:])
+        assert f1.payload != f2.payload
+
+    def test_bad_magic(self):
+        raw = bytearray(encode_frame(Command.SET_TI, b"x" * 8))
+        raw[0] ^= 0xFF
+        with pytest.raises(GrapeLinkError, match="magic"):
+            decode_frame(bytes(raw))
+
+    def test_unknown_command(self):
+        raw = bytearray(encode_frame(Command.SET_TI, b"x" * 8))
+        raw[2] = 0x7F
+        with pytest.raises(GrapeLinkError, match="unknown"):
+            decode_frame(bytes(raw))
+
+    def test_truncated_header(self):
+        with pytest.raises(GrapeLinkError, match="truncated"):
+            decode_frame(b"\x12")
+
+    def test_truncated_payload(self):
+        raw = encode_frame(Command.SET_TI, b"x" * 8)
+        with pytest.raises(GrapeLinkError, match="truncated"):
+            decode_frame(raw[:-6])
+
+    def test_corruption_detected_by_crc(self):
+        raw = bytearray(encode_frame(Command.SET_TI, b"x" * 8))
+        raw[10] ^= 0x01  # flip one payload bit
+        with pytest.raises(GrapeLinkError, match="CRC"):
+            decode_frame(bytes(raw))
+
+    @given(payload=st.binary(min_size=0, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, payload):
+        raw = encode_frame(Command.CALC, payload)
+        frame, consumed = decode_frame(raw)
+        assert frame.payload == payload
+        assert consumed == len(raw)
+
+
+class TestCodec:
+    def setup_method(self):
+        self.codec = FrameCodec()
+
+    def test_set_j_roundtrip(self, rng):
+        pos, vel, acc, jerk = (rng.normal(size=3) for _ in range(4))
+        raw = self.codec.encode_set_j(42, 1e-8, pos, vel, acc, jerk, 3.5)
+        frame, _ = decode_frame(raw)
+        rec = self.codec.decode_set_j(frame)
+        assert rec["key"] == 42
+        assert rec["mass"] == 1e-8
+        assert np.array_equal(rec["pos"], pos)
+        assert np.array_equal(rec["jerk"], jerk)
+        assert rec["t"] == 3.5
+
+    def test_set_ti_roundtrip(self):
+        raw = self.codec.encode_set_ti(1878.8)
+        frame, _ = decode_frame(raw)
+        assert self.codec.decode_set_ti(frame) == 1878.8
+
+    def test_calc_roundtrip(self, rng):
+        keys = np.array([3, 9, 27], dtype=np.int64)
+        pos = rng.normal(size=(3, 3))
+        vel = rng.normal(size=(3, 3))
+        raw = self.codec.encode_calc(keys, pos, vel)
+        frame, _ = decode_frame(raw)
+        rec = self.codec.decode_calc(frame)
+        assert np.array_equal(rec["keys"], keys)
+        assert np.array_equal(rec["pos"], pos)
+        assert np.array_equal(rec["vel"], vel)
+
+    def test_result_roundtrip(self, rng):
+        acc = rng.normal(size=(5, 3))
+        jerk = rng.normal(size=(5, 3))
+        raw = self.codec.encode_result(acc, jerk)
+        frame, _ = decode_frame(raw)
+        a2, j2 = self.codec.decode_result(frame)
+        assert np.array_equal(a2, acc)
+        assert np.array_equal(j2, jerk)
+
+    def test_type_confusion_rejected(self):
+        raw = self.codec.encode_set_ti(1.0)
+        frame, _ = decode_frame(raw)
+        with pytest.raises(GrapeLinkError, match="expected"):
+            self.codec.decode_set_j(frame)
+        with pytest.raises(GrapeLinkError, match="expected"):
+            self.codec.decode_calc(frame)
+        with pytest.raises(GrapeLinkError, match="expected"):
+            self.codec.decode_result(frame)
+
+    def test_empty_calc(self):
+        raw = self.codec.encode_calc(
+            np.array([], dtype=np.int64), np.zeros((0, 3)), np.zeros((0, 3))
+        )
+        frame, _ = decode_frame(raw)
+        rec = self.codec.decode_calc(frame)
+        assert rec["keys"].size == 0
+
+    def test_wire_sizes_match_model(self):
+        """The framed sizes agree with the byte constants the timing
+        model charges (sanity link between protocol and cost model)."""
+        raw = self.codec.encode_set_j(
+            1, 1.0, np.zeros(3), np.zeros(3), np.zeros(3), np.zeros(3), 0.0
+        )
+        # 120-byte record + 12 bytes framing: the ~88-128 B/j-particle
+        # regime the cost model's JWRITE_BYTES sits in
+        assert 100 <= len(raw) <= 160

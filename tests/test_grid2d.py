@@ -1,0 +1,62 @@
+"""Tests for the 2-D host-matrix force scheme (paper Figure 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.forces import acc_jerk
+from repro.errors import CommError
+from repro.parallel import VirtualMachine, grid_forces, ring_forces
+
+
+@pytest.fixture
+def particles(rng):
+    n = 41
+    pos = rng.normal(size=(n, 3)) * 5 + 20
+    vel = rng.normal(size=(n, 3)) * 0.1
+    mass = rng.uniform(1e-9, 1e-7, n)
+    return pos, vel, mass
+
+
+class TestGridForces:
+    def test_matches_direct(self, particles):
+        pos, vel, mass = particles
+        n = len(pos)
+        a_ref, j_ref = acc_jerk(pos, vel, pos, vel, mass, 0.01,
+                                self_indices=np.arange(n))
+        for q in (1, 2, 3, 5):
+            res = grid_forces(pos, vel, mass, eps=0.01, q=q)
+            assert np.allclose(res.acc, a_ref, rtol=1e-12, atol=1e-18), q
+            assert np.allclose(res.jerk, j_ref, rtol=1e-12, atol=1e-18), q
+
+    def test_matches_ring(self, particles):
+        pos, vel, mass = particles
+        rg = ring_forces(pos, vel, mass, 0.01, n_ranks=4)
+        gd = grid_forces(pos, vel, mass, 0.01, q=2)
+        assert np.allclose(rg.acc, gd.acc, rtol=1e-12, atol=1e-18)
+
+    def test_per_rank_traffic_scales_down(self, particles):
+        """The Figure-6 point: per-host traffic falls with q."""
+        pos, vel, mass = particles
+        b2 = grid_forces(pos, vel, mass, 0.01, q=2)
+        b4 = grid_forces(pos, vel, mass, 0.01, q=4)
+        per_rank_2 = b2.total_bytes / 4
+        per_rank_4 = b4.total_bytes / 16
+        assert per_rank_4 < per_rank_2
+
+    def test_vm_size_checked(self, particles):
+        pos, vel, mass = particles
+        with pytest.raises(CommError):
+            grid_forces(pos, vel, mass, 0.01, q=2, vm=VirtualMachine(3))
+
+    def test_invalid_q(self, particles):
+        pos, vel, mass = particles
+        with pytest.raises(CommError):
+            grid_forces(pos, vel, mass, 0.01, q=0)
+        with pytest.raises(CommError):
+            grid_forces(pos[:2], vel[:2], mass[:2], 0.01, q=5)
+
+    def test_clock_and_messages_reported(self, particles):
+        pos, vel, mass = particles
+        res = grid_forces(pos, vel, mass, 0.01, q=3)
+        assert len(res.clock) == 9
+        assert res.messages > 0

@@ -1,0 +1,107 @@
+"""Tests for the 4th-order Hermite corrector."""
+
+import numpy as np
+import pytest
+
+from repro.core import KeplerField
+from repro.core.hermite import correct, hermite_step_arrays, reconstruct_derivatives
+
+
+class TestReconstruction:
+    def test_exact_for_polynomial_force(self):
+        """If acc(t) is a cubic, the reconstructed derivatives are exact."""
+        rng = np.random.default_rng(7)
+        a0 = rng.normal(size=(3, 3))
+        a2 = rng.normal(size=(3, 3))  # true snap at t0
+        a3 = rng.normal(size=(3, 3))  # true crackle
+        j0 = rng.normal(size=(3, 3))
+        dt = np.array([0.3, 0.5, 0.7])
+        d = dt[:, None]
+        a1 = a0 + j0 * d + a2 * d**2 / 2 + a3 * d**3 / 6
+        j1 = j0 + a2 * d + a3 * d**2 / 2
+        snap, crackle = reconstruct_derivatives(a0, j0, a1, j1, dt)
+        assert np.allclose(snap, a2, rtol=1e-10)
+        assert np.allclose(crackle, a3, rtol=1e-10)
+
+    def test_corrector_snap_is_end_of_step(self):
+        rng = np.random.default_rng(8)
+        a0 = rng.normal(size=(2, 3))
+        j0 = rng.normal(size=(2, 3))
+        a2 = rng.normal(size=(2, 3))
+        a3 = rng.normal(size=(2, 3))
+        dt = np.array([0.2, 0.4])
+        d = dt[:, None]
+        a1 = a0 + j0 * d + a2 * d**2 / 2 + a3 * d**3 / 6
+        j1 = j0 + a2 * d + a3 * d**2 / 2
+        pred = np.zeros((2, 3))
+        _, _, derivs = correct(pred, pred, a0, j0, a1, j1, dt)
+        assert np.allclose(derivs.snap, a2 + d * a3, rtol=1e-9)
+        assert np.allclose(derivs.crackle, a3, rtol=1e-9)
+
+
+class TestConvergence:
+    @staticmethod
+    def kepler_circular_error(dt, n_steps):
+        """Integrate a circular Kepler orbit with shared Hermite steps."""
+        field = KeplerField()
+        pos = np.array([[1.0, 0.0, 0.0]])
+        vel = np.array([[0.0, 1.0, 0.0]])
+        acc, jerk = field.acc_jerk(pos, vel)
+        dts = np.array([dt])
+        for _ in range(n_steps):
+            pos, vel, acc, jerk, _ = hermite_step_arrays(
+                pos, vel, acc, jerk, dts, field.acc_jerk
+            )
+        t = dt * n_steps
+        exact = np.array([[np.cos(t), np.sin(t), 0.0]])
+        return np.linalg.norm(pos - exact)
+
+    def test_fourth_order_convergence(self):
+        """Halving dt over a fixed interval must reduce error ~16x."""
+        e1 = self.kepler_circular_error(0.02, 100)
+        e2 = self.kepler_circular_error(0.01, 200)
+        e3 = self.kepler_circular_error(0.005, 400)
+        assert e1 / e2 == pytest.approx(16.0, rel=0.35)
+        assert e2 / e3 == pytest.approx(16.0, rel=0.35)
+
+    def test_eccentric_orbit_energy_conservation(self):
+        """e=0.9 orbit: energy error stays small with fixed small steps."""
+        field = KeplerField()
+        a, e = 1.0, 0.5
+        r_apo = a * (1 + e)
+        v_apo = np.sqrt((2.0 / r_apo - 1.0 / a))
+        pos = np.array([[r_apo, 0.0, 0.0]])
+        vel = np.array([[0.0, v_apo, 0.0]])
+        acc, jerk = field.acc_jerk(pos, vel)
+
+        def energy():
+            return 0.5 * float(vel[0] @ vel[0]) - 1.0 / np.linalg.norm(pos[0])
+
+        e0 = energy()
+        dts = np.array([0.002])
+        for _ in range(3000):
+            pos, vel, acc, jerk, _ = hermite_step_arrays(
+                pos, vel, acc, jerk, dts, field.acc_jerk
+            )
+        assert abs(energy() - e0) / abs(e0) < 1e-10
+
+
+class TestCorrectShapes:
+    def test_correct_returns_shapes(self):
+        n = 5
+        z = np.zeros((n, 3))
+        pos1, vel1, derivs = correct(z, z, z, z, z, z, np.full(n, 0.1))
+        assert pos1.shape == (n, 3)
+        assert vel1.shape == (n, 3)
+        assert derivs.snap.shape == (n, 3)
+        assert derivs.crackle.shape == (n, 3)
+
+    def test_zero_force_free_motion(self):
+        """With zero forces the corrector must not perturb prediction."""
+        pos = np.array([[1.0, 2.0, 3.0]])
+        vel = np.array([[0.1, 0.2, 0.3]])
+        z = np.zeros((1, 3))
+        pred_pos = pos + vel * 0.5
+        pos1, vel1, _ = correct(pred_pos, vel, z, z, z, z, np.array([0.5]))
+        assert np.allclose(pos1, pred_pos)
+        assert np.allclose(vel1, vel)

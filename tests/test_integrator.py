@@ -1,0 +1,206 @@
+"""Integration tests for the block-timestep Hermite driver."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HostDirectBackend,
+    KeplerField,
+    ParticleSystem,
+    Simulation,
+    TimestepParams,
+    energy,
+)
+from repro.errors import ConfigurationError, IntegrationError
+
+from conftest import make_disk_sim, make_two_body
+
+
+class TestSetup:
+    def test_requires_common_start_time(self):
+        s = make_two_body()
+        s.t[:] = [0.0, 1.0]
+        with pytest.raises(ConfigurationError):
+            Simulation(s, HostDirectBackend(eps=0.01))
+
+    def test_step_before_initialize_raises(self):
+        sim = Simulation(make_two_body(), HostDirectBackend(eps=0.01))
+        with pytest.raises(IntegrationError):
+            sim.step()
+
+    def test_initialize_sets_forces_and_steps(self):
+        sim = Simulation(make_two_body(), HostDirectBackend(eps=0.0))
+        sim.initialize()
+        assert np.any(sim.system.acc != 0)
+        assert np.all(sim.system.dt > 0)
+
+    def test_backend_type_checked(self):
+        with pytest.raises(ConfigurationError):
+            Simulation(make_two_body(), backend=object())
+
+
+class TestTwoBody:
+    def run_orbit(self, e=0.3, eta=0.01, t_end=None):
+        s = make_two_body(m1=1.0, m2=1e-3, a=1.0, e=e)
+        params = TimestepParams(eta=eta, eta_start=eta / 2, dt_max=2.0**-4)
+        sim = Simulation(s, HostDirectBackend(eps=0.0), timestep_params=params)
+        sim.initialize()
+        t_end = 2 * np.pi if t_end is None else t_end
+        sim.evolve(t_end)
+        sim.synchronize(t_end)
+        return sim
+
+    def test_energy_conservation_circular(self):
+        sim = self.run_orbit(e=0.0)
+        e_now = energy(sim.system, eps=0.0)
+        e_start = energy(make_two_body(e=0.0), eps=0.0)
+        assert abs(e_now.total - e_start.total) / abs(e_start.total) < 1e-6
+
+    def test_energy_conservation_eccentric(self):
+        sim = self.run_orbit(e=0.6)
+        s0 = make_two_body(e=0.6)
+        e0 = energy(s0, eps=0.0).total
+        e1 = energy(sim.system, eps=0.0).total
+        assert abs(e1 - e0) / abs(e0) < 1e-5
+
+    def test_energy_error_shrinks_with_eta(self):
+        """4th-order scheme: smaller eta must give much smaller error."""
+        e_ref = energy(make_two_body(e=0.6), eps=0.0).total
+
+        def err(eta):
+            sim = self.run_orbit(e=0.6, eta=eta)
+            return abs(energy(sim.system, eps=0.0).total - e_ref) / abs(e_ref)
+
+        assert err(0.005) < err(0.02) / 4.0
+
+    def test_period_return(self):
+        """After one full period the eccentric orbit returns to apocentre."""
+        s0 = make_two_body(e=0.5)
+        sim = self.run_orbit(e=0.5, t_end=2 * np.pi)  # P = 2*pi for a=1, M=1.001
+        # P = 2*pi / sqrt(mtot) with a=1
+        mtot = 1.0 + 1e-3
+        p = 2 * np.pi / np.sqrt(mtot)
+        sim2 = self.run_orbit(e=0.5, t_end=p)
+        sep0 = np.linalg.norm(s0.pos[1] - s0.pos[0])
+        sep1 = np.linalg.norm(sim2.system.pos[1] - sim2.system.pos[0])
+        assert sep1 == pytest.approx(sep0, rel=1e-5)
+
+    def test_eccentric_orbit_uses_multiple_levels(self):
+        """An e=0.9 orbit must trigger timestep adaptation (small at peri)."""
+        s = make_two_body(m1=1.0, m2=1e-3, a=1.0, e=0.9)
+        params = TimestepParams(eta=0.01, dt_max=2.0**-3)
+        sim = Simulation(s, HostDirectBackend(eps=0.0), timestep_params=params)
+        sim.initialize()
+        seen_dts = set()
+        def cb(sim_):
+            seen_dts.update(np.unique(sim_.system.dt).tolist())
+        sim.evolve(2 * np.pi, callback=cb)
+        assert len(seen_dts) >= 3
+
+
+class TestBlockStepping:
+    def test_particle_times_stay_on_grid(self):
+        sim = make_disk_sim(n=32, seed=3)
+        sim.evolve(4.0)
+        # every particle time must be a multiple of its own dt
+        ratio = sim.system.t / sim.system.dt
+        assert np.allclose(ratio, np.round(ratio), atol=1e-9)
+
+    def test_times_never_exceed_evolve_horizon(self):
+        sim = make_disk_sim(n=32, seed=3)
+        sim.evolve(4.0)
+        assert np.all(sim.system.t <= 4.0 + 1e-12)
+
+    def test_particle_steps_accumulate(self):
+        sim = make_disk_sim(n=16, seed=5)
+        sim.evolve(2.0)
+        assert sim.particle_steps >= sim.block_steps
+        assert sim.particle_steps == sim.scheduler.stats.n_particle_steps
+
+    def test_max_block_steps_bound(self):
+        sim = make_disk_sim(n=16, seed=5)
+        sim.evolve(1000.0, max_block_steps=3)
+        assert sim.block_steps == 3
+
+    def test_callback_called_every_block(self):
+        sim = make_disk_sim(n=16, seed=5)
+        calls = []
+        sim.evolve(2.0, callback=lambda s: calls.append(s.time))
+        assert len(calls) == sim.block_steps
+        assert calls == sorted(calls)
+
+
+class TestDiskEnergy:
+    def test_disk_energy_conservation(self):
+        sim = make_disk_sim(n=48, seed=7)
+        e0 = energy(sim.system, 0.008, sim.external_field).total
+        sim.evolve(20.0)
+        sim.synchronize(20.0)
+        e1 = energy(sim.system, 0.008, sim.external_field).total
+        assert abs(e1 - e0) / abs(e0) < 1e-8
+
+    def test_angular_momentum_conservation(self):
+        from repro.core import angular_momentum
+
+        sim = make_disk_sim(n=48, seed=7)
+        l0 = angular_momentum(sim.system)
+        sim.evolve(20.0)
+        sim.synchronize(20.0)
+        l1 = angular_momentum(sim.system)
+        assert np.allclose(l1, l0, rtol=1e-9)
+
+
+class TestPredictedState:
+    def test_predicted_state_at_current_time(self):
+        sim = make_disk_sim(n=16, seed=9)
+        sim.evolve(3.0)
+        snap = sim.predicted_state()
+        assert np.allclose(snap.t, sim.time)
+        assert snap.n == sim.system.n
+
+    def test_predicted_state_does_not_mutate(self):
+        sim = make_disk_sim(n=16, seed=9)
+        sim.evolve(3.0)
+        pos_before = sim.system.pos.copy()
+        t_before = sim.system.t.copy()
+        sim.predicted_state(sim.time)
+        assert np.array_equal(sim.system.pos, pos_before)
+        assert np.array_equal(sim.system.t, t_before)
+
+    def test_predict_backwards_raises(self):
+        sim = make_disk_sim(n=16, seed=9)
+        sim.evolve(3.0)
+        with pytest.raises(IntegrationError):
+            sim.predicted_state(sim.system.t.min() - 1.0)
+
+
+class TestSynchronize:
+    def test_synchronize_brings_all_to_t(self):
+        sim = make_disk_sim(n=32, seed=11)
+        sim.evolve(5.0)
+        sim.synchronize(5.0)
+        assert np.all(sim.system.t == 5.0)
+
+    def test_synchronize_to_past_raises(self):
+        sim = make_disk_sim(n=16, seed=11)
+        sim.evolve(5.0)
+        with pytest.raises(IntegrationError):
+            sim.synchronize(1.0)
+
+    def test_resume_after_synchronize(self):
+        """Integration must continue cleanly after a sync."""
+        sim = make_disk_sim(n=24, seed=13)
+        e0 = energy(sim.system, 0.008, sim.external_field).total
+        sim.evolve(3.0)
+        sim.synchronize(3.0)
+        sim.evolve(6.0)
+        sim.synchronize(6.0)
+        e1 = energy(sim.system, 0.008, sim.external_field).total
+        assert abs(e1 - e0) / abs(e0) < 1e-8
+
+    def test_steps_commensurate_after_sync(self):
+        sim = make_disk_sim(n=24, seed=13)
+        sim.evolve(3.0)
+        sim.synchronize(3.0)
+        ratio = 3.0 / sim.system.dt
+        assert np.allclose(ratio, np.round(ratio), atol=1e-9)

@@ -1,0 +1,106 @@
+"""Tests for the cubic-spline softening kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core.forces import acc_only
+from repro.core.kernels import acc_spline, spline_force_factor
+from repro.errors import ConfigurationError
+
+
+class TestForceFactor:
+    def test_newtonian_outside(self):
+        u = np.array([1.0, 2.0, 10.0])
+        assert np.allclose(spline_force_factor(u), 1.0 / u**3)
+
+    def test_continuity_at_half(self):
+        lo = spline_force_factor(np.array([0.5 - 1e-12]))[0]
+        hi = spline_force_factor(np.array([0.5 + 1e-12]))[0]
+        assert lo == pytest.approx(hi, rel=1e-8)
+
+    def test_continuity_at_one(self):
+        lo = spline_force_factor(np.array([1.0 - 1e-12]))[0]
+        hi = spline_force_factor(np.array([1.0 + 1e-12]))[0]
+        assert lo == pytest.approx(hi, rel=1e-8)
+
+    def test_finite_at_center(self):
+        assert spline_force_factor(np.array([0.0]))[0] == pytest.approx(32.0 / 3.0)
+
+    def test_monotone_force_magnitude(self):
+        """g(u)*u (force magnitude, scaled) rises to a max then falls
+        as 1/u^2 — no negative forces anywhere."""
+        u = np.linspace(1e-4, 3.0, 400)
+        g = spline_force_factor(u)
+        assert np.all(g > 0)
+
+    def test_negative_u_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spline_force_factor(np.array([-0.1]))
+
+
+class TestAccSpline:
+    def test_newtonian_for_distant_pairs(self, rng):
+        pos_j = rng.normal(size=(20, 3))
+        mass = rng.uniform(0.1, 1, 20)
+        pos_i = rng.normal(size=(5, 3)) + 20.0  # far outside h
+        a_spline = acc_spline(pos_i, pos_j, mass, h=0.5)
+        a_newton = acc_only(pos_i, pos_j, mass, eps=0.0)
+        assert np.allclose(a_spline, a_newton, rtol=1e-13)
+
+    def test_plummer_differs_inside_but_agrees_outside(self, rng):
+        """Plummer is never exactly Newtonian; the spline is, beyond h."""
+        pos_j = np.zeros((1, 3))
+        mass = np.ones(1)
+        r = np.array([[3.0, 0, 0]])
+        a_spline = acc_spline(r, pos_j, mass, h=1.0)
+        a_plummer = acc_only(r, pos_j, mass, eps=1.0)
+        a_newton = acc_only(r, pos_j, mass, eps=0.0)
+        assert np.allclose(a_spline, a_newton, rtol=1e-14)
+        assert not np.allclose(a_plummer, a_newton, rtol=1e-3)
+
+    def test_bounded_at_small_separation(self):
+        pos_j = np.zeros((1, 3))
+        a = acc_spline(np.array([[1e-9, 0, 0]]), pos_j, np.ones(1), h=0.1)
+        # acc ~ m * (32/3)/h^3 * r -> tiny for tiny r
+        assert np.linalg.norm(a) < 1e-4
+
+    def test_momentum_conservation(self, rng):
+        pos = rng.normal(size=(15, 3))
+        mass = rng.uniform(0.1, 1, 15)
+        a = acc_spline(pos, pos, mass, h=0.5, self_indices=np.arange(15))
+        total = (mass[:, None] * a).sum(axis=0)
+        assert np.allclose(total, 0.0, atol=1e-12 * np.abs(mass[:, None] * a).max())
+
+    def test_self_exclusion(self):
+        pos = np.array([[0.0, 0, 0], [1.0, 0, 0]])
+        a = acc_spline(pos, pos, np.ones(2), h=0.1, self_indices=np.arange(2))
+        assert np.allclose(a[0], [1.0, 0, 0])
+
+    def test_invalid_h(self):
+        with pytest.raises(ConfigurationError):
+            acc_spline(np.zeros((1, 3)), np.zeros((1, 3)), np.ones(1), h=0.0)
+
+    def test_leapfrog_with_spline_conserves_energy(self):
+        """End-to-end: a leapfrog binary using the spline kernel outside
+        h behaves exactly Newtonian."""
+        from conftest import make_two_body
+
+        s = make_two_body(m1=1.0, m2=1.0, a=1.0, e=0.2)
+        h = 0.05  # orbit never enters the softened zone
+        dt = 0.002
+
+        def total_acc(pos):
+            return acc_spline(pos, pos, s.mass, h=h, self_indices=np.arange(2))
+
+        def energy():
+            v2 = np.einsum("ij,ij->i", s.vel, s.vel)
+            ke = 0.5 * float(np.dot(s.mass, v2))
+            r = np.linalg.norm(s.pos[1] - s.pos[0])
+            return ke - s.mass[0] * s.mass[1] / r
+
+        e0 = energy()
+        for _ in range(2000):
+            s.vel += 0.5 * dt * total_acc(s.pos)
+            s.pos += dt * s.vel
+            s.vel += 0.5 * dt * total_acc(s.pos)
+        assert abs(energy() - e0) / abs(e0) < 1e-5

@@ -1,0 +1,108 @@
+"""Tests for the power-law mass function."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.planetesimal import PowerLawMassFunction
+
+
+class TestAnalytics:
+    def test_mean_mass_uniform_case(self):
+        # alpha = 0 (uniform in m): mean is midpoint
+        mf = PowerLawMassFunction(0.0, 1.0, 3.0)
+        assert mf.mean_mass() == pytest.approx(2.0)
+
+    def test_mean_mass_paper_exponent(self):
+        mf = PowerLawMassFunction(-2.5, 2e-12, 4e-10)
+        # mean = I(-1.5)/I(-2.5)
+        lo, hi = 2e-12, 4e-10
+        i1 = (hi**-0.5 - lo**-0.5) / -0.5
+        i0 = (hi**-1.5 - lo**-1.5) / -1.5
+        assert mf.mean_mass() == pytest.approx(i1 / i0)
+
+    def test_cdf_endpoints(self):
+        mf = PowerLawMassFunction(-2.5, 1e-12, 1e-10)
+        assert mf.cdf(np.array([1e-12]))[0] == pytest.approx(0.0)
+        assert mf.cdf(np.array([1e-10]))[0] == pytest.approx(1.0)
+
+    def test_cdf_monotone(self):
+        mf = PowerLawMassFunction(-2.5, 1e-12, 1e-10)
+        m = np.geomspace(1e-12, 1e-10, 50)
+        assert np.all(np.diff(mf.cdf(m)) >= 0)
+
+    def test_rejects_bad_cutoffs(self):
+        with pytest.raises(ConfigurationError):
+            PowerLawMassFunction(-2.5, 1e-10, 1e-12)
+        with pytest.raises(ConfigurationError):
+            PowerLawMassFunction(-2.5, 0.0, 1e-12)
+
+
+class TestSampling:
+    def test_samples_within_cutoffs(self, rng):
+        mf = PowerLawMassFunction(-2.5, 2e-12, 4e-10)
+        m = mf.sample(5000, rng)
+        assert m.min() >= 2e-12
+        assert m.max() <= 4e-10
+
+    def test_sample_mean_matches_analytic(self, rng):
+        mf = PowerLawMassFunction(-2.5, 1e-12, 1e-10)
+        m = mf.sample(200_000, rng)
+        assert m.mean() == pytest.approx(mf.mean_mass(), rel=0.02)
+
+    def test_sample_distribution_ks(self, rng):
+        """KS test of the sampler against the analytic CDF."""
+        from scipy import stats
+
+        mf = PowerLawMassFunction(-2.5, 1e-12, 4e-10)
+        m = mf.sample(20_000, rng)
+        d, p = stats.kstest(m, lambda x: mf.cdf(x))
+        assert p > 1e-3
+
+    def test_log_uniform_special_case(self, rng):
+        mf = PowerLawMassFunction(-1.0, 1.0, 100.0)
+        m = mf.sample(100_000, rng)
+        # log-uniform: median = geometric mean of cutoffs
+        assert np.median(m) == pytest.approx(10.0, rel=0.05)
+
+    def test_zero_samples(self, rng):
+        mf = PowerLawMassFunction(-2.5, 1e-12, 1e-10)
+        assert mf.sample(0, rng).shape == (0,)
+
+    def test_deterministic_with_seed(self):
+        mf = PowerLawMassFunction(-2.5, 1e-12, 1e-10)
+        m1 = mf.sample(100, np.random.default_rng(7))
+        m2 = mf.sample(100, np.random.default_rng(7))
+        assert np.array_equal(m1, m2)
+
+
+class TestScaling:
+    def test_scaled_to_total_mass(self, rng):
+        mf = PowerLawMassFunction(-2.5, 2e-12, 4e-10)
+        target = 1e-4
+        n = 5000
+        scaled = mf.scaled_to(n, target)
+        assert n * scaled.mean_mass() == pytest.approx(target, rel=1e-10)
+
+    def test_scaling_preserves_dynamic_range_and_slope(self):
+        mf = PowerLawMassFunction(-2.5, 2e-12, 4e-10)
+        scaled = mf.scaled_to(100, 1e-4)
+        assert scaled.alpha == mf.alpha
+        assert scaled.m_hi / scaled.m_lo == pytest.approx(mf.m_hi / mf.m_lo)
+
+    def test_paper_n_reproduces_paper_cutoffs(self):
+        """At the paper's N the scaling factor should be ~1 by design."""
+        from repro.constants import PAPER_N_PLANETESIMALS
+
+        mf = PowerLawMassFunction(-2.5, 2e-12, 4e-10)
+        total = PAPER_N_PLANETESIMALS * mf.mean_mass()
+        scaled = mf.scaled_to(PAPER_N_PLANETESIMALS, total)
+        assert scaled.m_lo == pytest.approx(mf.m_lo)
+        assert scaled.m_hi == pytest.approx(mf.m_hi)
+
+    def test_rejects_bad_args(self):
+        mf = PowerLawMassFunction(-2.5, 2e-12, 4e-10)
+        with pytest.raises(ConfigurationError):
+            mf.scaled_to(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            mf.scaled_to(10, -1.0)

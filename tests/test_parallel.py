@@ -1,0 +1,191 @@
+"""Tests for topologies, the comm simulator, and host strategies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommError, ConfigurationError, TopologyError
+from repro.parallel import (
+    CommSimulator,
+    GrapeExchangeStrategy,
+    Host2DGridStrategy,
+    HybridStrategy,
+    NaiveCopyStrategy,
+    Transfer,
+    all_strategies,
+    mesh2d_topology,
+    nb_tree_topology,
+    ring_topology,
+    switch_topology,
+)
+
+
+class TestTopologies:
+    def test_switch_hosts(self):
+        t = switch_topology(4)
+        assert len(t.hosts) == 4
+        assert t.path("h0", "h1") == ["h0", "switch", "h1"]
+
+    def test_ring_routing(self):
+        t = ring_topology(6)
+        # shortest path h0 -> h3 is 3 hops either way
+        assert len(t.path("h0", "h3")) == 4
+
+    def test_mesh_dimensions(self):
+        t = mesh2d_topology(3, 4)
+        assert len(t.hosts) == 12
+        # manhattan routing: h0.0 -> h2.3 needs 5 hops
+        assert len(t.path_edges("h0.0", "h2.3")) == 5
+
+    def test_nb_tree_kinds(self):
+        t = nb_tree_topology(2, boards_per_host=3)
+        kinds = {d.get("kind") for _, d in t.graph.nodes(data=True)}
+        assert kinds == {"host", "nb", "board"}
+        assert len(t.hosts) == 2
+
+    def test_bad_parameters(self):
+        with pytest.raises(TopologyError):
+            switch_topology(0)
+        with pytest.raises(TopologyError):
+            ring_topology(1)
+        with pytest.raises(TopologyError):
+            mesh2d_topology(0, 3)
+
+    def test_no_route_raises(self):
+        import networkx as nx
+
+        from repro.parallel.topology import Topology
+
+        g = nx.Graph()
+        g.add_node("a", kind="host")
+        g.add_node("b", kind="host")
+        t = Topology(g, "disconnected")
+        with pytest.raises(TopologyError):
+            t.path("a", "b")
+
+    def test_edges_must_have_attrs(self):
+        import networkx as nx
+
+        from repro.parallel.topology import Topology
+
+        g = nx.Graph()
+        g.add_edge("a", "b")
+        with pytest.raises(TopologyError):
+            Topology(g, "bad")
+
+
+class TestCommSimulator:
+    def test_single_transfer_time(self):
+        sim = CommSimulator(switch_topology(2, bandwidth=1e6, latency=0.0))
+        report = sim.phase([Transfer("h0", "h1", 1_000_000)])
+        assert report.seconds == pytest.approx(1.0)
+        assert report.total_bytes == 1_000_000
+
+    def test_congestion_on_shared_edge(self):
+        """Two transfers into the same host serialise on its link."""
+        sim = CommSimulator(switch_topology(3, bandwidth=1e6, latency=0.0))
+        report = sim.phase(
+            [Transfer("h0", "h2", 500_000), Transfer("h1", "h2", 500_000)]
+        )
+        assert report.seconds == pytest.approx(1.0)
+        assert report.bottleneck_edge == ("h2", "switch")
+
+    def test_parallel_disjoint_transfers(self):
+        sim = CommSimulator(switch_topology(4, bandwidth=1e6, latency=0.0))
+        report = sim.phase(
+            [Transfer("h0", "h1", 500_000), Transfer("h2", "h3", 500_000)]
+        )
+        assert report.seconds == pytest.approx(0.5)
+
+    def test_self_transfers_ignored(self):
+        sim = CommSimulator(switch_topology(2))
+        report = sim.phase([Transfer("h0", "h0", 100)])
+        assert report.seconds == 0.0
+        assert report.n_transfers == 0
+
+    def test_broadcast(self):
+        sim = CommSimulator(switch_topology(4, bandwidth=1e6, latency=0.0))
+        report = sim.broadcast("h0", 250_000)
+        # root's uplink carries 3 x 250 kB
+        assert report.seconds == pytest.approx(0.75)
+
+    def test_allgather_volume(self):
+        sim = CommSimulator(switch_topology(3))
+        report = sim.allgather(100)
+        assert report.total_bytes == 3 * 2 * 100
+
+    def test_gather(self):
+        sim = CommSimulator(switch_topology(3, bandwidth=1e6, latency=0.0))
+        report = sim.gather("h0", 100_000)
+        assert report.seconds == pytest.approx(0.2)
+
+    def test_totals_accumulate(self):
+        sim = CommSimulator(switch_topology(2))
+        sim.phase([Transfer("h0", "h1", 100)])
+        sim.phase([Transfer("h1", "h0", 100)])
+        assert sim.phases == 2
+        assert sim.total_bytes == 200
+
+    def test_negative_transfer_rejected(self):
+        with pytest.raises(CommError):
+            Transfer("a", "b", -5)
+
+
+class TestStrategies:
+    def test_naive_nic_bytes_independent_of_p(self):
+        """The paper's Figure-3 argument: volume does not shrink with p."""
+        n_act = 10_000
+        b4 = NaiveCopyStrategy(4).host_nic_bytes_per_step(n_act)
+        b16 = NaiveCopyStrategy(16).host_nic_bytes_per_step(n_act)
+        # within 30%: (p-1)/p saturates
+        assert b16 == pytest.approx(b4, rel=0.3)
+        assert b16 > 1e5  # and it is large
+
+    def test_grape_exchange_nic_is_constant(self):
+        s = GrapeExchangeStrategy(16)
+        assert s.host_nic_bytes_per_step(10) == s.host_nic_bytes_per_step(1_000_000)
+        assert s.host_nic_bytes_per_step(10_000) < 1000
+
+    def test_2d_scales_as_inverse_sqrt_p(self):
+        n_act = 40_000
+        b4 = Host2DGridStrategy(4).host_nic_bytes_per_step(n_act)
+        b16 = Host2DGridStrategy(16).host_nic_bytes_per_step(n_act)
+        b64 = Host2DGridStrategy(64).host_nic_bytes_per_step(n_act)
+        assert b4 > b16 > b64
+
+    def test_2d_requires_square(self):
+        with pytest.raises(ConfigurationError):
+            Host2DGridStrategy(12)
+
+    def test_hybrid_scales_with_p(self):
+        n_act = 40_000
+        b4 = HybridStrategy(4).host_nic_bytes_per_step(n_act)
+        b16 = HybridStrategy(16).host_nic_bytes_per_step(n_act)
+        assert b16 < b4
+
+    def test_hybrid_needs_divisible_hosts(self):
+        with pytest.raises(ConfigurationError):
+            HybridStrategy(6)
+
+    def test_paper_ranking_at_16_hosts(self):
+        """At the paper's p=16, every alternative beats naive copy on
+        host NIC traffic — the reason GRAPE-6 was built this way."""
+        n_act = 20_000
+        naive = NaiveCopyStrategy(16)
+        for s in (GrapeExchangeStrategy(16), Host2DGridStrategy(16), HybridStrategy(16)):
+            assert (
+                s.host_nic_bytes_per_step(n_act)
+                < naive.host_nic_bytes_per_step(n_act) / 2
+            )
+
+    def test_step_times_positive(self):
+        for s in all_strategies(16):
+            assert s.step(5000) > 0
+
+    def test_all_strategies_composition(self):
+        names = {s.name for s in all_strategies(16)}
+        assert names == {"naive-copy", "grape-exchange", "host-2d-grid", "hybrid"}
+        names8 = {s.name for s in all_strategies(8)}
+        assert "host-2d-grid" not in names8  # 8 is not a square
+
+    def test_share(self):
+        assert NaiveCopyStrategy(4).share(10) == 3

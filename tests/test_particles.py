@@ -1,0 +1,198 @@
+"""Tests for the structure-of-arrays ParticleSystem container."""
+
+import numpy as np
+import pytest
+
+from repro.core import ParticleSystem
+from repro.errors import ParticleError
+
+from conftest import make_random_cluster
+
+
+def make_simple(n=4):
+    return ParticleSystem(
+        np.ones(n), np.arange(3 * n, dtype=float).reshape(n, 3), np.zeros((n, 3))
+    )
+
+
+class TestConstruction:
+    def test_basic_shapes(self):
+        s = make_simple(5)
+        assert s.n == 5
+        assert len(s) == 5
+        assert s.pos.shape == (5, 3)
+        assert s.acc.shape == (5, 3)
+        assert s.jerk.shape == (5, 3)
+        assert s.dt.shape == (5,)
+
+    def test_default_keys_are_sequential(self):
+        s = make_simple(4)
+        assert np.array_equal(s.key, np.arange(4))
+
+    def test_arrays_are_float64_contiguous(self):
+        s = ParticleSystem(
+            np.ones(3, dtype=np.float32),
+            np.zeros((3, 3), dtype=np.float32) + np.arange(3)[:, None],
+            np.zeros((3, 3)),
+        )
+        assert s.mass.dtype == np.float64
+        assert s.pos.flags["C_CONTIGUOUS"]
+
+    def test_rejects_wrong_pos_shape(self):
+        with pytest.raises(ParticleError):
+            ParticleSystem(np.ones(3), np.zeros((4, 3)), np.zeros((3, 3)))
+
+    def test_rejects_wrong_vel_shape(self):
+        with pytest.raises(ParticleError):
+            ParticleSystem(np.ones(3), np.zeros((3, 3)), np.zeros((3, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParticleError):
+            ParticleSystem(np.ones(0), np.zeros((0, 3)), np.zeros((0, 3)))
+
+    def test_rejects_negative_mass(self):
+        with pytest.raises(ParticleError):
+            ParticleSystem(np.array([1.0, -1.0]), np.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_rejects_nan_positions(self):
+        pos = np.zeros((2, 3))
+        pos[0, 0] = np.nan
+        with pytest.raises(ParticleError):
+            ParticleSystem(np.ones(2), pos, np.zeros((2, 3)))
+
+    def test_rejects_duplicate_keys(self):
+        with pytest.raises(ParticleError):
+            ParticleSystem(
+                np.ones(2), np.zeros((2, 3)), np.zeros((2, 3)), keys=np.array([7, 7])
+            )
+
+    def test_initial_time(self):
+        s = ParticleSystem(np.ones(2), np.zeros((2, 3)), np.zeros((2, 3)), time=3.5)
+        assert np.all(s.t == 3.5)
+
+    def test_input_arrays_are_copied(self):
+        """Regression: the system must not alias caller arrays (the
+        integrator mutates its arrays in place)."""
+        pos = np.zeros((2, 3))
+        vel = np.zeros((2, 3))
+        mass = np.ones(2)
+        s = ParticleSystem(mass, pos, vel)
+        s.pos[0, 0] = 99.0
+        s.vel[0, 0] = 99.0
+        s.mass[0] = 99.0
+        assert pos[0, 0] == 0.0
+        assert vel[0, 0] == 0.0
+        assert mass[0] == 1.0
+
+
+class TestDerivedQuantities:
+    def test_total_mass(self):
+        s = make_simple(4)
+        assert s.total_mass() == pytest.approx(4.0)
+
+    def test_center_of_mass(self):
+        pos = np.array([[1.0, 0, 0], [-1.0, 0, 0]])
+        s = ParticleSystem(np.array([3.0, 1.0]), pos, np.zeros((2, 3)))
+        assert np.allclose(s.center_of_mass(), [0.5, 0, 0])
+
+    def test_center_of_mass_velocity(self):
+        vel = np.array([[0, 2.0, 0], [0, -2.0, 0]])
+        s = ParticleSystem(np.array([1.0, 1.0]), np.zeros((2, 3)) + [[1], [2]], vel)
+        assert np.allclose(s.center_of_mass_velocity(), 0.0)
+
+    def test_radii_and_speeds(self):
+        s = ParticleSystem(
+            np.ones(2),
+            np.array([[3.0, 4.0, 0.0], [0, 0, 1.0]]),
+            np.array([[0.0, 0.0, 2.0], [1.0, 0, 0]]),
+        )
+        assert np.allclose(s.radii(), [5.0, 1.0])
+        assert np.allclose(s.speeds(), [2.0, 1.0])
+
+
+class TestCopySelect:
+    def test_copy_is_deep(self):
+        s = make_random_cluster(8)
+        c = s.copy()
+        c.pos[0, 0] = 99.0
+        assert s.pos[0, 0] != 99.0
+
+    def test_copy_preserves_all_state(self):
+        s = make_random_cluster(8)
+        s.acc[:] = 1.5
+        s.dt[:] = 0.25
+        c = s.copy()
+        assert np.array_equal(c.acc, s.acc)
+        assert np.array_equal(c.dt, s.dt)
+        assert np.array_equal(c.key, s.key)
+
+    def test_select_by_indices_preserves_keys(self):
+        s = make_random_cluster(8)
+        sub = s.select(np.array([2, 5]))
+        assert np.array_equal(sub.key, [2, 5])
+        assert np.allclose(sub.pos, s.pos[[2, 5]])
+
+    def test_select_by_mask(self):
+        s = make_random_cluster(8)
+        mask = s.mass > np.median(s.mass)
+        sub = s.select(mask)
+        assert sub.n == int(mask.sum())
+
+    def test_select_empty_raises(self):
+        s = make_random_cluster(4)
+        with pytest.raises(ParticleError):
+            s.select(np.array([], dtype=int))
+
+    def test_select_wrong_mask_length_raises(self):
+        s = make_random_cluster(4)
+        with pytest.raises(ParticleError):
+            s.select(np.array([True, False]))
+
+    def test_remove(self):
+        s = make_random_cluster(6)
+        out = s.remove(np.array([0, 3]))
+        assert out.n == 4
+        assert 0 not in out.key and 3 not in out.key
+
+
+class TestConcatenate:
+    def test_concatenate_counts(self):
+        a = make_random_cluster(4, seed=1)
+        b = make_random_cluster(6, seed=2)
+        c = ParticleSystem.concatenate([a, b])
+        assert c.n == 10
+        assert len(np.unique(c.key)) == 10
+
+    def test_concatenate_preserves_masses(self):
+        a = make_random_cluster(4, seed=1)
+        b = make_random_cluster(6, seed=2)
+        c = ParticleSystem.concatenate([a, b])
+        assert c.total_mass() == pytest.approx(a.total_mass() + b.total_mass())
+
+    def test_concatenate_requires_common_time(self):
+        a = make_random_cluster(4)
+        b = make_random_cluster(4)
+        b.t[:] = 1.0
+        with pytest.raises(ParticleError):
+            ParticleSystem.concatenate([a, b])
+
+    def test_concatenate_empty_list_raises(self):
+        with pytest.raises(ParticleError):
+            ParticleSystem.concatenate([])
+
+
+class TestValidate:
+    def test_validate_passes_on_fresh_system(self):
+        make_random_cluster(5).validate()
+
+    def test_validate_catches_nan(self):
+        s = make_random_cluster(5)
+        s.acc[2, 1] = np.nan
+        with pytest.raises(ParticleError):
+            s.validate()
+
+    def test_validate_catches_negative_dt(self):
+        s = make_random_cluster(5)
+        s.dt[0] = -1.0
+        with pytest.raises(ParticleError):
+            s.validate()

@@ -1,0 +1,155 @@
+"""Tests for flop accounting, the projection model, harness and tables."""
+
+import numpy as np
+import pytest
+
+from repro.constants import (
+    PAPER_ACHIEVED_TFLOPS,
+    PAPER_PEAK_TFLOPS,
+)
+from repro.core import HostDirectBackend
+from repro.core.forces import InteractionCounter
+from repro.errors import ConfigurationError
+from repro.grape import Grape6Config
+from repro.perf import (
+    RunResult,
+    Table,
+    extrapolate_from_histogram,
+    extrapolate_sustained,
+    flops_for_interactions,
+    flops_from_counter,
+    format_quantity,
+    paper_projection,
+    paper_total_flops,
+    run_scaled_disk,
+    tflops,
+)
+
+
+class TestFlops:
+    def test_conventions(self):
+        assert flops_for_interactions(100, with_jerk=True) == 5700
+        assert flops_for_interactions(100, with_jerk=False) == 3800
+
+    def test_counter_conversion(self):
+        c = InteractionCounter()
+        c.add(10, 10, with_jerk=True)   # 100 interactions, force+jerk
+        c.add(10, 10, with_jerk=False)  # 100 interactions, force only
+        assert flops_from_counter(c) == 100 * 57 + 100 * 38
+
+    def test_paper_total_is_1e18_scale(self):
+        """Paper: ~1.1e18 operations (29.5 Tflops x 10.3 hours)."""
+        total = paper_total_flops()
+        assert total == pytest.approx(
+            PAPER_ACHIEVED_TFLOPS * 1e12 * 10.3 * 3600, rel=0.05
+        )
+
+    def test_tflops(self):
+        assert tflops(29.5e12) == pytest.approx(29.5)
+
+
+class TestExtrapolation:
+    def test_sustained_monotone_in_block(self):
+        cfg = Grape6Config.paper_full_system()
+        speeds = [
+            extrapolate_sustained(cfg, 1_800_000, b).sustained_tflops
+            for b in (100, 1000, 10000)
+        ]
+        assert speeds[0] < speeds[1] < speeds[2]
+
+    def test_sustained_below_peak(self):
+        cfg = Grape6Config.paper_full_system()
+        est = extrapolate_sustained(cfg, 1_800_000, 100_000)
+        assert est.sustained_tflops < PAPER_PEAK_TFLOPS
+
+    def test_paper_projection_shape(self):
+        """The model must land in the paper's performance regime:
+        tens of Tflops, tens of percent of peak, hours of wall time."""
+        p = paper_projection(block_fraction=0.002)
+        assert 10.0 < p["model_sustained_tflops"] < PAPER_PEAK_TFLOPS
+        assert 0.15 < p["model_efficiency"] < 0.9
+        assert 1.0 < p["model_wall_hours"] < 100.0
+        assert p["paper_sustained_tflops"] == PAPER_ACHIEVED_TFLOPS
+
+    def test_projection_validates_fraction(self):
+        with pytest.raises(ConfigurationError):
+            paper_projection(0.0)
+        with pytest.raises(ConfigurationError):
+            paper_projection(1.5)
+
+    def test_histogram_extrapolation_below_mean_only(self):
+        """A wide block-size distribution must cost more than its mean
+        (small blocks are disproportionately slow)."""
+        cfg = Grape6Config.paper_full_system()
+        n = 1_800_000
+        wide = {10: 500, 4000: 50}
+        mean = sum(s * c for s, c in wide.items()) / sum(wide.values())
+        est_wide = extrapolate_from_histogram(cfg, n, wide, n_measured=n)
+        est_mean = extrapolate_sustained(cfg, n, mean)
+        assert est_wide.sustained_tflops < est_mean.sustained_tflops
+
+    def test_histogram_scaling(self):
+        """Scaling histogram from a small run preserves block fractions."""
+        cfg = Grape6Config.paper_full_system()
+        est = extrapolate_from_histogram(
+            cfg, 1_800_000, {8: 10, 64: 5}, n_measured=1000
+        )
+        # 8/1000 -> 14400, 64/1000 -> 115200 at N=1.8e6
+        assert est.mean_block == pytest.approx((14400 * 10 + 115200 * 5) / 15, rel=0.01)
+
+    def test_empty_histogram_rejected(self):
+        with pytest.raises(ConfigurationError):
+            extrapolate_from_histogram(Grape6Config(), 1000, {}, 100)
+
+
+class TestHarness:
+    def test_run_scaled_disk_basic(self):
+        backend = HostDirectBackend(eps=0.008)
+        res = run_scaled_disk(backend, n=32, t_end=2.0, seed=1)
+        assert isinstance(res, RunResult)
+        assert res.n == 34  # 32 planetesimals + 2 protoplanets
+        assert res.block_steps > 0
+        assert res.particle_steps >= res.block_steps
+        assert 0 < res.mean_block <= res.n
+        assert 0 < res.block_fraction <= 1
+        assert res.energy_error < 1e-6
+        assert res.interactions > 0
+        assert res.wall_seconds > 0
+        assert res.interactions_per_second > 0
+
+    def test_no_protoplanets_option(self):
+        backend = HostDirectBackend(eps=0.008)
+        res = run_scaled_disk(backend, n=16, t_end=1.0, protoplanets=[])
+        assert res.n == 16
+
+    def test_max_block_steps_bounds_work(self):
+        backend = HostDirectBackend(eps=0.008)
+        res = run_scaled_disk(backend, n=16, t_end=1e9, max_block_steps=5)
+        assert res.block_steps <= 6  # 5 evolve blocks (+ maybe sync)
+
+
+class TestTable:
+    def test_render_contains_data(self):
+        t = Table(["a", "b"], title="T")
+        t.add_row(1, 2.5)
+        t.add_row("x", 1_000_000)
+        out = t.render()
+        assert "== T ==" in out
+        assert "1,000,000" in out
+        assert "2.5" in out
+
+    def test_row_length_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ConfigurationError):
+            t.add_row(1)
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Table([])
+
+    def test_format_quantity(self):
+        assert format_quantity(1234567) == "1,234,567"
+        assert format_quantity(0.0) == "0"
+        assert format_quantity(1.23456e-7) == "1.235e-07"
+        assert format_quantity(True) == "True"
+        assert format_quantity("s") == "s"

@@ -1,0 +1,93 @@
+"""Tests for the predictor polynomials."""
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import predict_positions, predict_system, predict_velocities
+
+from conftest import make_random_cluster
+
+
+class TestPolynomials:
+    def test_zero_dt_is_identity(self, rng):
+        pos = rng.normal(size=(5, 3))
+        vel = rng.normal(size=(5, 3))
+        acc = rng.normal(size=(5, 3))
+        jerk = rng.normal(size=(5, 3))
+        assert np.array_equal(predict_positions(pos, vel, acc, jerk, np.zeros(5)), pos)
+        assert np.array_equal(predict_velocities(vel, acc, jerk, np.zeros(5)), vel)
+
+    def test_exact_for_cubic_trajectory(self):
+        """A trajectory with constant jerk is predicted exactly."""
+        pos = np.array([[1.0, 2.0, 3.0]])
+        vel = np.array([[0.5, -0.25, 1.0]])
+        acc = np.array([[0.1, 0.2, -0.3]])
+        jerk = np.array([[0.01, -0.02, 0.03]])
+        dt = np.array([0.7])
+        p = predict_positions(pos, vel, acc, jerk, dt)
+        t = dt[0]
+        expected = pos + vel * t + acc * t**2 / 2 + jerk * t**3 / 6
+        assert np.allclose(p, expected, rtol=1e-15)
+        v = predict_velocities(vel, acc, jerk, dt)
+        expected_v = vel + acc * t + jerk * t**2 / 2
+        assert np.allclose(v, expected_v, rtol=1e-15)
+
+    def test_per_particle_dt_broadcast(self, rng):
+        pos = rng.normal(size=(4, 3))
+        vel = rng.normal(size=(4, 3))
+        acc = rng.normal(size=(4, 3))
+        jerk = rng.normal(size=(4, 3))
+        dt = np.array([0.0, 0.1, 0.2, 0.4])
+        p = predict_positions(pos, vel, acc, jerk, dt)
+        for i in range(4):
+            pi = predict_positions(pos[i : i + 1], vel[i : i + 1], acc[i : i + 1], jerk[i : i + 1], dt[i : i + 1])
+            assert np.allclose(p[i], pi[0])
+
+    def test_scalar_dt_accepted(self, rng):
+        pos = rng.normal(size=(3, 3))
+        vel = rng.normal(size=(3, 3))
+        z = np.zeros((3, 3))
+        p = predict_positions(pos, vel, z, z, 0.5)
+        assert np.allclose(p, pos + 0.5 * vel)
+
+
+class TestPredictSystem:
+    def test_writes_pred_buffers(self):
+        s = make_random_cluster(6)
+        s.vel[:] = 1.0
+        pp, pv = predict_system(s, 0.25)
+        assert pp is s.pred_pos
+        assert pv is s.pred_vel
+        assert np.allclose(s.pred_pos, s.pos + 0.25)
+
+    def test_mixed_particle_times(self):
+        s = make_random_cluster(3)
+        s.vel[:] = [[1.0, 0, 0], [1.0, 0, 0], [1.0, 0, 0]]
+        s.t[:] = [0.0, 0.5, 1.0]
+        predict_system(s, 1.0)
+        # dt = 1.0, 0.5, 0.0 respectively
+        assert np.allclose(s.pred_pos[:, 0] - s.pos[:, 0], [1.0, 0.5, 0.0])
+
+    def test_prediction_error_fourth_order(self):
+        """For a Kepler orbit the position prediction error scales as dt^4."""
+        from repro.core import KeplerField
+
+        field = KeplerField()
+
+        def state_at(t):
+            # circular orbit radius 1: analytic
+            pos = np.array([[np.cos(t), np.sin(t), 0.0]])
+            vel = np.array([[-np.sin(t), np.cos(t), 0.0]])
+            return pos, vel
+
+        pos, vel = state_at(0.0)
+        acc, jerk = field.acc_jerk(pos, vel)
+        errs = []
+        dts = [0.1, 0.05, 0.025]
+        for dt in dts:
+            pred = predict_positions(pos, vel, acc, jerk, np.array([dt]))
+            exact, _ = state_at(dt)
+            errs.append(np.linalg.norm(pred - exact))
+        # halving dt should cut the error by ~16
+        assert errs[0] / errs[1] == pytest.approx(16.0, rel=0.2)
+        assert errs[1] / errs[2] == pytest.approx(16.0, rel=0.2)

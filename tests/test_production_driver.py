@@ -1,0 +1,110 @@
+"""Tests for the production-run driver."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CollisionPolicy,
+    HostDirectBackend,
+    KeplerField,
+    ParticleSystem,
+    Simulation,
+    TimestepParams,
+)
+from repro.errors import ConfigurationError
+from repro.grape import Grape6Backend, Grape6Config, Grape6Machine
+from repro.runio import ProductionRun, read_run_log
+
+from conftest import make_disk_sim
+
+
+class TestProductionRun:
+    def test_basic_execution(self, tmp_path):
+        sim = make_disk_sim(n=32, seed=7)
+        run = ProductionRun(
+            sim, tmp_path / "r1", snapshot_interval=4.0,
+            diagnostics_interval=2.0, run_id="t1",
+        )
+        report = run.execute(t_end=10.0)
+        assert report.t_final == pytest.approx(10.0)
+        assert report.block_steps == sim.block_steps
+        assert report.snapshots_written >= 2
+        assert report.max_energy_error < 1e-7
+        assert "production run complete" in report.summary()
+
+    def test_log_contents(self, tmp_path):
+        sim = make_disk_sim(n=16, seed=8)
+        ProductionRun(
+            sim, tmp_path / "r2", snapshot_interval=3.0,
+            diagnostics_interval=3.0, run_id="t2",
+        ).execute(t_end=9.0)
+        records = read_run_log(tmp_path / "r2" / "run.jsonl")
+        kinds = [r["kind"] for r in records]
+        assert kinds[0] == "header"
+        assert "snapshot" in kinds
+        assert "sample" in kinds
+        assert records[-1].get("note") == "final"
+
+    def test_no_management_options(self, tmp_path):
+        """Bare run: just the log header/footer, no snapshots."""
+        sim = make_disk_sim(n=16, seed=9)
+        report = ProductionRun(sim, tmp_path / "r3").execute(t_end=4.0)
+        assert report.snapshots_written == 0
+        assert report.escapers_removed == 0
+
+    def test_grape_totals_in_report(self, tmp_path):
+        from repro.planetesimal import PlanetesimalDiskConfig, build_disk_system
+
+        system = build_disk_system(PlanetesimalDiskConfig(n_planetesimals=24, seed=10))
+        machine = Grape6Machine(Grape6Config.single_node(), eps=0.008, mode="flat")
+        sim = Simulation(
+            system, Grape6Backend(machine),
+            external_field=KeplerField(), timestep_params=TimestepParams(),
+        )
+        report = ProductionRun(sim, tmp_path / "r4").execute(t_end=4.0)
+        assert report.grape_totals is not None
+        assert report.grape_totals["blocks"] > 0
+        assert "Tflops" in report.summary()
+
+    def test_escaper_pruning(self, tmp_path):
+        # a disk plus one runaway particle
+        pos = np.array([[20.0, 0, 0], [25.0, 0, 0], [300.0, 0, 0]])
+        vel = np.array([
+            [0, 1 / np.sqrt(20.0), 0],
+            [0, 1 / np.sqrt(25.0), 0],
+            [0.5, 0, 0],
+        ])
+        system = ParticleSystem(np.full(3, 1e-9), pos, vel)
+        sim = Simulation(
+            system, HostDirectBackend(eps=0.001),
+            external_field=KeplerField(), timestep_params=TimestepParams(),
+        )
+        report = ProductionRun(
+            sim, tmp_path / "r5", diagnostics_interval=2.0,
+            prune_escapers_beyond=100.0,
+        ).execute(t_end=8.0)
+        assert report.escapers_removed == 1
+        assert report.n_final == 2
+
+    def test_mergers_reported(self, tmp_path):
+        rng = np.random.default_rng(4)
+        n = 6
+        pos = np.array([20.0, 0.0, 0.0]) + 0.01 * rng.normal(size=(n, 3))
+        vel = np.tile([0.0, 1 / np.sqrt(20.0), 0.0], (n, 1))
+        system = ParticleSystem(np.full(n, 1e-8), pos, vel)
+        sim = Simulation(
+            system, HostDirectBackend(eps=1e-6),
+            external_field=KeplerField(),
+            timestep_params=TimestepParams(dt_max=0.25),
+            collision_policy=CollisionPolicy(f_enhance=100.0),
+        )
+        report = ProductionRun(sim, tmp_path / "r6").execute(t_end=20.0)
+        assert report.mergers >= 1
+        assert report.n_final < n
+
+    def test_invalid_intervals(self, tmp_path):
+        sim = make_disk_sim(n=8, seed=11)
+        with pytest.raises(ConfigurationError):
+            ProductionRun(sim, tmp_path / "x", snapshot_interval=0.0)
+        with pytest.raises(ConfigurationError):
+            ProductionRun(sim, tmp_path / "x", diagnostics_interval=-1.0)

@@ -1,0 +1,137 @@
+"""Property-based tests for the extension subsystems."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.collisions import merge_state
+from repro.grape.neighbours import neighbour_search
+from repro.parallel import VirtualMachine
+from repro.planetesimal.sizes import mass_from_radius, radius_from_mass
+
+
+class TestMergeProperties:
+    @given(
+        m1=st.floats(1e-12, 1e-3),
+        m2=st.floats(1e-12, 1e-3),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_conservation(self, m1, m2, seed):
+        rng = np.random.default_rng(seed)
+        p1, p2 = rng.normal(size=3), rng.normal(size=3)
+        v1, v2 = rng.normal(size=3), rng.normal(size=3)
+        out = merge_state(m1, p1, v1, 1, m2, p2, v2, 2)
+        assert np.isclose(out.mass, m1 + m2)
+        assert np.allclose(out.mass * out.vel, m1 * v1 + m2 * v2, rtol=1e-12)
+        assert np.allclose(out.mass * out.pos, m1 * p1 + m2 * p2, rtol=1e-12)
+        assert out.survivor_key in (1, 2)
+        assert out.absorbed_key in (1, 2)
+        assert out.survivor_key != out.absorbed_key
+
+    @given(m1=st.floats(1e-12, 1e-3), m2=st.floats(1e-12, 1e-3))
+    @settings(max_examples=30, deadline=None)
+    def test_merged_position_between_progenitors(self, m1, m2):
+        p1 = np.array([0.0, 0.0, 0.0])
+        p2 = np.array([1.0, 0.0, 0.0])
+        out = merge_state(m1, p1, np.zeros(3), 1, m2, p2, np.zeros(3), 2)
+        assert 0.0 <= out.pos[0] <= 1.0
+
+
+class TestSizeProperties:
+    @given(m=st.floats(1e-14, 1e-2))
+    @settings(max_examples=50, deadline=None)
+    def test_radius_mass_roundtrip(self, m):
+        r = radius_from_mass(m)
+        assert np.isclose(float(mass_from_radius(r)), m, rtol=1e-10)
+
+    @given(m=st.floats(1e-14, 1e-2), factor=st.floats(1.1, 1e3))
+    @settings(max_examples=50, deadline=None)
+    def test_radius_monotone(self, m, factor):
+        assert radius_from_mass(m * factor) > radius_from_mass(m)
+
+
+class TestNeighbourProperties:
+    @given(seed=st.integers(0, 2000), h=st.floats(0.1, 5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_lists_match_bruteforce(self, seed, h):
+        rng = np.random.default_rng(seed)
+        n = 15
+        pos = rng.normal(size=(n, 3)) * 2
+        keys = np.arange(100, 100 + n)
+        res = neighbour_search(pos, pos, keys, h=h, exclude_keys=keys)
+        for i in range(n):
+            d = np.linalg.norm(pos - pos[i], axis=1)
+            d[i] = np.inf
+            expect = set(keys[d < h].tolist())
+            assert set(res.lists[i].tolist()) == expect
+            assert res.nearest_key[i] == keys[np.argmin(d)]
+
+    @given(seed=st.integers(0, 2000))
+    @settings(max_examples=30, deadline=None)
+    def test_nearest_is_in_list_when_within_h(self, seed):
+        rng = np.random.default_rng(seed)
+        pos = rng.normal(size=(10, 3))
+        keys = np.arange(10)
+        res = neighbour_search(pos, pos, keys, h=10.0, exclude_keys=keys)
+        for i in range(10):
+            if res.lists[i].size:
+                assert res.nearest_key[i] in res.lists[i]
+
+
+class TestSpmdProperties:
+    @given(
+        n_ranks=st.integers(1, 6),
+        values=st.lists(st.floats(-100, 100), min_size=6, max_size=6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_allreduce_equals_sum(self, n_ranks, values):
+        vals = values[:n_ranks]
+
+        def prog(comm):
+            got = yield comm.allreduce(vals[comm.rank])
+            return got
+
+        res = VirtualMachine(n_ranks).run(prog)
+        expect = sum(vals)
+        assert all(np.isclose(r, expect) for r in res.returns)
+
+    @given(n_ranks=st.integers(2, 6), seed=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_ring_rotation_identity(self, n_ranks, seed):
+        """Passing a token around the full ring returns it home."""
+        rng = np.random.default_rng(seed)
+        tokens = rng.integers(0, 1000, n_ranks).tolist()
+
+        def prog(comm):
+            token = tokens[comm.rank]
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            for _ in range(comm.size):
+                if comm.rank % 2 == 0:
+                    yield comm.send(right, token)
+                    token = yield comm.recv(left)
+                else:
+                    incoming = yield comm.recv(left)
+                    yield comm.send(right, token)
+                    token = incoming
+            return token
+
+        res = VirtualMachine(n_ranks).run(prog)
+        assert res.returns == tokens
+
+    @given(n_ranks=st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_determinism(self, n_ranks):
+        """Two identical runs give identical results and clocks."""
+
+        def prog(comm):
+            g = yield comm.allgather(comm.rank * 3)
+            s = yield comm.allreduce(float(comm.rank))
+            return (tuple(g), s)
+
+        r1 = VirtualMachine(n_ranks).run(prog)
+        r2 = VirtualMachine(n_ranks).run(prog)
+        assert r1.returns == r2.returns
+        assert r1.clock == r2.clock
+        assert r1.total_bytes == r2.total_bytes

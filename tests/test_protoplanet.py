@@ -1,0 +1,68 @@
+"""Tests for protoplanet setup."""
+
+import numpy as np
+import pytest
+
+from repro.constants import (
+    PAPER_PROTOPLANET_MASS,
+    PAPER_PROTOPLANET_RADII_AU,
+    PAPER_SOFTENING_AU,
+)
+from repro.errors import ConfigurationError
+from repro.planetesimal import Protoplanet, default_protoplanets, protoplanet_states
+
+
+class TestProtoplanet:
+    def test_state_is_circular(self):
+        p = Protoplanet(mass=1e-5, radius_au=20.0, phase=0.7)
+        pos, vel = p.state()
+        assert np.linalg.norm(pos) == pytest.approx(20.0)
+        assert np.linalg.norm(vel) == pytest.approx(1.0 / np.sqrt(20.0))
+        # velocity perpendicular to radius for a circular orbit
+        assert pos @ vel == pytest.approx(0.0, abs=1e-14)
+        assert pos[2] == 0.0 and vel[2] == 0.0
+
+    def test_prograde(self):
+        p = Protoplanet(mass=1e-5, radius_au=20.0, phase=0.0)
+        pos, vel = p.state()
+        lz = pos[0] * vel[1] - pos[1] * vel[0]
+        assert lz > 0
+
+    def test_hill_radius(self):
+        p = Protoplanet(mass=3e-6, radius_au=1.0)
+        assert p.hill_radius() == pytest.approx(0.01)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            Protoplanet(mass=-1.0, radius_au=20.0)
+        with pytest.raises(ConfigurationError):
+            Protoplanet(mass=1e-5, radius_au=0.0)
+
+
+class TestDefaults:
+    def test_paper_pair(self):
+        pair = default_protoplanets()
+        assert len(pair) == 2
+        assert {p.radius_au for p in pair} == set(PAPER_PROTOPLANET_RADII_AU)
+        assert all(p.mass == PAPER_PROTOPLANET_MASS for p in pair)
+
+    def test_phases_opposed(self):
+        pair = default_protoplanets()
+        assert abs(pair[0].phase - pair[1].phase) == pytest.approx(np.pi)
+
+    def test_softening_well_inside_hill_sphere(self):
+        """Paper: softening is ~2 dex below the protoplanet Hill radius."""
+        for p in default_protoplanets():
+            assert p.hill_radius() / PAPER_SOFTENING_AU > 30.0
+
+
+class TestStates:
+    def test_stacking(self):
+        mass, pos, vel = protoplanet_states(default_protoplanets())
+        assert mass.shape == (2,)
+        assert pos.shape == (2, 3)
+        assert vel.shape == (2, 3)
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            protoplanet_states([])

@@ -1,0 +1,95 @@
+"""Tests for mean-motion resonance location."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.planetesimal import (
+    Resonance,
+    classify_resonant,
+    resonance_ladder,
+    resonance_semi_major_axis,
+)
+
+
+class TestLocation:
+    def test_two_to_one_interior(self):
+        # 2:1 interior resonance of a 30 AU perturber: 30 * (1/2)^(2/3)
+        a = resonance_semi_major_axis(2, 1, 30.0)
+        assert a == pytest.approx(30.0 * 0.5 ** (2 / 3))
+        assert a == pytest.approx(18.9, abs=0.05)
+
+    def test_three_to_two(self):
+        a = resonance_semi_major_axis(3, 2, 30.0)
+        assert a == pytest.approx(30.0 * (2 / 3) ** (2 / 3))
+
+    def test_exterior_resonance_outside(self):
+        a = resonance_semi_major_axis(1, 2, 30.0)
+        assert a > 30.0
+        # Kepler check: period ratio is exactly 2
+        assert (a / 30.0) ** 1.5 == pytest.approx(2.0)
+
+    def test_neptune_pluto(self):
+        """Pluto sits in Neptune's exterior 2:3 resonance at ~39.4 AU."""
+        a = resonance_semi_major_axis(2, 3, 30.07)
+        assert a == pytest.approx(39.4, abs=0.2)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            resonance_semi_major_axis(1, 1, 30.0)
+        with pytest.raises(ConfigurationError):
+            resonance_semi_major_axis(0, 1, 30.0)
+        with pytest.raises(ConfigurationError):
+            resonance_semi_major_axis(2, 1, -5.0)
+
+
+class TestLadder:
+    def test_sorted_and_deduplicated(self):
+        ladder = resonance_ladder(30.0, max_index=4, max_order=2)
+        locs = [r.a for r in ladder]
+        assert locs == sorted(locs)
+        names = [r.name for r in ladder]
+        assert len(names) == len(set(names))
+        assert "4:2" not in names  # reduces to 2:1
+
+    def test_contains_classics(self):
+        ladder = resonance_ladder(30.0, max_index=3, max_order=1)
+        names = {r.name for r in ladder}
+        assert {"2:1", "3:2", "4:3", "1:2", "2:3", "3:4"} <= names
+
+    def test_interior_exterior_split(self):
+        ladder = resonance_ladder(30.0)
+        for r in ladder:
+            if r.interior:
+                assert r.a < 30.0
+            else:
+                assert r.a > 30.0
+
+    def test_orders(self):
+        ladder = resonance_ladder(30.0, max_index=2, max_order=2)
+        assert all(r.order in (1, 2) for r in ladder)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            resonance_ladder(30.0, max_index=0)
+
+
+class TestClassify:
+    def test_flags_within_width(self):
+        ladder = [Resonance(2, 1, 18.9), Resonance(3, 2, 22.9)]
+        a = np.array([18.85, 20.0, 22.95, 35.0])
+        out = classify_resonant(a, ladder, width=0.2)
+        assert out.tolist() == [0, -1, 1, -1]
+
+    def test_empty_ladder(self):
+        out = classify_resonant(np.array([20.0]), [], width=0.2)
+        assert out.tolist() == [-1]
+
+    def test_width_validation(self):
+        with pytest.raises(ConfigurationError):
+            classify_resonant(np.array([20.0]), [Resonance(2, 1, 18.9)], width=0.0)
+
+    def test_nearest_rung_wins(self):
+        ladder = [Resonance(2, 1, 18.0), Resonance(3, 2, 19.0)]
+        out = classify_resonant(np.array([18.6]), ladder, width=1.0)
+        assert out[0] == 1

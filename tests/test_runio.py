@@ -1,0 +1,130 @@
+"""Tests for run logging and output management."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SnapshotError
+from repro.runio import OutputManager, RunLogger, SnapshotSchedule, read_run_log
+
+from conftest import make_disk_sim
+
+
+class TestRunLogger:
+    def test_header_and_samples(self, tmp_path):
+        sim = make_disk_sim(n=16, seed=2)
+        path = tmp_path / "run.jsonl"
+        with RunLogger(path, run_id="test-1", metadata={"n": 16}) as log:
+            sim.evolve(2.0)
+            log.record(sim, energy_error=1e-10)
+            log.event("snapshot", file="snap_000000.npz")
+        records = read_run_log(path)
+        assert records[0]["kind"] == "header"
+        assert records[0]["run_id"] == "test-1"
+        assert records[1]["kind"] == "sample"
+        assert records[1]["t"] == sim.time
+        assert records[1]["energy_error"] == 1e-10
+        assert records[2]["kind"] == "snapshot"
+
+    def test_append_mode(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLogger(path, run_id="a") as log:
+            log.event("x")
+        with RunLogger(path, run_id="b") as log:
+            log.event("y")
+        records = read_run_log(path)
+        assert len(records) == 4  # two headers + two events
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLogger(path, run_id="a") as log:
+            log.event("good")
+        with open(path, "a") as f:
+            f.write('{"kind": "tor')  # crash mid-write
+        records = read_run_log(path)
+        assert [r["kind"] for r in records] == ["header", "good"]
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"kind": "header"}\nnot json\n{"kind": "sample"}\n')
+        with pytest.raises(SnapshotError):
+            read_run_log(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            read_run_log(tmp_path / "nope.jsonl")
+
+    def test_non_serialisable_rejected(self, tmp_path):
+        with RunLogger(tmp_path / "r.jsonl") as log:
+            with pytest.raises(SnapshotError):
+                log.event("bad", data=np.zeros(3))
+
+
+class TestSchedule:
+    def test_due_progression(self):
+        s = SnapshotSchedule(interval=10.0)
+        assert not s.due(5.0)
+        assert s.due(10.0)
+        s.mark_done()
+        assert not s.due(15.0)
+        assert s.due(20.0)
+
+    def test_nonpositive_interval(self):
+        with pytest.raises(ConfigurationError):
+            SnapshotSchedule(interval=0.0)
+
+    def test_t_start_offset(self):
+        s = SnapshotSchedule(interval=5.0, t_start=100.0)
+        assert not s.due(100.0)
+        assert s.due(105.0)
+
+
+class TestOutputManager:
+    def test_numbered_snapshots(self, tmp_path):
+        sim = make_disk_sim(n=8, seed=3)
+        om = OutputManager(tmp_path / "run")
+        p0 = om.write(sim.system, 0.0)
+        p1 = om.write(sim.system, 1.0)
+        assert p0.name == "snap_000000.npz"
+        assert p1.name == "snap_000001.npz"
+        assert om.n_snapshots == 2
+
+    def test_latest_roundtrip(self, tmp_path):
+        sim = make_disk_sim(n=8, seed=3)
+        om = OutputManager(tmp_path / "run")
+        om.write(sim.system, 0.0, {"tag": "first"})
+        sim.evolve(2.0)
+        om.write(sim.predicted_state(), sim.time, {"tag": "second"})
+        system, meta = om.latest()
+        assert meta["tag"] == "second"
+        assert meta["snapshot_index"] == 1
+        assert system.n == sim.system.n
+
+    def test_restart_numbering(self, tmp_path):
+        sim = make_disk_sim(n=8, seed=3)
+        om1 = OutputManager(tmp_path / "run")
+        om1.write(sim.system, 0.0)
+        om2 = OutputManager(tmp_path / "run")  # a restart
+        p = om2.write(sim.system, 1.0)
+        assert p.name == "snap_000001.npz"
+
+    def test_maybe_write_follows_schedule(self, tmp_path):
+        sim = make_disk_sim(n=8, seed=3)
+        om = OutputManager(tmp_path / "run", SnapshotSchedule(interval=2.0))
+        wrote = []
+        sim.evolve(7.0, callback=lambda s: wrote.append(om.maybe_write(s)))
+        paths = [p for p in wrote if p is not None]
+        assert 2 <= len(paths) <= 4
+        assert om.n_snapshots == len(paths)
+
+    def test_maybe_write_without_schedule(self, tmp_path):
+        om = OutputManager(tmp_path / "run")
+        sim = make_disk_sim(n=8, seed=3)
+        with pytest.raises(ConfigurationError):
+            om.maybe_write(sim)
+
+    def test_latest_empty_raises(self, tmp_path):
+        om = OutputManager(tmp_path / "empty")
+        with pytest.raises(SnapshotError):
+            om.latest()

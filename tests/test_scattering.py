@@ -1,0 +1,70 @@
+"""Tests for scattering/fate classification."""
+
+import numpy as np
+import pytest
+
+from repro.planetesimal import FateCounts, ScatteringMonitor, classify_fates
+from repro.planetesimal.orbital import OrbitalElements, elements_to_cartesian
+
+
+def states_from(a, e):
+    n = len(a)
+    el = OrbitalElements(
+        a=np.asarray(a, float),
+        e=np.asarray(e, float),
+        inc=np.zeros(n),
+        Omega=np.zeros(n),
+        omega=np.zeros(n),
+        M=np.linspace(0.1, 1.0, n),
+    )
+    return elements_to_cartesian(el)
+
+
+class TestClassify:
+    def test_quiet_disk_all_bound(self):
+        pos, vel = states_from([20.0, 25.0, 30.0], [0.01, 0.02, 0.05])
+        c = classify_fates(pos, vel)
+        assert c.bound_disk == 3
+        assert c.ejected == 0
+        assert c.total == 3
+
+    def test_excited_orbit(self):
+        pos, vel = states_from([25.0], [0.5])
+        c = classify_fates(pos, vel, e_excited=0.2)
+        assert c.excited == 1
+
+    def test_oort_candidate(self):
+        # a=60, e=0.8 -> aphelion 108 > 100
+        pos, vel = states_from([60.0], [0.8])
+        c = classify_fates(pos, vel, aphelion_cut=100.0)
+        assert c.oort_candidate == 1
+
+    def test_ejected(self):
+        pos = np.array([[30.0, 0, 0]])
+        vel = np.array([[0.5, 0.0, 0]])  # v^2 = 0.25 >> 2/30
+        c = classify_fates(pos, vel)
+        assert c.ejected == 1
+
+    def test_fractions_sum_to_one(self):
+        pos, vel = states_from([20.0, 25.0, 60.0], [0.01, 0.5, 0.9])
+        c = classify_fates(pos, vel)
+        fr = c.fractions()
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_empty_fractions(self):
+        c = FateCounts(0, 0, 0, 0)
+        assert c.fractions() == {}
+
+
+class TestMonitor:
+    def test_series_accumulates(self):
+        mon = ScatteringMonitor()
+        pos, vel = states_from([20.0, 30.0], [0.01, 0.01])
+        mon.sample(0.0, pos, vel)
+        mon.sample(10.0, pos, vel)
+        assert mon.times == [0.0, 10.0]
+        assert mon.latest().bound_disk == 2
+
+    def test_latest_requires_samples(self):
+        with pytest.raises(RuntimeError):
+            ScatteringMonitor().latest()

@@ -1,0 +1,101 @@
+"""Tests for the block scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler import BlockScheduler, BlockStats
+from repro.errors import SchedulerError
+
+
+class TestNextBlock:
+    def test_selects_minimum_time(self):
+        s = BlockScheduler()
+        t = np.array([0.0, 0.0, 0.0])
+        dt = np.array([0.5, 0.25, 1.0])
+        t_next, active = s.next_block(t, dt)
+        assert t_next == 0.25
+        assert np.array_equal(active, [1])
+
+    def test_groups_equal_times(self):
+        s = BlockScheduler()
+        t = np.array([0.0, 0.25, 0.0, 0.25])
+        dt = np.array([0.5, 0.25, 0.5, 0.25])
+        t_next, active = s.next_block(t, dt)
+        assert t_next == 0.5
+        assert np.array_equal(active, [0, 1, 2, 3])
+
+    def test_exact_power_of_two_grouping(self):
+        """Times built from power-of-two sums compare exactly equal."""
+        s = BlockScheduler()
+        t = np.array([0.125 + 0.125 + 0.25, 0.5])  # both exactly 0.5
+        dt = np.array([0.25, 0.25])
+        _, active = s.next_block(t, dt)
+        assert active.size == 2
+
+    def test_raises_on_nonpositive_dt(self):
+        s = BlockScheduler()
+        with pytest.raises(SchedulerError):
+            s.next_block(np.array([0.0]), np.array([0.0]))
+
+    def test_raises_on_nonfinite(self):
+        s = BlockScheduler()
+        with pytest.raises(SchedulerError):
+            s.next_block(np.array([0.0]), np.array([np.inf]))
+
+    def test_peek_does_not_record(self):
+        s = BlockScheduler()
+        t = np.zeros(3)
+        dt = np.array([1.0, 0.5, 0.5])
+        assert s.peek_time(t, dt) == 0.5
+        assert s.stats.n_blocks == 0
+
+
+class TestStats:
+    def test_record_accumulates(self):
+        st = BlockStats()
+        for size in [10, 20, 30]:
+            st.record(size)
+        assert st.n_blocks == 3
+        assert st.n_particle_steps == 60
+        assert st.mean_block == pytest.approx(20.0)
+        assert st.min_block == 10
+        assert st.max_block == 30
+
+    def test_median(self):
+        st = BlockStats()
+        for size in [1, 1, 1, 100]:
+            st.record(size)
+        assert st.median_block() == 1.0
+
+    def test_empty_stats(self):
+        st = BlockStats()
+        assert st.mean_block == 0.0
+        assert st.median_block() == 0.0
+
+    def test_reset(self):
+        st = BlockStats()
+        st.record(5)
+        st.reset()
+        assert st.n_blocks == 0
+        assert st.size_counts == {}
+
+    def test_scheduler_stats_integration(self):
+        s = BlockScheduler()
+        t = np.zeros(4)
+        dt = np.array([0.25, 0.25, 0.5, 1.0])
+        s.next_block(t, dt)
+        assert s.stats.n_blocks == 1
+        assert s.stats.mean_block == 2.0
+
+    def test_size_histogram_covers_all_blocks(self):
+        st = BlockStats()
+        for size in (1, 2, 5, 50, 500, 500):
+            st.record(size)
+        rows = st.size_histogram(n_bins=4)
+        assert sum(c for _, _, c in rows) == 6
+        # bins are contiguous and ordered
+        for (a1, b1, _), (a2, _, _) in zip(rows, rows[1:]):
+            assert a2 == b1 + 1
+
+    def test_size_histogram_empty(self):
+        assert BlockStats().size_histogram() == []

@@ -1,0 +1,160 @@
+"""Tests for timestep criteria and block quantisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.timestep import (
+    TimestepParams,
+    aarseth_dt,
+    block_level,
+    floor_power_of_two,
+    quantize,
+    startup_dt,
+)
+from repro.errors import ConfigurationError
+
+
+class TestParams:
+    def test_defaults_valid(self):
+        p = TimestepParams()
+        assert p.dt_min < p.dt_max
+        assert p.max_level > 0
+
+    def test_rejects_negative_eta(self):
+        with pytest.raises(ConfigurationError):
+            TimestepParams(eta=-1.0)
+
+    def test_rejects_non_power_of_two_ratio(self):
+        with pytest.raises(ConfigurationError):
+            TimestepParams(dt_max=1.0, dt_min=0.3)
+
+    def test_rejects_dt_min_above_dt_max(self):
+        with pytest.raises(ConfigurationError):
+            TimestepParams(dt_max=0.25, dt_min=1.0)
+
+    def test_max_level(self):
+        p = TimestepParams(dt_max=1.0, dt_min=2.0**-10)
+        assert p.max_level == 10
+
+
+class TestFloorPowerOfTwo:
+    def test_exact_powers_unchanged(self):
+        dt = np.array([1.0, 0.5, 0.125, 2.0**-20])
+        assert np.array_equal(floor_power_of_two(dt), dt)
+
+    def test_rounds_down(self):
+        assert floor_power_of_two(np.array([0.7]))[0] == 0.5
+        assert floor_power_of_two(np.array([1.9]))[0] == 1.0
+        assert floor_power_of_two(np.array([0.24]))[0] == 0.125
+
+    def test_inf_passthrough(self):
+        assert floor_power_of_two(np.array([np.inf]))[0] == np.inf
+
+    def test_zero_stays_zero(self):
+        assert floor_power_of_two(np.array([0.0]))[0] == 0.0
+
+
+class TestBlockLevel:
+    def test_levels(self):
+        dt = np.array([1.0, 0.5, 0.25, 0.03125])
+        assert np.array_equal(block_level(dt, 1.0), [0, 1, 2, 5])
+
+
+class TestAarseth:
+    def test_scale_invariance(self):
+        """dt is homogeneous: scaling all derivatives consistently rescales dt."""
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(4, 3))
+        j = rng.normal(size=(4, 3))
+        s = rng.normal(size=(4, 3))
+        c = rng.normal(size=(4, 3))
+        dt1 = aarseth_dt(a, j, s, c, eta=0.01)
+        # scale time by k: a->a, j->j/k, s->s/k^2, c->c/k^3
+        k = 2.0
+        dt2 = aarseth_dt(a, j / k, s / k**2, c / k**3, eta=0.01)
+        assert np.allclose(dt2, k * dt1)
+
+    def test_eta_scaling(self):
+        rng = np.random.default_rng(1)
+        args = [rng.normal(size=(3, 3)) for _ in range(4)]
+        dt1 = aarseth_dt(*args, eta=0.01)
+        dt4 = aarseth_dt(*args, eta=0.04)
+        assert np.allclose(dt4, 2.0 * dt1)
+
+    def test_degenerate_zero_derivatives_gives_inf(self):
+        z = np.zeros((2, 3))
+        dt = aarseth_dt(z, z, z, z, eta=0.01)
+        assert np.all(np.isinf(dt))
+
+    def test_all_positive(self):
+        rng = np.random.default_rng(2)
+        args = [rng.normal(size=(10, 3)) for _ in range(4)]
+        dt = aarseth_dt(*args, eta=0.02)
+        assert np.all(dt > 0)
+
+
+class TestStartup:
+    def test_formula(self):
+        a = np.array([[3.0, 0, 0]])
+        j = np.array([[0.0, 4.0, 0]])
+        dt = startup_dt(a, j, eta_start=0.02)
+        assert dt[0] == pytest.approx(0.02 * 3.0 / 4.0)
+
+    def test_zero_jerk_gives_inf(self):
+        a = np.array([[1.0, 0, 0]])
+        j = np.zeros((1, 3))
+        assert np.isinf(startup_dt(a, j, 0.01)[0])
+
+
+class TestQuantize:
+    def setup_method(self):
+        self.params = TimestepParams(dt_max=1.0, dt_min=2.0**-16)
+
+    def test_startup_quantisation(self):
+        dt = quantize(np.array([0.7, 0.3, np.inf]), np.zeros(3), None, self.params)
+        assert np.array_equal(dt, [0.5, 0.25, 1.0])
+
+    def test_clipped_to_dt_min(self):
+        dt = quantize(np.array([1e-30]), np.zeros(1), None, self.params)
+        assert dt[0] == self.params.dt_min
+
+    def test_clipped_to_dt_max(self):
+        dt = quantize(np.array([123.0]), np.zeros(1), None, self.params)
+        assert dt[0] == 1.0
+
+    def test_shrink_always_allowed(self):
+        dt = quantize(
+            np.array([0.1]), np.array([0.375]), np.array([0.25]), self.params
+        )
+        assert dt[0] == 0.0625
+
+    def test_growth_requires_commensurate_time(self):
+        # particle at t=0.375 with dt=0.125 wants 0.5: 0.375/0.25 is not
+        # an integer, so the step must stay at 0.125.
+        dt = quantize(
+            np.array([0.5]), np.array([0.375]), np.array([0.125]), self.params
+        )
+        assert dt[0] == 0.125
+
+    def test_growth_allowed_on_grid(self):
+        # particle at t=0.5 with dt=0.25 may double to 0.5 (0.5/0.5 = 1).
+        dt = quantize(
+            np.array([0.9]), np.array([0.5]), np.array([0.25]), self.params
+        )
+        assert dt[0] == 0.5
+
+    def test_growth_is_at_most_doubling(self):
+        # even at a commensurate time, a particle cannot jump 0.125 -> 1.0
+        dt = quantize(
+            np.array([1.0]), np.array([2.0]), np.array([0.125]), self.params
+        )
+        assert dt[0] == 0.25
+
+    def test_result_is_always_power_of_two_of_dt_max(self):
+        rng = np.random.default_rng(3)
+        desired = 10.0 ** rng.uniform(-4, 2, size=100)
+        dt = quantize(desired, np.zeros(100), None, self.params)
+        levels = np.log2(self.params.dt_max / dt)
+        assert np.allclose(levels, np.round(levels))
+        assert np.all(dt >= self.params.dt_min)
+        assert np.all(dt <= self.params.dt_max)

@@ -1,0 +1,100 @@
+"""Cross-validation: analytic timing model vs hierarchy hardware counters.
+
+The PERF benchmarks trust :class:`~repro.grape.timing.Grape6TimingModel`;
+these tests pin the model to the simulated hardware it abstracts: the
+cycle counts the chips actually accumulate in hierarchy mode must equal
+the model's ``chip_cycles`` prediction for the same load shapes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.grape import Grape6Backend, Grape6Config, Grape6Machine, Grape6TimingModel
+from repro.planetesimal import PlanetesimalDiskConfig, build_disk_system
+
+
+def busiest_chip_cycles(machine) -> int:
+    return max(
+        chip.force_cycles
+        for cluster in machine.clusters
+        for node in cluster.nodes
+        for board in node.boards
+        for chip in board.chips
+    )
+
+
+class TestModelVsHardware:
+    @pytest.mark.parametrize("n_active", [4, 17, 60])
+    def test_chip_cycles_match(self, n_active):
+        cfg = Grape6Config.scaled_down()  # 2x2x2x2 = 16 chips
+        sys_ = build_disk_system(
+            PlanetesimalDiskConfig(n_planetesimals=62, seed=14)
+        )
+        machine = Grape6Machine(cfg, eps=0.008, mode="hierarchy")
+        backend = Grape6Backend(machine)
+        backend.load(sys_)
+
+        active = np.arange(n_active)
+        backend.forces_on(sys_, active, 0.0)
+
+        model = Grape6TimingModel(cfg)
+        predicted = model.chip_cycles(n_active, sys_.n)
+        measured = busiest_chip_cycles(machine)
+        # the model uses ceil shares; the hardware's round-robin can be
+        # one particle lighter on the busiest chip
+        assert measured <= predicted
+        assert measured >= 0.7 * predicted
+
+    def test_predictor_cycles_equal_resident_count(self):
+        cfg = Grape6Config.scaled_down()
+        sys_ = build_disk_system(PlanetesimalDiskConfig(n_planetesimals=30, seed=15))
+        machine = Grape6Machine(cfg, eps=0.008, mode="hierarchy")
+        backend = Grape6Backend(machine)
+        backend.load(sys_)
+        backend.forces_on(sys_, np.arange(sys_.n), 0.0)
+        for cluster in machine.clusters:
+            for node in cluster.nodes:
+                for board in node.boards:
+                    for chip in board.chips:
+                        if chip.n_resident:
+                            assert chip.predictor_cycles == chip.n_resident
+
+    def test_interaction_totals_match_counter(self):
+        cfg = Grape6Config.scaled_down()
+        sys_ = build_disk_system(PlanetesimalDiskConfig(n_planetesimals=30, seed=16))
+        machine = Grape6Machine(cfg, eps=0.008, mode="hierarchy")
+        backend = Grape6Backend(machine)
+        backend.load(sys_)
+        backend.forces_on(sys_, np.arange(10), 0.0)
+        hw_total = sum(
+            chip.interactions
+            for cluster in machine.clusters
+            for node in cluster.nodes
+            for board in node.boards
+            for chip in board.chips
+        )
+        # every cluster holds a full j-copy, but only one cluster serves
+        # a given i-particle: total interactions = n_active * n_j
+        assert hw_total == 10 * sys_.n
+
+    def test_pci_bytes_scale_with_block(self):
+        cfg = Grape6Config.scaled_down()
+        sys_ = build_disk_system(PlanetesimalDiskConfig(n_planetesimals=40, seed=17))
+        machine = Grape6Machine(cfg, eps=0.008, mode="hierarchy")
+        backend = Grape6Backend(machine)
+        backend.load(sys_)
+
+        def pci_bytes():
+            return sum(
+                node.host.pci.bytes_total
+                for cluster in machine.clusters
+                for node in cluster.nodes
+            )
+
+        before = pci_bytes()
+        backend.forces_on(sys_, np.arange(10), 0.0)
+        mid = pci_bytes()
+        backend.forces_on(sys_, np.arange(40), 0.0)
+        after = pci_bytes()
+        assert mid > before
+        assert (after - mid) > (mid - before)

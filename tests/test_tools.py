@@ -1,0 +1,56 @@
+"""Tests for the API-doc generation tool."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "tools"))
+
+from gen_api_docs import collect_modules, describe_module, main, render_api_docs
+
+
+class TestCollect:
+    def test_finds_all_packages(self):
+        mods = collect_modules()
+        assert "repro" in mods
+        for pkg in ("repro.core", "repro.grape", "repro.parallel",
+                    "repro.planetesimal", "repro.baselines", "repro.perf",
+                    "repro.runio"):
+            assert pkg in mods
+
+    def test_skips_entry_point(self):
+        assert "repro.__main__" not in collect_modules()
+
+    def test_sorted(self):
+        mods = collect_modules()
+        assert mods == sorted(mods)
+
+
+class TestDescribe:
+    def test_module_with_all(self):
+        info = describe_module("repro.core.forces")
+        names = {s["name"] for s in info["symbols"]}
+        assert "acc_jerk" in names
+        assert info["doc"].startswith("Direct-summation")
+
+    def test_symbols_have_docs(self):
+        info = describe_module("repro.core.integrator")
+        sim = next(s for s in info["symbols"] if s["name"] == "Simulation")
+        assert sim["kind"] == "class"
+        assert "Hermite" in sim["doc"]
+
+
+class TestRender:
+    def test_renders_every_public_module(self):
+        text = render_api_docs()
+        assert "## `repro.core.forces`" in text
+        assert "## `repro.grape.system`" in text
+        assert "acc_jerk" in text
+        assert len(text.splitlines()) > 200
+
+    def test_main_writes_file(self, tmp_path):
+        out = tmp_path / "API.md"
+        assert main([str(out)]) == 0
+        assert out.exists()
+        assert "# API reference" in out.read_text()

@@ -1,0 +1,86 @@
+"""Tests for repro.units: the AU/Msun/G=1 unit system of the paper."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import units
+
+
+def test_one_year_is_two_pi():
+    assert units.years_to_code(1.0) == pytest.approx(2.0 * math.pi)
+
+
+def test_years_roundtrip():
+    t = np.array([0.5, 1.0, 1878.8])
+    assert np.allclose(units.code_to_years(units.years_to_code(t)), t)
+
+
+def test_au_roundtrip():
+    assert units.m_to_au(units.au_to_m(35.0)) == pytest.approx(35.0)
+
+
+def test_msun_roundtrip():
+    assert units.kg_to_msun(units.msun_to_kg(1e-5)) == pytest.approx(1e-5)
+
+
+def test_orbital_period_at_1au_is_one_year():
+    assert units.orbital_period(1.0) == pytest.approx(2.0 * math.pi)
+
+
+def test_orbital_period_kepler_third_law():
+    # P^2 ∝ a^3: the period at 4 AU is 8x the period at 1 AU.
+    assert units.orbital_period(4.0) == pytest.approx(8.0 * units.orbital_period(1.0))
+
+
+def test_circular_velocity_at_1au_is_unity():
+    assert units.circular_velocity(1.0) == pytest.approx(1.0)
+
+
+def test_circular_velocity_scales_inverse_sqrt():
+    assert units.circular_velocity(25.0) == pytest.approx(0.2)
+
+
+def test_circular_velocity_si_is_29_8_kms():
+    v = units.velocity_code_to_si(units.circular_velocity(1.0))
+    assert v == pytest.approx(29.78e3, rel=1e-3)
+
+
+def test_keplerian_omega_matches_period():
+    a = 20.0
+    assert units.keplerian_omega(a) * units.orbital_period(a) == pytest.approx(
+        2.0 * math.pi
+    )
+
+
+def test_hill_radius_formula():
+    # m = 3e-6 Msun at 1 AU: r_H = (1e-6)^(1/3) = 0.01 AU.
+    assert units.hill_radius(1.0, 3e-6) == pytest.approx(0.01)
+
+
+def test_paper_softening_well_below_protoplanet_hill_radius():
+    """Paper: softening is two orders of magnitude below the Hill radius."""
+    from repro.constants import (
+        PAPER_PROTOPLANET_MASS,
+        PAPER_PROTOPLANET_RADII_AU,
+        PAPER_SOFTENING_AU,
+    )
+
+    for a in PAPER_PROTOPLANET_RADII_AU:
+        r_h = units.hill_radius(a, PAPER_PROTOPLANET_MASS)
+        assert PAPER_SOFTENING_AU < r_h / 30.0
+
+
+def test_escape_velocity_is_sqrt2_circular():
+    r = 5.0
+    assert units.escape_velocity(r) == pytest.approx(
+        math.sqrt(2.0) * units.circular_velocity(r)
+    )
+
+
+def test_vector_inputs_broadcast():
+    a = np.array([15.0, 20.0, 35.0])
+    p = units.orbital_period(a)
+    assert p.shape == (3,)
+    assert np.all(np.diff(p) > 0)

@@ -1,0 +1,61 @@
+"""Tests for the ASCII visualisation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.viz import bar_series, scatter_map
+
+
+class TestScatterMap:
+    def test_dimensions(self):
+        out = scatter_map(np.array([0.0]), np.array([0.0]), extent=10, size=21)
+        lines = out.split("\n")
+        assert len(lines) == 23  # 21 rows + 2 borders
+        assert all(len(l) == 23 for l in lines)
+
+    def test_sun_marker_at_center(self):
+        out = scatter_map(np.array([5.0]), np.array([5.0]), extent=10, size=21)
+        lines = out.split("\n")[1:-1]
+        center = lines[10][11]  # row 10 (from top = y inverted), col 1+10
+        assert center == "O"
+
+    def test_density_marks_populated_cells(self):
+        rng = np.random.default_rng(0)
+        theta = rng.uniform(0, 2 * np.pi, 500)
+        x, y = 20 * np.cos(theta), 20 * np.sin(theta)
+        out = scatter_map(x, y, extent=40, size=41)
+        # the ring must render as non-space characters
+        assert sum(c in ".:+*#@" for c in out) > 40
+
+    def test_markers_drawn(self):
+        out = scatter_map(np.array([]), np.array([]), extent=10, size=21,
+                          markers=[(5.0, 0.0, "U")])
+        assert "U" in out
+
+    def test_out_of_window_points_ignored(self):
+        out = scatter_map(np.array([100.0]), np.array([0.0]), extent=10, size=11)
+        body = "".join(out.split("\n")[1:-1])
+        assert set(body) <= set("| O")
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            scatter_map(np.array([0.0]), np.array([0.0]), extent=-1)
+        with pytest.raises(ConfigurationError):
+            scatter_map(np.array([0.0]), np.array([0.0]), extent=1, size=2)
+
+
+class TestBarSeries:
+    def test_rows_and_peak(self):
+        out = bar_series(["a", "b"], [1.0, 2.0], width=10)
+        lines = out.split("\n")
+        assert len(lines) == 2
+        assert "##########" in lines[1]
+        assert "#####" in lines[0]
+
+    def test_empty(self):
+        assert bar_series([], []) == ""
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            bar_series(["a"], [1.0, 2.0])
