@@ -5,7 +5,10 @@ Three subcommands cover the common entry points:
 ``run``
     Integrate a scaled paper disk with a chosen force backend and
     print run statistics (block counts, energy error, Tflops model for
-    the GRAPE backend).
+    the GRAPE backend).  ``--trace-out`` / ``--metrics-out`` enable the
+    :mod:`repro.obs` instrumentation and export a Chrome-trace JSON /
+    Prometheus text file; ``report --metrics`` renders the paper-style
+    time breakdown from the latter.
 
 ``perf``
     Evaluate the GRAPE-6 timing model for a given machine shape,
@@ -42,6 +45,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="force engine",
     )
     p_run.add_argument("--eps", type=float, default=0.008, help="softening [AU]")
+    p_run.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write a Chrome-trace/Perfetto JSON of the run (enables tracing)",
+    )
+    p_run.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write Prometheus text exposition of run metrics (enables metrics)",
+    )
 
     p_perf = sub.add_parser("perf", help="evaluate the GRAPE-6 timing model")
     p_perf.add_argument("--n", type=int, default=1_800_000, help="total particles")
@@ -66,6 +77,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument(
         "--results-dir", default="benchmarks/results",
         help="directory of tables written by pytest benchmarks",
+    )
+    p_rep.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="render the paper-style time breakdown from a metrics file "
+             "written by `repro run --metrics-out`",
     )
     return parser
 
@@ -96,9 +112,15 @@ def _cmd_run(args) -> int:
         machine = Grape6Machine(Grape6Config.paper_full_system(), eps=args.eps)
         backend = Grape6Backend(machine)
 
+    obs = None
+    if args.trace_out or args.metrics_out:
+        from .obs import Observability
+
+        obs = Observability()
+
     res = run_scaled_disk(
         backend, n=args.n, t_end=args.t_end, seed=args.seed,
-        eta=args.eta, dt_max=args.dt_max,
+        eta=args.eta, dt_max=args.dt_max, obs=obs,
     )
     print(f"particles:        {res.n}")
     print(f"integrated to:    T = {res.t_end:g}")
@@ -113,6 +135,22 @@ def _cmd_run(args) -> int:
         print(f"GRAPE model:      {machine.totals.total_seconds:.4f} s, "
               f"{machine.achieved_flops() / 1e12:.3f} Tflops "
               f"({machine.efficiency():.1%} of peak)")
+    if obs is not None:
+        try:
+            if args.trace_out:
+                path = obs.export_chrome_trace(args.trace_out)
+                print(f"trace written:    {path} "
+                      f"({len(obs.tracer.spans)} spans; load in chrome://tracing)")
+            if args.metrics_out:
+                path = obs.export_prometheus(args.metrics_out)
+                print(f"metrics written:  {path} ({len(obs.metrics)} series)")
+        except OSError as exc:
+            print(f"error: cannot write observability output: {exc}")
+            return 1
+        breakdown = obs.render_time_breakdown()
+        if breakdown:
+            print()
+            print(breakdown)
     return 0
 
 
@@ -176,9 +214,30 @@ def _cmd_selftest(args) -> int:
 def _cmd_report(args) -> int:
     from pathlib import Path
 
+    printed_metrics = False
+    if args.metrics:
+        from .errors import SnapshotError
+        from .obs import parse_prometheus, render_time_breakdown
+
+        try:
+            metrics = parse_prometheus(args.metrics)
+        except SnapshotError as exc:
+            print(f"error: {exc}")
+            return 1
+        breakdown = render_time_breakdown(metrics)
+        if breakdown:
+            print(breakdown)
+            print()
+            printed_metrics = True
+        else:
+            print(f"no GRAPE time breakdown in {args.metrics} "
+                  "(run with --backend grape --metrics-out)")
+
     results = Path(args.results_dir)
     files = sorted(results.glob("*.txt"))
     if not files:
+        if printed_metrics:
+            return 0
         print(f"no result tables in {results}; "
               "run `pytest benchmarks/ --benchmark-only` first")
         return 1

@@ -17,7 +17,9 @@ block step, so it never sits on the hot path.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -36,16 +38,28 @@ class Event:
 
 
 class EventLog:
-    """Append-only list of :class:`Event` with simple query helpers."""
+    """Append-only list of :class:`Event` with simple query helpers.
 
-    def __init__(self) -> None:
+    When constructed with a :class:`repro.obs.MetricsRegistry`, every
+    append increments the matching ``events.<kind>_total`` counter, so
+    event rates are visible in the same metrics stream as the timing
+    data (disabled by default through the null registry).
+    """
+
+    def __init__(self, metrics=None) -> None:
+        from ..obs import NULL_REGISTRY
+
         self._events: list[Event] = []
+        # explicit None test: an empty registry is falsy (len() == 0)
+        self._metrics = NULL_REGISTRY if metrics is None else metrics
 
     def append(self, event: Event) -> None:
         self._events.append(event)
+        self._metrics.counter(f"events.{event.kind}_total").inc()
 
     def extend(self, events) -> None:
-        self._events.extend(events)
+        for event in events:
+            self.append(event)
 
     def __len__(self) -> int:
         return len(self._events)
@@ -59,6 +73,64 @@ class EventLog:
 
     def count(self, kind: str) -> int:
         return sum(1 for e in self._events if e.kind == kind)
+
+    # -- persistence -------------------------------------------------------
+
+    def to_jsonl(self, path, run_id: str = "") -> Path:
+        """Write all events as JSONL (run-log conventions: header first).
+
+        The file round-trips through :meth:`from_jsonl` and is readable
+        by :func:`repro.runio.runlog.read_run_log`, so event logs sit
+        alongside run logs and span exports with one toolchain.
+        """
+        path = Path(path)
+        with open(path, "w") as fh:
+            header = {
+                "kind": "header",
+                "run_id": run_id,
+                "format": "repro-events-v1",
+                "n_events": len(self._events),
+            }
+            fh.write(json.dumps(header) + "\n")
+            for e in self._events:
+                rec = {
+                    "kind": "event",
+                    "event": e.kind,
+                    "time": e.time,
+                    "key": e.key,
+                }
+                if e.data:
+                    rec["data"] = e.data
+                fh.write(json.dumps(rec) + "\n")
+        return path
+
+    @classmethod
+    def from_jsonl(cls, path, metrics=None) -> "EventLog":
+        """Rebuild an :class:`EventLog` written by :meth:`to_jsonl`.
+
+        Uses the run-log reader, so a torn tail record (crash mid-write)
+        is tolerated.  Counters on ``metrics`` are incremented for every
+        restored event, as on live appends.
+        """
+        from ..runio.runlog import read_run_log
+
+        log = cls(metrics=metrics)
+        for rec in read_run_log(path):
+            if rec.get("kind") != "event":
+                continue
+            key = rec["key"]
+            # merger keys are (i, j) pairs; JSON stores them as lists
+            if isinstance(key, list):
+                key = tuple(key)
+            log.append(
+                Event(
+                    rec["event"],
+                    float(rec["time"]),
+                    key,
+                    rec.get("data") or {},
+                )
+            )
+        return log
 
 
 def detect_escapers(

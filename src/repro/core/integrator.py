@@ -73,7 +73,10 @@ class Simulation:
         timestep_params: TimestepParams | None = None,
         collision_policy=None,
         corrector_iterations: int = 1,
+        obs=None,
     ) -> None:
+        from ..obs import NULL_OBS
+
         if not isinstance(backend, ForceBackend):
             raise ConfigurationError("backend must implement ForceBackend")
         if corrector_iterations < 1:
@@ -91,8 +94,14 @@ class Simulation:
         #: time-symmetric, suppressing secular energy drift.  Each extra
         #: iteration costs one more full force evaluation per block.
         self.corrector_iterations = int(corrector_iterations)
-        self.scheduler = BlockScheduler()
-        self.events = EventLog()
+        #: Observability bundle (:mod:`repro.obs`); the null default
+        #: keeps all instrumentation at one-attribute-lookup cost.
+        self.obs = obs or NULL_OBS
+        self._tracer = self.obs.tracer
+        self._c_blocks = self.obs.metrics.counter("blockstep.total")
+        self._c_psteps = self.obs.metrics.counter("blockstep.active_particles")
+        self.scheduler = BlockScheduler(metrics=self.obs.metrics)
+        self.events = EventLog(metrics=self.obs.metrics)
         self.time = float(t0[0])
         self.block_steps = 0
         self.particle_steps = 0
@@ -124,64 +133,78 @@ class Simulation:
         """Advance one block; returns ``(new_time, block_size)``."""
         if not self._initialized:
             raise IntegrationError("call initialize() before stepping")
-        sys_ = self.system
-        t_next, active = self.scheduler.next_block(sys_.t, sys_.dt)
-        dt = sys_.dt[active]
+        tracer = self._tracer
+        with tracer.span("block_step"):
+            sys_ = self.system
+            t_next, active = self.scheduler.next_block(sys_.t, sys_.dt)
+            dt = sys_.dt[active]
 
-        # Host-side prediction of the i-particles.
-        pred_pos = predict_positions(
-            sys_.pos[active], sys_.vel[active], sys_.acc[active], sys_.jerk[active], dt
-        )
-        pred_vel = predict_velocities(
-            sys_.vel[active], sys_.acc[active], sys_.jerk[active], dt
-        )
+            # Host-side prediction of the i-particles.
+            with tracer.span("predict"):
+                pred_pos = predict_positions(
+                    sys_.pos[active], sys_.vel[active],
+                    sys_.acc[active], sys_.jerk[active], dt,
+                )
+                pred_vel = predict_velocities(
+                    sys_.vel[active], sys_.acc[active], sys_.jerk[active], dt
+                )
 
-        acc0 = sys_.acc[active].copy()
-        jerk0 = sys_.jerk[active].copy()
+            acc0 = sys_.acc[active].copy()
+            jerk0 = sys_.jerk[active].copy()
 
-        acc1, jerk1 = self.backend.forces_on(sys_, active, t_next)
-        if self.external_field is not None:
-            ea, ej = self.external_field.acc_jerk(pred_pos, pred_vel)
-            acc1 = acc1 + ea
-            jerk1 = jerk1 + ej
+            with tracer.span("force", n_active=int(active.size)):
+                acc1, jerk1 = self.backend.forces_on(sys_, active, t_next)
+                if self.external_field is not None:
+                    ea, ej = self.external_field.acc_jerk(pred_pos, pred_vel)
+                    acc1 = acc1 + ea
+                    jerk1 = jerk1 + ej
 
-        pos1, vel1, derivs = correct(pred_pos, pred_vel, acc0, jerk0, acc1, jerk1, dt)
+            with tracer.span("correct"):
+                pos1, vel1, derivs = correct(
+                    pred_pos, pred_vel, acc0, jerk0, acc1, jerk1, dt
+                )
 
-        # P(EC)^n: re-evaluate the force at the corrected state and
-        # correct again (writes the trial state into the live rows so
-        # mutually active particles see each other's corrected states).
-        for _ in range(self.corrector_iterations - 1):
-            sys_.pos[active] = pos1
-            sys_.vel[active] = vel1
-            sys_.t[active] = t_next
-            acc1, jerk1 = self.backend.forces_on(sys_, active, t_next)
-            if self.external_field is not None:
-                ea, ej = self.external_field.acc_jerk(pos1, vel1)
-                acc1 = acc1 + ea
-                jerk1 = jerk1 + ej
-            pos1, vel1, derivs = correct(
-                pred_pos, pred_vel, acc0, jerk0, acc1, jerk1, dt
-            )
+                # P(EC)^n: re-evaluate the force at the corrected state and
+                # correct again (writes the trial state into the live rows so
+                # mutually active particles see each other's corrected states).
+                for _ in range(self.corrector_iterations - 1):
+                    sys_.pos[active] = pos1
+                    sys_.vel[active] = vel1
+                    sys_.t[active] = t_next
+                    acc1, jerk1 = self.backend.forces_on(sys_, active, t_next)
+                    if self.external_field is not None:
+                        ea, ej = self.external_field.acc_jerk(pos1, vel1)
+                        acc1 = acc1 + ea
+                        jerk1 = jerk1 + ej
+                    pos1, vel1, derivs = correct(
+                        pred_pos, pred_vel, acc0, jerk0, acc1, jerk1, dt
+                    )
 
-        if not (np.all(np.isfinite(pos1)) and np.all(np.isfinite(vel1))):
-            raise IntegrationError(f"non-finite state after block at t={t_next}")
+                if not (np.all(np.isfinite(pos1)) and np.all(np.isfinite(vel1))):
+                    raise IntegrationError(f"non-finite state after block at t={t_next}")
 
-        sys_.pos[active] = pos1
-        sys_.vel[active] = vel1
-        sys_.acc[active] = acc1
-        sys_.jerk[active] = jerk1
-        sys_.t[active] = t_next
+                sys_.pos[active] = pos1
+                sys_.vel[active] = vel1
+                sys_.acc[active] = acc1
+                sys_.jerk[active] = jerk1
+                sys_.t[active] = t_next
 
-        dt_raw = aarseth_dt(acc1, jerk1, derivs.snap, derivs.crackle, self.params.eta)
-        sys_.dt[active] = quantize(dt_raw, sys_.t[active], dt, self.params)
+                dt_raw = aarseth_dt(
+                    acc1, jerk1, derivs.snap, derivs.crackle, self.params.eta
+                )
+                sys_.dt[active] = quantize(dt_raw, sys_.t[active], dt, self.params)
 
-        self.backend.push_updates(sys_, active)
-        self.time = t_next
-        self.block_steps += 1
-        self.particle_steps += int(active.size)
+            with tracer.span("push_updates"):
+                self.backend.push_updates(sys_, active)
+            self.time = t_next
+            self.block_steps += 1
+            self.particle_steps += int(active.size)
+            self._c_blocks.inc()
+            self._c_psteps.inc(active.size)
 
-        if self.collision_policy is not None:
-            self._resolve_collisions(t_next, active)
+            if self.collision_policy is not None:
+                with tracer.span("collision"):
+                    self._resolve_collisions(t_next, active)
         return t_next, int(active.size)
 
     def evolve(
@@ -269,6 +292,7 @@ class Simulation:
             sys_.t[pending] = t
             self.backend.push_updates(sys_, pending)
             self.particle_steps += int(pending.size)
+            self._c_psteps.inc(pending.size)
         self.time = t
         # Timesteps must be re-seeded: the sync step landed particles on
         # times that may not sit on their old block grid.

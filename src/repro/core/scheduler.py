@@ -95,10 +95,19 @@ class BlockScheduler:
     The scheduler is deliberately stateless with respect to particle data
     (it reads ``system.t`` and ``system.dt`` each call) so that particle
     removal/addition by the integrator cannot desynchronise it.
+
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) feeds the
+    ``scheduler.block_size`` histogram; disabled by default via the null
+    registry.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics=None) -> None:
+        from ..obs import NULL_REGISTRY
+
         self.stats = BlockStats()
+        # explicit None test: an empty registry is falsy (len() == 0)
+        registry = NULL_REGISTRY if metrics is None else metrics
+        self._h_block = registry.histogram("scheduler.block_size")
 
     def next_block(self, t: np.ndarray, dt: np.ndarray) -> tuple[float, np.ndarray]:
         """Return ``(t_next, active_indices)`` for the earliest block.
@@ -123,6 +132,7 @@ class BlockScheduler:
         if active.size == 0:  # pragma: no cover - defensive
             raise SchedulerError("empty active block")
         self.stats.record(active.size)
+        self._h_block.observe(active.size)
         return t_next, active
 
     def peek_time(self, t: np.ndarray, dt: np.ndarray) -> float:

@@ -35,7 +35,11 @@ __all__ = ["Grape6Driver"]
 class Grape6Driver:
     """Stateful, historical-shape front end to a :class:`Grape6Machine`."""
 
-    def __init__(self, machine: Grape6Machine, trace_wire: bool = False) -> None:
+    def __init__(
+        self, machine: Grape6Machine, trace_wire: bool = False, obs=None
+    ) -> None:
+        from ..obs import NULL_OBS
+
         self.machine = machine
         self._open = False
         self._store: dict[int, tuple] = {}
@@ -51,6 +55,11 @@ class Grape6Driver:
             from .protocol import FrameCodec
 
             self._codec = FrameCodec()
+        #: Observability: spans around the two-phase force call, plus
+        #: j-write and wire-byte counters (null objects when disabled).
+        self.obs = obs or NULL_OBS
+        self._c_jwrites = self.obs.metrics.counter("grape.jwrite_total")
+        self._c_wire_bytes = self.obs.metrics.counter("grape.wire_bytes_total")
 
     @property
     def wire_bytes_total(self) -> int:
@@ -91,10 +100,11 @@ class Grape6Driver:
             float(t),
         )
         self._dirty = True
+        self._c_jwrites.inc()
         if self._codec is not None:
-            self.wire_log.append(
-                self._codec.encode_set_j(key, mass, pos, vel, acc, jerk, t)
-            )
+            frame = self._codec.encode_set_j(key, mass, pos, vel, acc, jerk, t)
+            self.wire_log.append(frame)
+            self._c_wire_bytes.inc(len(frame))
 
     @property
     def n_j_particles(self) -> int:
@@ -133,38 +143,44 @@ class Grape6Driver:
         self._require_open()
         if self._pending is not None:
             raise GrapeError("calc_firsthalf already pending")
-        self._flush()
-        i_keys = np.asarray(i_keys, dtype=np.int64)
-        if i_keys.size == 0:
-            raise ConfigurationError("empty i-block")
-        key_to_row = {int(k): r for r, k in enumerate(self._system.key)}
-        try:
-            rows = np.array([key_to_row[int(k)] for k in i_keys])
-        except KeyError as exc:
-            raise GrapeError(f"i-particle key {exc} not resident") from exc
-        if i_pos is not None:
-            self._system.pos[rows] = np.asarray(i_pos, dtype=float)
-        if i_vel is not None:
-            self._system.vel[rows] = np.asarray(i_vel, dtype=float)
-        self._pending = (rows, float(t_now))
-        if self._codec is not None:
-            self.wire_log.append(self._codec.encode_set_ti(t_now))
-            self.wire_log.append(
-                self._codec.encode_calc(
-                    i_keys, self._system.pos[rows], self._system.vel[rows]
-                )
-            )
+        with self.obs.tracer.span("grape.calc_firsthalf"):
+            self._flush()
+            i_keys = np.asarray(i_keys, dtype=np.int64)
+            if i_keys.size == 0:
+                raise ConfigurationError("empty i-block")
+            key_to_row = {int(k): r for r, k in enumerate(self._system.key)}
+            try:
+                rows = np.array([key_to_row[int(k)] for k in i_keys])
+            except KeyError as exc:
+                raise GrapeError(f"i-particle key {exc} not resident") from exc
+            if i_pos is not None:
+                self._system.pos[rows] = np.asarray(i_pos, dtype=float)
+            if i_vel is not None:
+                self._system.vel[rows] = np.asarray(i_vel, dtype=float)
+            self._pending = (rows, float(t_now))
+            if self._codec is not None:
+                frames = [
+                    self._codec.encode_set_ti(t_now),
+                    self._codec.encode_calc(
+                        i_keys, self._system.pos[rows], self._system.vel[rows]
+                    ),
+                ]
+                self.wire_log.extend(frames)
+                self._c_wire_bytes.inc(sum(len(f) for f in frames))
 
     def calc_lasthalf(self) -> tuple[np.ndarray, np.ndarray]:
         """Collect ``(acc, jerk)`` for the block started by firsthalf."""
         self._require_open()
         if self._pending is None:
             raise GrapeError("no calc_firsthalf pending")
-        rows, t_now = self._pending
-        self._pending = None
-        acc, jerk = self.machine.compute_block(self._system, rows, t_now)
-        if self._codec is not None:
-            self.wire_log.append(self._codec.encode_result(acc, jerk))
+        with self.obs.tracer.span("grape.calc_lasthalf"):
+            rows, t_now = self._pending
+            self._pending = None
+            acc, jerk = self.machine.compute_block(self._system, rows, t_now)
+            if self._codec is not None:
+                frame = self._codec.encode_result(acc, jerk)
+                self.wire_log.append(frame)
+                self._c_wire_bytes.inc(len(frame))
         return acc, jerk
 
     # -- accounting -----------------------------------------------------------------

@@ -66,6 +66,7 @@ class Grape6Machine:
         emulate_precision: bool = False,
         jmem_capacity_per_chip: int | None = None,
         host_cost: HostCostModel | None = None,
+        obs=None,
     ) -> None:
         if mode not in ("flat", "hierarchy"):
             raise ConfigurationError(f"unknown mode {mode!r}")
@@ -80,6 +81,31 @@ class Grape6Machine:
         if mode == "hierarchy":
             self.clusters = self._build_clusters()
         self._n_loaded = 0
+        self.observe(obs)
+
+    # -- observability -------------------------------------------------------
+
+    def observe(self, obs) -> None:
+        """Attach an observability bundle (:class:`repro.obs.Observability`).
+
+        Every block step then reports the modelled time split into the
+        metrics registry (``grape.pipeline_seconds`` / ``host_seconds``
+        / ``comm_seconds``, mirroring :attr:`totals`) and emits a
+        ``grape.block_step`` span on the model-time track whose
+        children are the per-stage critical path — host arithmetic,
+        j-memory write (PCI), reduction tree (LVDS), force pipelines,
+        GbE broadcast.  Pass ``None`` to detach (the null default).
+        """
+        from ..obs import NULL_OBS
+
+        self.obs = obs or NULL_OBS
+        m = self.obs.metrics
+        self._c_blocks = m.counter("grape.blocks_total")
+        self._c_interactions = m.counter("grape.interactions_total")
+        self._c_pipe_s = m.counter("grape.pipeline_seconds")
+        self._c_host_s = m.counter("grape.host_seconds")
+        self._c_comm_s = m.counter("grape.comm_seconds")
+        m.gauge("grape.peak_flops").set(self.config.peak_flops)
 
     # -- construction -------------------------------------------------------
 
@@ -160,6 +186,24 @@ class Grape6Machine:
 
         step = self.timing_model.block_step(n_active, n_total)
         self.totals.add(step, n_active, n_total)
+        self._c_blocks.inc()
+        self._c_interactions.inc(n_active * n_total)
+        self._c_pipe_s.inc(step.pipe)
+        self._c_host_s.inc(step.host)
+        self._c_comm_s.inc(step.pci + step.lvds + step.gbe)
+        if self.obs.enabled:
+            self.obs.tracer.model_span(
+                "grape.block_step",
+                step.total,
+                attrs={"n_active": int(n_active), "n_total": int(n_total)},
+                children=[
+                    ("grape.host_calc", step.host),
+                    ("grape.jmem_write", step.pci),
+                    ("grape.reduction_tree", step.lvds),
+                    ("grape.pipeline", step.pipe),
+                    ("grape.gbe_bcast", step.gbe),
+                ],
+            )
         return acc, jerk
 
     def _compute_flat(self, system, active, t_now):

@@ -1,0 +1,90 @@
+"""Declared metric names — the single source of truth for instrumentation.
+
+Every metric the library emits is declared here with its type and a
+one-line help string; the Prometheus exporter pulls HELP text from this
+table and ``tools/check_metric_names.py`` fails the build when source
+code registers a literal metric name that is not declared (or declares
+the wrong type).  Dynamic families (``events.<kind>_total``) are
+admitted by prefix.
+
+Naming convention: dotted lower-case components, ``<subsystem>.<what>``
+with Prometheus-style unit/total suffixes (``_seconds``, ``_bytes``,
+``_total``).  Dots become underscores in the text exposition, so
+``grape.pipeline_seconds`` is scraped as ``grape_pipeline_seconds``.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["METRIC_CATALOGUE", "DYNAMIC_PREFIXES", "NAME_RE", "is_declared", "kind_of"]
+
+#: ``name -> (kind, help)``; kind is ``counter`` / ``gauge`` / ``histogram``.
+METRIC_CATALOGUE: dict[str, tuple[str, str]] = {
+    # -- integrator / scheduler ------------------------------------------
+    "blockstep.total": ("counter", "Block steps taken by the integrator"),
+    "blockstep.active_particles": (
+        "counter",
+        "Cumulative particle steps (sum of active-block sizes)",
+    ),
+    "scheduler.block_size": ("histogram", "Active-block size distribution"),
+    # -- events ----------------------------------------------------------
+    "events.escape_total": ("counter", "Escape events logged"),
+    "events.merger_total": ("counter", "Merger events logged"),
+    "events.close_encounter_total": ("counter", "Close-encounter events logged"),
+    # -- force backends --------------------------------------------------
+    "force.interactions_total": (
+        "counter",
+        "Pairwise force interactions evaluated by the run's backend",
+    ),
+    # -- GRAPE-6 model ---------------------------------------------------
+    "grape.blocks_total": ("counter", "Force blocks computed on the GRAPE machine"),
+    "grape.interactions_total": (
+        "counter",
+        "i x j interactions streamed through the force pipelines",
+    ),
+    "grape.pipeline_seconds": (
+        "counter",
+        "Modelled force-pipeline time (the paper's t_pipe)",
+    ),
+    "grape.host_seconds": (
+        "counter",
+        "Modelled host computation time (the paper's t_host)",
+    ),
+    "grape.comm_seconds": (
+        "counter",
+        "Modelled PCI + LVDS + GbE communication time (the paper's t_comm)",
+    ),
+    "grape.peak_flops": ("gauge", "Peak speed of the attached machine shape"),
+    "grape.jwrite_total": ("counter", "j-particle writes issued through the driver"),
+    "grape.wire_bytes_total": ("counter", "Bytes captured on the traced host wire"),
+    # -- software communication substrate --------------------------------
+    "comm.bytes_sent": ("counter", "Payload bytes sent over simulated links"),
+    "comm.messages_total": ("counter", "Point-to-point messages sent"),
+    "comm.phases_total": ("counter", "Communication phases executed"),
+    "comm.phase_seconds": ("counter", "Simulated communication time"),
+    "comm.phase_bytes": ("histogram", "Bytes moved per communication phase"),
+    # -- whole-run measurements ------------------------------------------
+    "run.wall_seconds": ("gauge", "Python wall-clock time of the measured run"),
+    "run.energy_error": ("gauge", "Relative energy error at the end of the run"),
+    "run.particles": ("gauge", "Particle count at the end of the run"),
+}
+
+#: Families whose member names are formed at runtime (kind is implied).
+DYNAMIC_PREFIXES: tuple[str, ...] = ("events.",)
+
+#: Legal metric name: dotted lower-case, Prometheus-safe after s/./_/g.
+NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+
+def is_declared(name: str) -> bool:
+    """Whether ``name`` is in the catalogue or an admitted dynamic family."""
+    if name in METRIC_CATALOGUE:
+        return True
+    return any(name.startswith(p) for p in DYNAMIC_PREFIXES)
+
+
+def kind_of(name: str) -> str | None:
+    """Declared kind of ``name`` (``None`` for dynamic/undeclared names)."""
+    entry = METRIC_CATALOGUE.get(name)
+    return entry[0] if entry else None

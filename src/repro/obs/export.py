@@ -1,0 +1,149 @@
+"""Exporters: Chrome-trace JSON, JSONL spans, Prometheus text.
+
+Three formats, three audiences:
+
+* :func:`write_chrome_trace` — a ``chrome://tracing`` / Perfetto file
+  ("X" complete events, microsecond timestamps).  The wall and model
+  tracks render as two thread rows of one process.
+* :func:`write_spans_jsonl` — one JSON object per line following the
+  :mod:`repro.runio.runlog` conventions (leading ``header`` record,
+  torn tails tolerated by :func:`repro.runio.runlog.read_run_log`).
+* :func:`write_prometheus` / :func:`parse_prometheus` — text exposition
+  of a metrics registry and the matching reader used by
+  ``repro report --metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import SnapshotError
+from .trace import MODEL_TRACK, WALL_TRACK
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+    "write_prometheus",
+    "parse_prometheus",
+]
+
+#: Chrome-trace thread ids per track (process is always 1).
+_TRACK_TIDS = {WALL_TRACK: 1, MODEL_TRACK: 2}
+
+
+def chrome_trace_events(tracer) -> list[dict]:
+    """The ``traceEvents`` list for a tracer (metadata + complete events)."""
+    events = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "repro"},
+        }
+    ]
+    for track, tid in _TRACK_TIDS.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": f"{track} clock"},
+            }
+        )
+    for track in (WALL_TRACK, MODEL_TRACK):
+        tid = _TRACK_TIDS[track]
+        for s in tracer.of_track(track):
+            events.append(
+                {
+                    "name": s.name,
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": tid,
+                    "ts": s.ts_ns / 1e3,  # microseconds
+                    "dur": s.dur_ns / 1e3,
+                    "args": dict(s.attrs) if s.attrs else {},
+                }
+            )
+    return events
+
+
+def write_chrome_trace(tracer, path) -> Path:
+    """Write the tracer's spans as a Chrome-trace JSON file."""
+    path = Path(path)
+    doc = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {"format": "repro-obs-trace-v1"},
+    }
+    path.write_text(json.dumps(doc))
+    return path
+
+
+def write_spans_jsonl(tracer, path, run_id: str = "") -> Path:
+    """Write spans as JSONL (run-log conventions: header first)."""
+    path = Path(path)
+    with open(path, "w") as fh:
+        fh.write(
+            json.dumps(
+                {
+                    "kind": "header",
+                    "run_id": run_id,
+                    "format": "repro-obs-spans-v1",
+                    "n_spans": len(tracer.spans),
+                }
+            )
+            + "\n"
+        )
+        for track in (WALL_TRACK, MODEL_TRACK):
+            for s in tracer.of_track(track):
+                rec = {
+                    "kind": "span",
+                    "name": s.name,
+                    "track": s.track,
+                    "ts_ns": s.ts_ns,
+                    "dur_ns": s.dur_ns,
+                    "depth": s.depth,
+                }
+                if s.attrs:
+                    rec["attrs"] = dict(s.attrs)
+                fh.write(json.dumps(rec) + "\n")
+    return path
+
+
+def write_prometheus(registry, path) -> Path:
+    """Write a registry's text exposition to ``path``."""
+    path = Path(path)
+    path.write_text(registry.to_prometheus())
+    return path
+
+
+def parse_prometheus(path) -> dict[str, float]:
+    """Read a text exposition back into a flat ``name -> value`` dict.
+
+    Names come back in their flattened (underscore) spelling.  Comment
+    and blank lines are skipped; a malformed sample line raises
+    :class:`~repro.errors.SnapshotError`.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise SnapshotError(f"metrics file not found: {path}")
+    out: dict[str, float] = {}
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise SnapshotError(f"malformed metrics line {lineno} in {path}: {line!r}")
+        name, value = parts
+        try:
+            out[name] = float(value)
+        except ValueError as exc:
+            raise SnapshotError(
+                f"non-numeric metric value on line {lineno} in {path}"
+            ) from exc
+    return out

@@ -1,0 +1,279 @@
+"""Metrics registry: counters, gauges and histograms with a null twin.
+
+The hot-path contract is the null-object pattern: instrumented code
+binds its metric objects once (usually in ``__init__``) and calls
+``inc`` / ``set`` / ``observe`` unconditionally.  With observability
+disabled those calls hit :data:`NULL_COUNTER` & co. — empty-``__slots__``
+singletons whose methods do nothing — so the disabled cost is one
+attribute lookup plus an empty call, with no branches in user code.
+
+Names are validated against :mod:`repro.obs.catalogue` conventions;
+``strict=True`` additionally rejects names missing from the catalogue
+(the lint in ``tools/check_metric_names.py`` enforces the same rule
+statically over the source tree).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+from .catalogue import METRIC_CATALOGUE, NAME_RE, is_declared
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+]
+
+
+class Counter:
+    """Monotonically increasing value (events, bytes, modelled seconds)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (current N, last energy error)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Streaming summary of observed values (count / sum / min / max).
+
+    Deliberately bucket-free: the block-size and phase-byte
+    distributions the library records are cheap to summarise and the
+    exact per-size histogram already lives in
+    :class:`repro.core.scheduler.BlockStats` when needed.
+    """
+
+    __slots__ = ("name", "count", "sum", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Creates-or-returns named metrics and snapshots them for export.
+
+    ``counter`` / ``gauge`` / ``histogram`` are idempotent per name, so
+    independent subsystems can bind the same metric (e.g. both the ring
+    substrate and the phase simulator feed ``comm.bytes_sent``).
+    Requesting an existing name as a different kind is an error.
+    """
+
+    enabled = True
+
+    def __init__(self, strict: bool = False) -> None:
+        self.strict = bool(strict)
+        self._metrics: dict[str, object] = {}
+
+    # -- creation ---------------------------------------------------------
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if type(metric) is not cls:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as {type(metric).__name__}"
+                )
+            return metric
+        if not NAME_RE.match(name):
+            raise ConfigurationError(f"bad metric name {name!r} (want dotted lower-case)")
+        if self.strict and not is_declared(name):
+            raise ConfigurationError(
+                f"metric {name!r} is not declared in repro.obs.catalogue"
+            )
+        metric = cls(name)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    # -- introspection ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def get(self, name: str):
+        """The live metric object, or ``None``."""
+        return self._metrics.get(name)
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat ``name -> value`` view; histograms expand to
+        ``name.count`` / ``name.sum`` / ``name.min`` / ``name.max``."""
+        out: dict[str, float] = {}
+        for name, m in sorted(self._metrics.items()):
+            if isinstance(m, Histogram):
+                out[f"{name}.count"] = float(m.count)
+                out[f"{name}.sum"] = m.sum
+                if m.count:
+                    out[f"{name}.min"] = m.min
+                    out[f"{name}.max"] = m.max
+            else:
+                out[name] = m.value
+        return out
+
+    # -- export -----------------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (dots mapped to underscores)."""
+        lines: list[str] = []
+        for name, m in sorted(self._metrics.items()):
+            flat = name.replace(".", "_")
+            declared = METRIC_CATALOGUE.get(name)
+            help_text = declared[1] if declared else ""
+            if help_text:
+                lines.append(f"# HELP {flat} {help_text}")
+            if isinstance(m, Counter):
+                lines.append(f"# TYPE {flat} counter")
+                lines.append(f"{flat} {m.value:.17g}")
+            elif isinstance(m, Gauge):
+                lines.append(f"# TYPE {flat} gauge")
+                lines.append(f"{flat} {m.value:.17g}")
+            else:  # Histogram -> summary-style exposition
+                lines.append(f"# TYPE {flat} summary")
+                lines.append(f"{flat}_count {m.count}")
+                lines.append(f"{flat}_sum {m.sum:.17g}")
+                if m.count:
+                    lines.append(f"{flat}_min {m.min:.17g}")
+                    lines.append(f"{flat}_max {m.max:.17g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+
+# -- the null twin --------------------------------------------------------
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = ""
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = ""
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = ""
+    count = 0
+    sum = 0.0
+    min = math.inf
+    max = -math.inf
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry:
+    """Disabled registry: every request returns a shared no-op metric."""
+
+    enabled = False
+    strict = False
+
+    def counter(self, name: str) -> _NullCounter:
+        return NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return NULL_GAUGE
+
+    def histogram(self, name: str) -> _NullHistogram:
+        return NULL_HISTOGRAM
+
+    def __len__(self) -> int:
+        return 0
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+    def get(self, name: str):
+        return None
+
+    def snapshot(self) -> dict[str, float]:
+        return {}
+
+    def to_prometheus(self) -> str:
+        return ""
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_REGISTRY = NullRegistry()

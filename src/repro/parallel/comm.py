@@ -59,15 +59,30 @@ class PhaseReport:
 
 
 class CommSimulator:
-    """Accumulates phases over a simulated run."""
+    """Accumulates phases over a simulated run.
 
-    def __init__(self, topology: Topology) -> None:
+    With an observability bundle attached (``obs``), every phase feeds
+    the ``comm.*`` metrics and emits a ``comm.phase`` span on the
+    model-time track (its duration is the simulated phase time, not
+    wall time).
+    """
+
+    def __init__(self, topology: Topology, obs=None) -> None:
+        from ..obs import NULL_OBS
+
         self.topology = topology
         self.total_seconds = 0.0
         self.total_bytes = 0
         self.phases = 0
         #: Cumulative bytes per edge over all phases.
         self.edge_bytes: dict[tuple, int] = defaultdict(int)
+        self.obs = obs or NULL_OBS
+        m = self.obs.metrics
+        self._c_bytes = m.counter("comm.bytes_sent")
+        self._c_messages = m.counter("comm.messages_total")
+        self._c_phases = m.counter("comm.phases_total")
+        self._c_seconds = m.counter("comm.phase_seconds")
+        self._h_bytes = m.histogram("comm.phase_bytes")
 
     # -- core -----------------------------------------------------------------
 
@@ -97,6 +112,17 @@ class CommSimulator:
         self.total_seconds += seconds
         self.total_bytes += total
         self.phases += 1
+        self._c_bytes.inc(total)
+        self._c_messages.inc(len(transfers))
+        self._c_phases.inc()
+        self._c_seconds.inc(seconds)
+        self._h_bytes.observe(total)
+        if self.obs.enabled:
+            self.obs.tracer.model_span(
+                "comm.phase",
+                seconds,
+                attrs={"bytes": total, "transfers": len(transfers)},
+            )
         return PhaseReport(
             seconds=seconds,
             total_bytes=total,

@@ -53,13 +53,19 @@ def ring_forces(
     eps: float,
     n_ranks: int,
     vm: VirtualMachine | None = None,
+    obs=None,
 ) -> RingForceResult:
     """All-pairs softened force+jerk via a ``n_ranks``-stage ring.
 
     Every rank owns a contiguous particle slice; j-data circulates
     ``n_ranks - 1`` hops.  Returns forces for the *whole* system (self
     interactions excluded) plus the VM's communication accounting.
+    With ``obs`` attached, the evaluation runs under a ``ring.forces``
+    wall-clock span and the VM's traffic feeds the ``comm.*`` counters.
     """
+    from ..obs import NULL_OBS
+
+    obs = obs or NULL_OBS
     pos = np.ascontiguousarray(pos, dtype=np.float64)
     vel = np.ascontiguousarray(vel, dtype=np.float64)
     mass = np.ascontiguousarray(mass, dtype=np.float64)
@@ -108,12 +114,16 @@ def ring_forces(
         gathered = yield comm.allgather((mine, acc, jerk))
         return gathered
 
-    result: SpmdResult = vm.run(program)
+    with obs.tracer.span("ring.forces", n=n, ranks=n_ranks):
+        result: SpmdResult = vm.run(program)
     acc = np.zeros((n, 3))
     jerk = np.zeros((n, 3))
     for idx, a, j in result.returns[0]:
         acc[idx] = a
         jerk[idx] = j
+    m = obs.metrics
+    m.counter("comm.bytes_sent").inc(result.total_bytes)
+    m.counter("comm.messages_total").inc(result.messages)
     return RingForceResult(
         acc=acc,
         jerk=jerk,

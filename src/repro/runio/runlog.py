@@ -23,22 +23,47 @@ class RunLogger:
 
         with RunLogger(path, run_id="disk-n500") as log:
             log.record(sim, energy_error=1e-9)
+
+    Reopening an existing log appends records without emitting a second
+    ``header`` (a restarted run continues the same file).  Writes are
+    buffered and flushed to the OS every ``flush_every`` records — and
+    on :meth:`flush` / :meth:`close` — so a crash mid-run loses at most
+    ``flush_every - 1`` records; the reader tolerates a torn tail line.
     """
 
-    def __init__(self, path, run_id: str = "", metadata: dict | None = None) -> None:
+    def __init__(
+        self,
+        path,
+        run_id: str = "",
+        metadata: dict | None = None,
+        flush_every: int = 32,
+    ) -> None:
         self.path = Path(path)
         self.run_id = run_id
+        self.flush_every = max(1, int(flush_every))
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
         self._fh = open(self.path, "a")
         self.records_written = 0
-        header = {"kind": "header", "run_id": run_id, **(metadata or {})}
-        self._write(header)
+        self._unflushed = 0
+        if fresh:
+            header = {"kind": "header", "run_id": run_id, **(metadata or {})}
+            self._write(header)
+            self.flush()
 
     def _write(self, obj: dict) -> None:
         try:
             self._fh.write(json.dumps(obj) + "\n")
         except TypeError as exc:
             raise SnapshotError(f"non-serialisable log record: {exc}") from exc
-        self._fh.flush()
+        self._unflushed += 1
+        if self._unflushed >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Push buffered records to the OS (crash-safety checkpoint)."""
+        if not self._fh.closed:
+            self._fh.flush()
+        self._unflushed = 0
 
     def record(self, sim, **extra) -> None:
         """Log one diagnostic sample of a Simulation."""
@@ -63,6 +88,7 @@ class RunLogger:
 
     def close(self) -> None:
         if not self._fh.closed:
+            self.flush()
             self._fh.close()
 
     def __enter__(self) -> "RunLogger":

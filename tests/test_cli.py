@@ -85,3 +85,43 @@ class TestRun:
         assert main(["run", "--n", "32", "--t-end", "1", "--backend", "tree"]) == 0
         out = capsys.readouterr().out
         assert "block steps:" in out
+
+
+class TestRunObservability:
+    def test_run_writes_trace_and_metrics(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import parse_prometheus
+
+        trace = tmp_path / "trace.json"
+        prom = tmp_path / "metrics.prom"
+        assert main([
+            "run", "--n", "32", "--t-end", "2", "--backend", "grape",
+            "--trace-out", str(trace), "--metrics-out", str(prom),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "trace written:" in out
+        assert "metrics written:" in out
+        assert "t_pipe" in out  # breakdown rendered inline
+
+        doc = json.loads(trace.read_text())
+        assert any(e["ph"] == "X" and e["name"] == "block_step"
+                   for e in doc["traceEvents"])
+        series = parse_prometheus(prom)
+        assert series["grape_pipeline_seconds"] > 0
+        assert series["blockstep_total"] > 0
+
+    def test_report_renders_metrics_breakdown(self, capsys, tmp_path):
+        prom = tmp_path / "metrics.prom"
+        main([
+            "run", "--n", "32", "--t-end", "2", "--backend", "grape",
+            "--metrics-out", str(prom),
+        ])
+        capsys.readouterr()
+        assert main([
+            "report", "--metrics", str(prom),
+            "--results-dir", str(tmp_path / "none"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "GRAPE-6 time breakdown" in out
+        assert "t_comm" in out

@@ -27,6 +27,61 @@ class TestEventLog:
             log.append(Event("x", float(i), i))
         assert [e.time for e in log] == [0.0, 1.0, 2.0, 3.0, 4.0]
 
+    def test_append_bumps_kind_counter(self):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        log = EventLog(metrics=reg)
+        log.append(Event("escape", 1.0, 3))
+        log.extend([Event("merger", 2.0, (1, 2)), Event("escape", 3.0, 7)])
+        snap = reg.snapshot()
+        assert snap["events.escape_total"] == 2.0
+        assert snap["events.merger_total"] == 1.0
+
+
+class TestEventLogJsonl:
+    def sample(self):
+        log = EventLog()
+        log.append(Event("escape", 1.5, 3))
+        log.append(Event("merger", 2.25, (1, 2), {"m_new": 0.5}))
+        log.append(Event("close_encounter", 3.0, 4, {"partner": 5}))
+        return log
+
+    def test_round_trip(self, tmp_path):
+        log = self.sample()
+        path = log.to_jsonl(tmp_path / "events.jsonl", run_id="r9")
+        back = EventLog.from_jsonl(path)
+        assert len(back) == len(log)
+        for a, b in zip(back, log):
+            assert (a.kind, a.time, a.key, a.data) == (b.kind, b.time, b.key, b.data)
+
+    def test_header_first(self, tmp_path):
+        from repro.runio.runlog import read_run_log
+
+        path = self.sample().to_jsonl(tmp_path / "events.jsonl", run_id="r9")
+        records = read_run_log(path)
+        assert records[0]["kind"] == "header"
+        assert records[0]["run_id"] == "r9"
+        assert records[0]["format"] == "repro-events-v1"
+
+    def test_restore_fires_counters(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        path = self.sample().to_jsonl(tmp_path / "events.jsonl")
+        reg = MetricsRegistry()
+        EventLog.from_jsonl(path, metrics=reg)
+        snap = reg.snapshot()
+        assert snap["events.escape_total"] == 1.0
+        assert snap["events.merger_total"] == 1.0
+        assert snap["events.close_encounter_total"] == 1.0
+
+    def test_tuple_keys_survive(self, tmp_path):
+        log = EventLog()
+        log.append(Event("merger", 1.0, (3, 9)))
+        path = log.to_jsonl(tmp_path / "e.jsonl")
+        back = EventLog.from_jsonl(path)
+        assert next(iter(back)).key == (3, 9)
+
 
 class TestEscapers:
     def make(self, pos, vel):

@@ -7,6 +7,8 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent.parent / "tools"))
 
+from check_metric_names import check_paths
+from check_metric_names import main as lint_main
 from gen_api_docs import collect_modules, describe_module, main, render_api_docs
 
 
@@ -54,3 +56,41 @@ class TestRender:
         assert main([str(out)]) == 0
         assert out.exists()
         assert "# API reference" in out.read_text()
+
+
+class TestMetricNameLint:
+    def test_repo_source_is_clean(self, capsys):
+        assert lint_main([]) == 0
+        assert "metric names ok" in capsys.readouterr().out
+
+    def test_undeclared_name_flagged(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text('reg.counter("nope.not_declared")\n')
+        problems = check_paths([bad])
+        assert len(problems) == 1
+        assert "not declared" in problems[0]
+        assert lint_main([str(bad)]) == 1
+
+    def test_wrong_kind_flagged(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        # run.wall_seconds is declared as a gauge
+        bad.write_text('reg.counter("run.wall_seconds")\n')
+        problems = check_paths([bad])
+        assert len(problems) == 1
+        assert "declared as gauge" in problems[0]
+
+    def test_ill_formed_name_flagged(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text('reg.gauge("NotDotted")\n')
+        problems = check_paths([bad])
+        assert "naming" in problems[0]
+
+    def test_dynamic_family_admitted(self, tmp_path):
+        ok = tmp_path / "ok.py"
+        ok.write_text('reg.counter("events.supernova_total")\n')
+        assert check_paths([ok]) == []
+
+    def test_fstring_names_skipped(self, tmp_path):
+        ok = tmp_path / "ok.py"
+        ok.write_text('reg.counter(f"events.{kind}_total")\n')
+        assert check_paths([ok]) == []

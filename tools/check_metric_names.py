@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Lint: every literal metric name must be declared in the catalogue.
+
+Walks python sources for calls of the form ``<expr>.counter("name")``,
+``<expr>.gauge("name")`` and ``<expr>.histogram("name")`` and fails
+when a literal name is missing from
+:data:`repro.obs.catalogue.METRIC_CATALOGUE` (dynamic families listed
+in ``DYNAMIC_PREFIXES`` are admitted), or when the declared kind does
+not match the accessor used.  Names built at runtime (f-strings etc.)
+are skipped — they must belong to a declared dynamic family, which the
+runtime registry's strict mode can enforce.
+
+Pure standard library; run::
+
+    python tools/check_metric_names.py [paths...]
+
+Defaults to the repository's ``src`` tree.  Exit code 1 on violations.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.catalogue import METRIC_CATALOGUE, NAME_RE, is_declared  # noqa: E402
+
+__all__ = ["find_metric_calls", "check_file", "check_paths", "main"]
+
+#: Accessor method name -> metric kind it creates.
+_ACCESSORS = {"counter": "counter", "gauge": "gauge", "histogram": "histogram"}
+
+
+def find_metric_calls(tree: ast.AST):
+    """Yield ``(lineno, kind, name)`` for literal-name metric registrations."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+            continue
+        kind = _ACCESSORS.get(node.func.attr)
+        if kind is None or not node.args:
+            continue
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            yield node.lineno, kind, arg.value
+
+
+def check_file(path: Path) -> list[str]:
+    """Human-readable violation messages for one python file."""
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError as exc:
+        return [f"{path}: cannot parse: {exc}"]
+    problems = []
+    for lineno, kind, name in find_metric_calls(tree):
+        if not NAME_RE.match(name):
+            problems.append(
+                f"{path}:{lineno}: metric name {name!r} violates the naming "
+                "convention (dotted lower-case)"
+            )
+        elif not is_declared(name):
+            problems.append(
+                f"{path}:{lineno}: metric {name!r} is not declared in "
+                "repro.obs.catalogue.METRIC_CATALOGUE"
+            )
+        else:
+            declared = METRIC_CATALOGUE.get(name)
+            if declared is not None and declared[0] != kind:
+                problems.append(
+                    f"{path}:{lineno}: metric {name!r} is declared as "
+                    f"{declared[0]} but registered via .{kind}()"
+                )
+    return problems
+
+
+def check_paths(paths) -> list[str]:
+    """Violations across files and/or directory trees."""
+    problems = []
+    for p in paths:
+        p = Path(p)
+        files = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for f in files:
+            problems.extend(check_file(f))
+    return problems
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    paths = argv or [REPO_ROOT / "src"]
+    problems = check_paths(paths)
+    for msg in problems:
+        print(msg)
+    if problems:
+        print(f"{len(problems)} undeclared/ill-typed metric name(s)")
+        return 1
+    print("metric names ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
