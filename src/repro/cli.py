@@ -53,6 +53,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", metavar="PATH", default=None,
         help="write Prometheus text exposition of run metrics (enables metrics)",
     )
+    p_run.add_argument(
+        "--run-dir", metavar="DIR", default=None,
+        help="managed production run: snapshots, run log, checkpoints in DIR",
+    )
+    p_run.add_argument(
+        "--snapshot-interval", type=float, default=None, metavar="T",
+        help="snapshot cadence in simulation time (managed runs)",
+    )
+    p_run.add_argument(
+        "--diagnostics-interval", type=float, default=None, metavar="T",
+        help="energy-accounting cadence in simulation time (managed runs)",
+    )
+    p_run.add_argument(
+        "--checkpoint-interval", type=int, default=None, metavar="BLOCKS",
+        help="checkpoint every BLOCKS block steps (managed runs)",
+    )
+    p_run.add_argument(
+        "--resume", metavar="DIR", default=None,
+        help="continue a managed run from the latest checkpoint in DIR",
+    )
 
     p_perf = sub.add_parser("perf", help="evaluate the GRAPE-6 timing model")
     p_perf.add_argument("--n", type=int, default=1_800_000, help="total particles")
@@ -97,20 +117,104 @@ def _config_for(name: str):
     }[name]()
 
 
-def _cmd_run(args) -> int:
+def _build_backend(name: str, eps: float):
+    """Construct a force backend; returns ``(backend, machine_or_None)``."""
     from .baselines import TreeBackend
     from .core import HostDirectBackend
     from .grape import Grape6Backend, Grape6Config, Grape6Machine
+
+    if name == "host":
+        return HostDirectBackend(eps=eps), None
+    if name == "tree":
+        return TreeBackend(eps=eps, theta=0.5), None
+    machine = Grape6Machine(Grape6Config.paper_full_system(), eps=eps)
+    return Grape6Backend(machine), machine
+
+
+def _cmd_run_managed(args) -> int:
+    from .core import KeplerField, Simulation, TimestepParams
+    from .planetesimal import PlanetesimalDiskConfig, build_disk_system
+    from .runio import ProductionRun
+
+    backend, _ = _build_backend(args.backend, args.eps)
+    system = build_disk_system(
+        PlanetesimalDiskConfig(n_planetesimals=args.n, seed=args.seed)
+    )
+    sim = Simulation(
+        system,
+        backend,
+        external_field=KeplerField(),
+        timestep_params=TimestepParams(
+            eta=args.eta, eta_start=args.eta / 2.0, dt_max=args.dt_max
+        ),
+    )
+    run = ProductionRun(
+        sim,
+        args.run_dir,
+        snapshot_interval=args.snapshot_interval,
+        diagnostics_interval=args.diagnostics_interval,
+        checkpoint_interval=args.checkpoint_interval,
+        checkpoint_metadata={
+            "backend": args.backend,
+            "n": args.n,
+            "seed": args.seed,
+            "eta": args.eta,
+            "dt_max": args.dt_max,
+            "eps": args.eps,
+        },
+        run_id=f"disk-n{args.n}",
+    )
+    report = run.execute(args.t_end)
+    print(report.summary())
+    return 0
+
+
+def _cmd_run_resume(args) -> int:
+    from pathlib import Path
+
+    from .core import KeplerField, TimestepParams
+    from .core.snapshots import load_snapshot
+    from .errors import CheckpointError
+    from .resilience import CheckpointManager
+    from .runio import ProductionRun
+
+    directory = Path(args.resume)
+    manager = CheckpointManager(directory / "checkpoints")
+    path = manager.latest_path()
+    if path is None:
+        raise CheckpointError(
+            f"no checkpoint found in {directory / 'checkpoints'} — start the "
+            "run with `repro run --run-dir DIR --checkpoint-interval N` first"
+        )
+    _, meta = load_snapshot(path)
+    cfg = (meta.get("checkpoint") or {}).get("config") or {}
+    backend, _ = _build_backend(
+        cfg.get("backend", args.backend), cfg.get("eps", args.eps)
+    )
+    eta = cfg.get("eta", args.eta)
+    run = ProductionRun.resume(
+        directory,
+        backend,
+        external_field=KeplerField(),
+        timestep_params=TimestepParams(
+            eta=eta, eta_start=eta / 2.0, dt_max=cfg.get("dt_max", args.dt_max)
+        ),
+    )
+    print(f"resuming from {path.name} at T = {run.sim.time:g}")
+    report = run.execute()
+    print(report.summary())
+    return 0
+
+
+def _cmd_run(args) -> int:
     from .perf import run_scaled_disk
 
-    machine = None
-    if args.backend == "host":
-        backend = HostDirectBackend(eps=args.eps)
-    elif args.backend == "tree":
-        backend = TreeBackend(eps=args.eps, theta=0.5)
-    else:
-        machine = Grape6Machine(Grape6Config.paper_full_system(), eps=args.eps)
-        backend = Grape6Backend(machine)
+    if args.resume:
+        return _cmd_run_resume(args)
+    if args.run_dir:
+        return _cmd_run_managed(args)
+
+    backend, machine = _build_backend(args.backend, args.eps)
 
     obs = None
     if args.trace_out or args.metrics_out:
@@ -248,7 +352,14 @@ def _cmd_report(args) -> int:
 
 
 def main(argv=None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Library failures (snapshot/checkpoint problems, GRAPE hardware
+    errors, comm-model errors) exit with code 2 and a one-line message
+    on stderr instead of a traceback.
+    """
+    from .errors import CommError, GrapeError, SnapshotError
+
     args = build_parser().parse_args(argv)
     handler = {
         "run": _cmd_run,
@@ -257,7 +368,11 @@ def main(argv=None) -> int:
         "selftest": _cmd_selftest,
         "report": _cmd_report,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except (SnapshotError, GrapeError, CommError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

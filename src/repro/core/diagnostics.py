@@ -90,6 +90,15 @@ class EnergyTracker:
         self.samples = [(float(system.t[0]), 0.0)]
         return self._e0
 
+    def restore(
+        self, reference_energy: float, max_error: float = 0.0, t: float = 0.0
+    ) -> None:
+        """Re-arm the tracker from checkpointed state (instead of
+        :meth:`start`, which would re-baseline on the *current* energy
+        and hide any drift accumulated before the restart)."""
+        self._e0 = float(reference_energy)
+        self.samples = [(float(t), float(max_error))]
+
     @property
     def reference_energy(self) -> float:
         if self._e0 is None:

@@ -74,6 +74,7 @@ class Simulation:
         collision_policy=None,
         corrector_iterations: int = 1,
         obs=None,
+        _restart: bool = False,
     ) -> None:
         from ..obs import NULL_OBS
 
@@ -82,7 +83,9 @@ class Simulation:
         if corrector_iterations < 1:
             raise ConfigurationError("corrector_iterations must be >= 1")
         t0 = system.t
-        if not np.allclose(t0, t0[0]):
+        # A checkpointed system is at a block *boundary*, not a common
+        # time — individual particle times legitimately differ there.
+        if not _restart and not np.allclose(t0, t0[0]):
             raise ConfigurationError("all particles must start at a common time")
         self.system = system
         self.backend = backend
@@ -109,6 +112,50 @@ class Simulation:
         self._initialized = False
 
     # -- setup -----------------------------------------------------------
+
+    @classmethod
+    def from_restart(
+        cls,
+        system: ParticleSystem,
+        backend: ForceBackend,
+        time: float,
+        *,
+        external_field=None,
+        timestep_params: TimestepParams | None = None,
+        collision_policy=None,
+        corrector_iterations: int = 1,
+        obs=None,
+        block_steps: int = 0,
+        particle_steps: int = 0,
+        mergers: int = 0,
+    ) -> "Simulation":
+        """Rebuild a running simulation from checkpointed state.
+
+        ``system`` must carry the exact checkpointed ``pos/vel/acc/jerk/
+        t/dt`` arrays (a raw snapshot, *not* a predicted state).  The
+        scheduler is stateless — it reads ``system.t`` and ``system.dt``
+        each block — so continuing from here is bit-identical to a run
+        that was never interrupted.  :meth:`initialize` must not be
+        called again (it would re-seed timesteps and break determinism);
+        the backend is loaded here instead.
+        """
+        sim = cls(
+            system,
+            backend,
+            external_field=external_field,
+            timestep_params=timestep_params,
+            collision_policy=collision_policy,
+            corrector_iterations=corrector_iterations,
+            obs=obs,
+            _restart=True,
+        )
+        sim.time = float(time)
+        sim.block_steps = int(block_steps)
+        sim.particle_steps = int(particle_steps)
+        sim.mergers = int(mergers)
+        backend.load(system)
+        sim._initialized = True
+        return sim
 
     def initialize(self) -> None:
         """Startup force evaluation and initial timestep assignment."""

@@ -5,11 +5,18 @@ A snapshot stores the complete dynamical state of a
 (run parameters, simulation time).  Snapshots round-trip exactly
 (bit-identical float64 arrays), which the test suite verifies — restart
 capability was essential for the paper's multi-hour production run.
+
+Writes are **atomic**: the archive is assembled in a same-directory
+temporary file and moved into place with :func:`os.replace`, so a crash
+(or an injected host-kill) mid-write can never leave a torn ``.npz``
+under the final name — the restart path either sees the previous intact
+snapshot or the new one, never garbage.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -39,7 +46,17 @@ def save_snapshot(path, system: ParticleSystem, metadata: dict | None = None) ->
     except TypeError as exc:
         raise SnapshotError(f"metadata is not JSON-serialisable: {exc}") from exc
     arrays = {name: getattr(system, name) for name in _ARRAYS}
-    np.savez_compressed(path, _metadata=np.array(meta_json), **arrays)
+    # Atomic publish: write to a sibling temp file, fsync, then rename.
+    # (A file handle is passed so numpy cannot append a second suffix.)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, _metadata=np.array(meta_json), **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
     return path
 
 

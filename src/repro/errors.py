@@ -16,9 +16,12 @@ __all__ = [
     "GrapeError",
     "GrapeMemoryError",
     "GrapeLinkError",
+    "HardwareFaultError",
     "CommError",
     "TopologyError",
     "SnapshotError",
+    "CheckpointError",
+    "SimulationKilled",
 ]
 
 
@@ -54,6 +57,11 @@ class GrapeLinkError(GrapeError):
     """A data-transfer error on a simulated LVDS / PCI / Ethernet link."""
 
 
+class HardwareFaultError(GrapeError):
+    """A hardware fault was detected (non-finite forces, dead pipelines)
+    and could not be handled locally; recovery escalates or re-raises."""
+
+
 class CommError(ReproError, RuntimeError):
     """Simulated message-passing failure (bad rank, mismatched collective)."""
 
@@ -64,3 +72,15 @@ class TopologyError(ReproError, ValueError):
 
 class SnapshotError(ReproError, IOError):
     """Snapshot serialisation or deserialisation failed."""
+
+
+class CheckpointError(SnapshotError):
+    """Checkpoint write/restore failed (missing, torn, or incompatible)."""
+
+
+class SimulationKilled(ReproError, RuntimeError):
+    """The run was killed mid-flight (the fault injector's host-kill).
+
+    Deliberately *not* a :class:`GrapeError`: in-run recovery must never
+    swallow it — the expected handler is checkpoint restart.
+    """

@@ -74,6 +74,12 @@ class ProcessorBoard:
     def capacity(self) -> int:
         return sum(chip.jmem.capacity for chip in self.chips)
 
+    @property
+    def alive_capacity(self) -> int:
+        """j-memory capacity of the working chips only (what the
+        distribution layer may actually use after masking)."""
+        return sum(c.jmem.capacity for c in self.alive_chips())
+
     # -- j-memory management -------------------------------------------------
 
     def alive_chips(self) -> list:
@@ -86,7 +92,7 @@ class ProcessorBoard:
         """Distribute a j-slice round-robin over the working chips."""
         n = len(key)
         chips = self.alive_chips()
-        if not chips:
+        if not chips and n > 0:
             raise GrapeMemoryError("no working chips on this board")
         cap = sum(c.jmem.capacity for c in chips)
         if n > cap:

@@ -23,7 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..constants import GRAPE6_BOARDS_PER_NODE
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, GrapeMemoryError
 from .board import ProcessorBoard, round_robin_slices
 from .host import HostInterface
 from .links import Link, gbe_link
@@ -72,6 +72,10 @@ class Node:
     @property
     def capacity(self) -> int:
         return self.nb.capacity
+
+    @property
+    def alive_capacity(self) -> int:
+        return self.nb.alive_capacity
 
     def load(self, key, mass, pos, vel, acc, jerk, t) -> None:
         """Load this node's j-slice, split over its boards."""
@@ -123,10 +127,33 @@ class Cluster:
     def n_resident(self) -> int:
         return sum(n.n_resident for n in self.nodes)
 
+    @property
+    def alive_capacity(self) -> int:
+        return sum(n.alive_capacity for n in self.nodes)
+
     def load(self, key, mass, pos, vel, acc, jerk, t) -> None:
-        """Distribute *all* particles over this cluster's nodes (j-split)."""
+        """Distribute *all* particles over this cluster's nodes (j-split).
+
+        Healthy hardware gets the host library's round-robin split
+        (loads balanced to ±1).  If masking has left some node short of
+        its equal share, the split degrades to contiguous slices
+        weighted by alive capacity so the slice still fits.
+        """
         n = len(key)
-        for node, idx in zip(self.nodes, round_robin_slices(n, self.n_nodes)):
+        slices = round_robin_slices(n, self.n_nodes)
+        caps = np.array([node.alive_capacity for node in self.nodes], dtype=float)
+        if any(idx.size > cap for idx, cap in zip(slices, caps)):
+            total = caps.sum()
+            if n and total == 0.0:
+                raise GrapeMemoryError("no working chips in this cluster")
+            if total:
+                shares = np.floor(np.cumsum(caps) / total * n).astype(int)
+                shares[int(np.nonzero(caps)[0][-1]):] = n
+                bounds = np.concatenate([[0], shares])
+                slices = [
+                    np.arange(bounds[i], bounds[i + 1]) for i in range(self.n_nodes)
+                ]
+        for node, idx in zip(self.nodes, slices):
             node.load(key[idx], mass[idx], pos[idx], vel[idx], acc[idx], jerk[idx], t[idx])
 
     def update(self, key, mass, pos, vel, acc, jerk, t) -> None:

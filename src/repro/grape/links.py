@@ -31,9 +31,19 @@ class Link:
         Sustained payload bandwidth.
     latency_s:
         Fixed per-message cost (setup, DMA initiation, interrupt).
+
+    Fault injection arms a link with :meth:`fail_next` (the next *n*
+    transfers are dropped and retried with exponential backoff, each
+    retry paying the full transfer again) or :meth:`delay_next` (a
+    one-shot bandwidth degradation).  Retries are counted in
+    ``retransmits`` and their cost lands in the returned transfer time,
+    so the timing model sees degraded links without special-casing.
     """
 
-    __slots__ = ("name", "bandwidth", "latency", "bytes_total", "messages")
+    __slots__ = (
+        "name", "bandwidth", "latency", "bytes_total", "messages",
+        "retransmits", "_drop_next", "_delay_factor",
+    )
 
     def __init__(self, name: str, bandwidth_bytes_per_s: float, latency_s: float) -> None:
         if bandwidth_bytes_per_s <= 0:
@@ -45,6 +55,9 @@ class Link:
         self.latency = float(latency_s)
         self.bytes_total = 0
         self.messages = 0
+        self.retransmits = 0
+        self._drop_next = 0
+        self._delay_factor = 1.0
 
     def transfer_time(self, nbytes: int) -> float:
         """Time one message of ``nbytes`` takes (no state change)."""
@@ -52,9 +65,37 @@ class Link:
             raise GrapeLinkError("cannot transfer negative bytes")
         return self.latency + nbytes / self.bandwidth
 
+    # -- fault arming ----------------------------------------------------
+
+    def fail_next(self, n: int = 1) -> None:
+        """Drop the next ``n`` transfer attempts (each is retried)."""
+        if n < 0:
+            raise GrapeLinkError("cannot arm a negative drop count")
+        self._drop_next += int(n)
+
+    def delay_next(self, factor: float) -> None:
+        """Stretch the next transfer's time by ``factor`` (one-shot)."""
+        if factor < 1.0:
+            raise GrapeLinkError("delay factor must be >= 1")
+        self._delay_factor = float(factor)
+
     def transfer(self, nbytes: int) -> float:
-        """Record a message and return its transfer time."""
+        """Record a message and return its transfer time.
+
+        If drops are armed, the message is retransmitted until it gets
+        through: attempt ``k`` adds a full transfer plus a backoff wait
+        of ``latency * 2**k``.
+        """
         t = self.transfer_time(nbytes)
+        if self._delay_factor != 1.0:
+            t *= self._delay_factor
+            self._delay_factor = 1.0
+        attempt = 0
+        while self._drop_next > 0:
+            self._drop_next -= 1
+            self.retransmits += 1
+            t += self.transfer_time(nbytes) + self.latency * (2.0 ** attempt)
+            attempt += 1
         self.bytes_total += int(nbytes)
         self.messages += 1
         return t
@@ -62,6 +103,9 @@ class Link:
     def reset(self) -> None:
         self.bytes_total = 0
         self.messages = 0
+        self.retransmits = 0
+        self._drop_next = 0
+        self._delay_factor = 1.0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

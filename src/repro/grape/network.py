@@ -25,7 +25,7 @@ from enum import Enum
 
 import numpy as np
 
-from ..errors import ConfigurationError, GrapeLinkError
+from ..errors import ConfigurationError, GrapeLinkError, GrapeMemoryError
 from .links import Link, lvds_link
 from .pipeline import PipelineResult
 
@@ -77,6 +77,11 @@ class NetworkBoard:
     def capacity(self) -> int:
         return sum(t.capacity for t in self.targets)
 
+    @property
+    def alive_capacity(self) -> int:
+        """Capacity below this NB counting only working chips."""
+        return sum(getattr(t, "alive_capacity", t.capacity) for t in self.targets)
+
     def descendants_boards(self):
         """All processor boards below this NB (flattening cascades)."""
         out = []
@@ -90,10 +95,26 @@ class NetworkBoard:
     # -- j-memory management ---------------------------------------------------
 
     def load(self, key, mass, pos, vel, acc, jerk, t) -> None:
-        """Split a j-slice over the downlink targets by capacity share."""
+        """Split a j-slice over the downlink targets by capacity share.
+
+        Shares follow *alive* capacity, so a target whose chips are all
+        masked receives nothing and the slice lands on working hardware.
+        """
         n = len(key)
-        caps = np.array([t.capacity for t in self.targets], dtype=float)
-        shares = np.floor(np.cumsum(caps / caps.sum()) * n).astype(int)
+        caps = np.array(
+            [getattr(t_, "alive_capacity", t_.capacity) for t_ in self.targets],
+            dtype=float,
+        )
+        total = caps.sum()
+        if total == 0.0:
+            if n:
+                raise GrapeMemoryError("no working chips below this network board")
+            shares = np.zeros(len(self.targets), dtype=int)
+        else:
+            shares = np.floor(np.cumsum(caps / total) * n).astype(int)
+            # pin the remainder on the last *working* target (a dead
+            # trailing target must end with an empty slice, not the rest)
+            shares[int(np.nonzero(caps)[0][-1]):] = n
         start = 0
         for tgt, stop in zip(self.targets, shares):
             sl = slice(start, stop)

@@ -32,6 +32,10 @@ class ChipReport:
     max_rel_error: float
     n_resident: int
     active_pipelines: int
+    #: Chip was skipped because every pipeline is masked.  Masked chips
+    #: count as ``ok`` (they are excluded from the j-distribution, so
+    #: they cannot corrupt results) but are reported separately.
+    masked: bool = False
 
 
 @dataclass
@@ -49,17 +53,25 @@ class SelfTestReport:
         return sum(1 for c in self.chips if not c.ok)
 
     @property
+    def n_masked(self) -> int:
+        return sum(1 for c in self.chips if c.masked)
+
+    @property
     def all_ok(self) -> bool:
         return self.n_failed == 0
 
     def failures(self) -> list:
         return [c for c in self.chips if not c.ok]
 
+    def masked_chips(self) -> list:
+        return [c for c in self.chips if c.masked]
+
     def summary(self) -> str:
         status = "PASS" if self.all_ok else "FAIL"
+        masked = f", {self.n_masked} masked" if self.n_masked else ""
         return (
             f"GRAPE-6 self-test: {status} "
-            f"({self.n_tested - self.n_failed}/{self.n_tested} chips ok)"
+            f"({self.n_tested - self.n_failed}/{self.n_tested} chips ok{masked})"
         )
 
 
@@ -68,6 +80,7 @@ def self_test(
     n_vectors: int = 24,
     seed: int = 0,
     rel_tol: float = 1e-10,
+    reload_system=None,
 ) -> SelfTestReport:
     """Run test vectors through every chip of a hierarchy-mode machine.
 
@@ -81,8 +94,10 @@ def self_test(
 
     .. warning::
        The test vectors overwrite resident j-memory (as the real test
-       programs did).  Run before loading a simulation, or call
-       ``machine.load(system)`` again afterwards.
+       programs did).  Run before loading a simulation, call
+       ``machine.load(system)`` again afterwards, or pass the live
+       system as ``reload_system=`` to have it restored automatically
+       (used by in-run self-test sweeps).
     """
     if not machine.clusters:
         raise GrapeError("self_test requires a hierarchy-mode machine")
@@ -98,7 +113,7 @@ def self_test(
                             ChipReport(
                                 cluster=ci, node=ni, board=bi, chip=chi,
                                 ok=True, max_rel_error=0.0, n_resident=0,
-                                active_pipelines=0,
+                                active_pipelines=0, masked=True,
                             )
                         )
                         continue
@@ -135,4 +150,6 @@ def self_test(
                             active_pipelines=chip.pipelines.active_pipelines,
                         )
                     )
+    if reload_system is not None:
+        machine.load(reload_system)
     return report

@@ -31,7 +31,7 @@ import numpy as np
 from ..core.backends import ForceBackend
 from ..core.forces import InteractionCounter, acc_jerk, pairwise_potential
 from ..core.predictor import predict_system
-from ..errors import ConfigurationError, GrapeMemoryError
+from ..errors import ConfigurationError, GrapeError, GrapeMemoryError
 from .board import round_robin_slices
 from .cluster import Cluster, Node
 from .host import HostCostModel
@@ -81,6 +81,11 @@ class Grape6Machine:
         if mode == "hierarchy":
             self.clusters = self._build_clusters()
         self._n_loaded = 0
+        #: Resilience hooks (:mod:`repro.resilience`); ``None`` keeps the
+        #: fault path at one-attribute-lookup cost per block.
+        self.injector = None
+        self.recovery = None
+        self._block_index = 0
         self.observe(obs)
 
     # -- observability -------------------------------------------------------
@@ -106,6 +111,44 @@ class Grape6Machine:
         self._c_host_s = m.counter("grape.host_seconds")
         self._c_comm_s = m.counter("grape.comm_seconds")
         m.gauge("grape.peak_flops").set(self.config.peak_flops)
+        if self.injector is not None:
+            self.injector.observe(self.obs)
+        if self.recovery is not None:
+            self.recovery.observe(self.obs)
+
+    # -- resilience ----------------------------------------------------------
+
+    def attach_resilience(self, plan=None) -> None:
+        """Arm the machine with a fault plan and a recovery manager.
+
+        ``plan`` is a :class:`repro.resilience.FaultPlan` (or ``None``
+        for detection/recovery without injected faults).  After this,
+        every :meth:`compute_block` (a) applies faults the plan schedules
+        for the current block index, (b) sanity-checks the returned
+        forces, and (c) on any :class:`~repro.errors.GrapeError` masks
+        the offending hardware, reloads the j-distribution and
+        re-evaluates the block — the operational loop of a real GRAPE
+        installation.
+        """
+        from ..resilience import FaultInjector, RecoveryManager
+
+        self.injector = FaultInjector(plan, self, obs=self.obs)
+        self.recovery = RecoveryManager(self, obs=self.obs)
+
+    def iter_chips(self):
+        """Yield ``(cluster_i, node_i, board_i, chip_i, chip)`` tuples."""
+        for ci, cluster in enumerate(self.clusters):
+            for ni, node in enumerate(cluster.nodes):
+                for bi, board in enumerate(node.boards):
+                    for chi, chip in enumerate(board.chips):
+                        yield ci, ni, bi, chi, chip
+
+    def iter_boards(self):
+        """Yield ``(cluster_i, node_i, board_i, board)`` tuples."""
+        for ci, cluster in enumerate(self.clusters):
+            for ni, node in enumerate(cluster.nodes):
+                for bi, board in enumerate(node.boards):
+                    yield ci, ni, bi, board
 
     # -- construction -------------------------------------------------------
 
@@ -147,6 +190,8 @@ class Grape6Machine:
                 f"{n} particles exceed the machine's j-capacity {self.jmem_capacity}"
             )
         self._n_loaded = n
+        if self.recovery is not None and self.recovery.host_only:
+            return  # hardware is out of capacity; the host kernel serves
         for cluster in self.clusters:
             cluster.load(
                 system.key, system.mass, system.pos, system.vel,
@@ -179,10 +224,23 @@ class Grape6Machine:
                 "machine particle count is stale; call load() after changing N"
             )
 
-        if self.mode == "flat":
-            acc, jerk = self._compute_flat(system, active, t_now)
-        else:
-            acc, jerk = self._compute_hierarchy(system, active, t_now)
+        if self.injector is not None:
+            self.injector.apply_due(self._block_index)
+        self._block_index += 1
+
+        try:
+            if self.recovery is not None and self.recovery.host_only:
+                acc, jerk = self._compute_flat(system, active, t_now)
+            elif self.mode == "flat":
+                acc, jerk = self._compute_flat(system, active, t_now)
+            else:
+                acc, jerk = self._compute_hierarchy(system, active, t_now)
+            if self.recovery is not None:
+                self.recovery.check_forces(acc, jerk)
+        except GrapeError as exc:
+            if self.recovery is None:
+                raise
+            acc, jerk = self.recovery.recover_block(system, active, t_now, exc)
 
         step = self.timing_model.block_step(n_active, n_total)
         self.totals.add(step, n_active, n_total)
@@ -204,6 +262,17 @@ class Grape6Machine:
                     ("grape.gbe_bcast", step.gbe),
                 ],
             )
+
+        # Retransmit cost of armed link faults: charged as pure overhead
+        # (no block, no interactions), exactly like a flaky LVDS cable.
+        if self.injector is not None:
+            overhead = self.injector.link_overhead(step)
+            if overhead:
+                extra = sum(overhead.values())
+                self.totals.add_overhead(**overhead)
+                self._c_comm_s.inc(extra)
+                if self.obs.enabled:
+                    self.obs.tracer.model_span("grape.link_retransmit", extra)
         return acc, jerk
 
     def _compute_flat(self, system, active, t_now):

@@ -171,6 +171,23 @@ class TimingTotals:
         self.particle_steps += int(n_active)
         self.interactions += int(n_active) * int(n_total)
 
+    def add_overhead(
+        self,
+        host: float = 0.0,
+        pci: float = 0.0,
+        lvds: float = 0.0,
+        pipe: float = 0.0,
+        gbe: float = 0.0,
+    ) -> None:
+        """Charge extra seconds (retransmits, recovery re-evaluations)
+        without counting a block or any useful interactions — overhead
+        lowers ``achieved_flops_per_s`` as it did on the real machine."""
+        self.host += host
+        self.pci += pci
+        self.lvds += lvds
+        self.pipe += pipe
+        self.gbe += gbe
+
     @property
     def total_seconds(self) -> float:
         return self.host + self.pci + self.lvds + self.pipe + self.gbe

@@ -64,6 +64,46 @@ METRIC_CATALOGUE: dict[str, tuple[str, str]] = {
     "comm.phases_total": ("counter", "Communication phases executed"),
     "comm.phase_seconds": ("counter", "Simulated communication time"),
     "comm.phase_bytes": ("histogram", "Bytes moved per communication phase"),
+    "comm.retransmits_total": (
+        "counter",
+        "Message retransmissions in the comm substrate (dropped transfers)",
+    ),
+    # -- fault injection / detection -------------------------------------
+    "faults.injected_total": ("counter", "Faults injected by the active fault plan"),
+    "faults.detected_total": (
+        "counter",
+        "Hardware faults detected by the per-block force sanity guard",
+    ),
+    "faults.recovered_total": (
+        "counter",
+        "Faults recovered (mask / reload / retransmit) without aborting",
+    ),
+    "faults.link_retransmits_total": (
+        "counter",
+        "Link-level retransmissions charged to the GRAPE timing model",
+    ),
+    "faults.watchdog_trips_total": ("counter", "Energy-error watchdog trips"),
+    "faults.masked_chips": (
+        "gauge",
+        "Chips currently masked out of the j-distribution",
+    ),
+    # -- recovery --------------------------------------------------------
+    "recovery.seconds": (
+        "counter",
+        "Modelled hardware time spent on recovery re-evaluations",
+    ),
+    "recovery.reloads_total": (
+        "counter",
+        "Full j-memory reloads performed during recovery",
+    ),
+    "recovery.host_fallback_total": (
+        "counter",
+        "Blocks recovered on the host kernel (hardware unavailable)",
+    ),
+    "recovery.selftest_sweeps_total": ("counter", "In-run self-test sweeps"),
+    # -- checkpoint / restart --------------------------------------------
+    "checkpoint.writes_total": ("counter", "Checkpoints written"),
+    "checkpoint.restores_total": ("counter", "Runs resumed from a checkpoint"),
     # -- whole-run measurements ------------------------------------------
     "run.wall_seconds": ("gauge", "Python wall-clock time of the measured run"),
     "run.energy_error": ("gauge", "Relative energy error at the end of the run"),

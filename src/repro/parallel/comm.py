@@ -65,15 +65,23 @@ class CommSimulator:
     the ``comm.*`` metrics and emits a ``comm.phase`` span on the
     model-time track (its duration is the simulated phase time, not
     wall time).
+
+    With a :class:`~repro.resilience.FaultInjector` attached
+    (``injector``), comm-domain faults scheduled at the current phase
+    index drop transfers: each drop retransmits the phase with
+    exponential backoff, the extra time is charged to the phase, and
+    ``comm.retransmits_total`` counts the repeats.
     """
 
-    def __init__(self, topology: Topology, obs=None) -> None:
+    def __init__(self, topology: Topology, obs=None, injector=None) -> None:
         from ..obs import NULL_OBS
 
         self.topology = topology
         self.total_seconds = 0.0
         self.total_bytes = 0
         self.phases = 0
+        self.retransmits = 0
+        self.injector = injector
         #: Cumulative bytes per edge over all phases.
         self.edge_bytes: dict[tuple, int] = defaultdict(int)
         self.obs = obs or NULL_OBS
@@ -83,6 +91,7 @@ class CommSimulator:
         self._c_phases = m.counter("comm.phases_total")
         self._c_seconds = m.counter("comm.phase_seconds")
         self._h_bytes = m.histogram("comm.phase_bytes")
+        self._c_retrans = m.counter("comm.retransmits_total")
 
     # -- core -----------------------------------------------------------------
 
@@ -107,6 +116,13 @@ class CommSimulator:
                 bottleneck = edge
                 bottleneck_bytes = nbytes
             self.edge_bytes[edge] += nbytes
+
+        if self.injector is not None:
+            extra, retries = self.injector.comm_overhead(self.phases, seconds)
+            if retries:
+                seconds += extra
+                self.retransmits += retries
+                self._c_retrans.inc(retries)
 
         total = sum(t.nbytes for t in transfers)
         self.total_seconds += seconds

@@ -1,0 +1,38 @@
+"""Fault injection, detection/recovery, and checkpoint–restart.
+
+The paper's production run occupied 16 hosts and 2048 chips for many
+hours — at that scale hardware faults are an operational certainty, and
+the GRAPE-6 software stack survived them by masking bad chips,
+re-evaluating suspect blocks, and restarting from checkpoints.  This
+package reproduces that loop against the simulator:
+
+* :mod:`~repro.resilience.faults` — seeded, deterministic fault
+  injection (:class:`FaultPlan` / :class:`FaultInjector`);
+* :mod:`~repro.resilience.detect` — the per-block force guard, j-memory
+  scan and energy watchdog (:class:`EnergyWatchdog`);
+* :mod:`~repro.resilience.recover` — mask / reload / re-evaluate with
+  host-kernel fallback (:class:`RecoveryManager`);
+* :mod:`~repro.resilience.checkpoint` — atomic checkpoint–restart for
+  the production driver (:class:`CheckpointManager`).
+
+Arm a machine with ``machine.attach_resilience(plan)``; everything
+reports through :mod:`repro.obs` (``faults.*``, ``recovery.*``,
+``checkpoint.*`` metric families).
+"""
+
+from .checkpoint import CheckpointManager
+from .detect import EnergyWatchdog, force_guard, scan_jmem
+from .faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from .recover import RecoveryManager
+
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "force_guard",
+    "scan_jmem",
+    "EnergyWatchdog",
+    "RecoveryManager",
+    "CheckpointManager",
+]

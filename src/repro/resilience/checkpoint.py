@@ -1,0 +1,105 @@
+"""Checkpoint–restart: periodic durable state for the production driver.
+
+A checkpoint is an atomic snapshot of the **raw** integrator state
+(positions, velocities, forces, individual times and timesteps — not a
+predicted state) plus the driver bookkeeping needed to continue
+bit-identically: counters, the energy reference, and the output
+schedule.  Because the block scheduler is stateless (it reads ``t`` and
+``dt`` each call), a resumed run replays exactly the block sequence the
+interrupted run would have taken.
+
+Files in the checkpoint directory::
+
+    ckpt_000001.npz   snapshot + JSON state (atomic: tmp + os.replace)
+    latest            text pointer to the newest complete checkpoint
+
+The ``latest`` pointer is itself written atomically, so a crash at any
+instant leaves either the previous checkpoint or the new one — never a
+torn file under a live name.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from ..core.snapshots import load_snapshot, save_snapshot
+from ..errors import CheckpointError
+
+__all__ = ["CheckpointManager"]
+
+_CKPT_PATTERN = "ckpt_{:06d}.npz"
+_POINTER = "latest"
+
+
+class CheckpointManager:
+    """Writes and restores checkpoints in one directory."""
+
+    def __init__(self, directory, obs=None) -> None:
+        from ..obs import NULL_OBS
+
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.obs = obs or NULL_OBS
+        self._c_writes = self.obs.metrics.counter("checkpoint.writes_total")
+        self._c_restores = self.obs.metrics.counter("checkpoint.restores_total")
+
+    # -- discovery -------------------------------------------------------
+
+    def _next_index(self) -> int:
+        existing = sorted(self.directory.glob("ckpt_*.npz"))
+        if not existing:
+            return 1
+        return int(existing[-1].stem.split("_")[1]) + 1
+
+    def latest_path(self) -> Path | None:
+        """Path of the newest complete checkpoint, or ``None``."""
+        pointer = self.directory / _POINTER
+        if pointer.exists():
+            candidate = self.directory / pointer.read_text().strip()
+            if candidate.exists():
+                return candidate
+        # pointer lost/stale: fall back to the newest file on disk
+        existing = sorted(self.directory.glob("ckpt_*.npz"))
+        return existing[-1] if existing else None
+
+    # -- write -----------------------------------------------------------
+
+    def write(self, system, state: dict) -> Path:
+        """Checkpoint ``system`` + driver ``state``; returns the path.
+
+        The snapshot write is atomic; the ``latest`` pointer is flipped
+        only after the snapshot is durable, in a second atomic rename.
+        """
+        path = self.directory / _CKPT_PATTERN.format(self._next_index())
+        written = save_snapshot(path, system, metadata={"checkpoint": state})
+        pointer = self.directory / _POINTER
+        tmp = pointer.with_name(_POINTER + ".tmp")
+        tmp.write_text(written.name + "\n")
+        os.replace(tmp, pointer)
+        self._c_writes.inc()
+        return written
+
+    # -- restore ---------------------------------------------------------
+
+    def load_latest(self):
+        """Load the newest checkpoint; returns ``(system, state)``.
+
+        Raises
+        ------
+        CheckpointError
+            If the directory holds no checkpoint, or the newest file is
+            not a checkpoint (no driver state embedded).
+        """
+        path = self.latest_path()
+        if path is None:
+            raise CheckpointError(
+                f"no checkpoint found in {self.directory} — start the run "
+                "with a checkpoint interval before trying to resume"
+            )
+        system, meta = load_snapshot(path)
+        state = meta.get("checkpoint")
+        if state is None:
+            raise CheckpointError(f"{path} is a plain snapshot, not a checkpoint")
+        self._c_restores.inc()
+        return system, state

@@ -1,0 +1,206 @@
+"""Tests for checkpoint-restart: manager, driver resume, CLI workflow."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HostDirectBackend,
+    KeplerField,
+    TimestepParams,
+    save_snapshot,
+)
+from repro.errors import CheckpointError, ConfigurationError, SimulationKilled
+from repro.obs import Observability
+from repro.resilience import CheckpointManager
+from repro.runio import ProductionRun, read_run_log
+
+from conftest import make_disk_sim, make_random_cluster
+
+
+class TestCheckpointManager:
+    def test_write_load_roundtrip(self, tmp_path):
+        obs = Observability()
+        mgr = CheckpointManager(tmp_path / "ck", obs=obs)
+        s = make_random_cluster(12, seed=2)
+        state = {"time": 3.5, "block_steps": 40, "run_id": "t"}
+        path = mgr.write(s, state)
+        assert path.name == "ckpt_000001.npz"
+        loaded, got = mgr.load_latest()
+        assert got == state
+        assert np.array_equal(loaded.pos, s.pos)
+        assert obs.metrics.counter("checkpoint.writes_total").value == 1
+        assert obs.metrics.counter("checkpoint.restores_total").value == 1
+
+    def test_pointer_tracks_newest(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        s = make_random_cluster(4)
+        mgr.write(s, {"time": 1.0})
+        p2 = mgr.write(s, {"time": 2.0})
+        assert p2.name == "ckpt_000002.npz"
+        assert (tmp_path / "latest").read_text().strip() == p2.name
+        _, state = mgr.load_latest()
+        assert state["time"] == 2.0
+
+    def test_lost_pointer_falls_back_to_newest_file(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        s = make_random_cluster(4)
+        mgr.write(s, {"time": 1.0})
+        p2 = mgr.write(s, {"time": 2.0})
+        (tmp_path / "latest").unlink()
+        assert mgr.latest_path() == p2
+
+    def test_stale_pointer_falls_back(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        s = make_random_cluster(4)
+        p1 = mgr.write(s, {"time": 1.0})
+        (tmp_path / "latest").write_text("ckpt_999999.npz\n")
+        assert mgr.latest_path() == p1
+
+    def test_empty_directory_raises_actionable_error(self, tmp_path):
+        mgr = CheckpointManager(tmp_path / "none")
+        assert mgr.latest_path() is None
+        with pytest.raises(CheckpointError, match="no checkpoint found"):
+            mgr.load_latest()
+
+    def test_plain_snapshot_rejected(self, tmp_path):
+        save_snapshot(tmp_path / "ckpt_000001.npz", make_random_cluster(4))
+        with pytest.raises(CheckpointError, match="not a checkpoint"):
+            CheckpointManager(tmp_path).load_latest()
+
+
+def make_managed_run(tmp_path, name, on_block=None):
+    """A small managed disk run with checkpoints every 5 blocks."""
+    sim = make_disk_sim(n=24, seed=5, dt_max=0.5)
+    run = ProductionRun(
+        sim,
+        tmp_path / name,
+        snapshot_interval=2.0,
+        diagnostics_interval=2.0,
+        checkpoint_interval=5,
+        run_id="ck-test",
+        on_block=on_block,
+    )
+    return run
+
+
+class TestKillAndResume:
+    def test_resume_is_bit_identical(self, tmp_path):
+        """Kill mid-run, resume from checkpoint: final state matches an
+        uninterrupted run exactly (not just approximately)."""
+        ref = make_managed_run(tmp_path, "ref")
+        ref_report = ref.execute(t_end=6.0)
+
+        blocks = [0]
+
+        def killer(s):
+            blocks[0] += 1
+            if blocks[0] == 12:
+                raise SimulationKilled("power cut")
+
+        run = make_managed_run(tmp_path, "killed", on_block=killer)
+        with pytest.raises(SimulationKilled):
+            run.execute(t_end=6.0)
+        assert run.checkpoints_written >= 1
+
+        resumed = ProductionRun.resume(
+            tmp_path / "killed",
+            HostDirectBackend(eps=0.008),
+            external_field=KeplerField(),
+            timestep_params=TimestepParams(eta=0.02, dt_max=0.5),
+        )
+        assert resumed.sim.time < 6.0  # picked up mid-run
+        report = resumed.execute()  # t_end restored from the checkpoint
+
+        assert report.t_final == ref_report.t_final
+        assert report.block_steps == ref_report.block_steps
+        assert np.array_equal(resumed.sim.system.pos, ref.sim.system.pos)
+        assert np.array_equal(resumed.sim.system.vel, ref.sim.system.vel)
+        assert report.max_energy_error == pytest.approx(
+            ref_report.max_energy_error, rel=1e-9
+        )
+
+    def test_resumed_log_appends_idempotently(self, tmp_path):
+        blocks = [0]
+
+        def killer(s):
+            blocks[0] += 1
+            if blocks[0] == 8:
+                raise SimulationKilled("power cut")
+
+        run = make_managed_run(tmp_path, "log", on_block=killer)
+        with pytest.raises(SimulationKilled):
+            run.execute(t_end=6.0)
+        ProductionRun.resume(
+            tmp_path / "log",
+            HostDirectBackend(eps=0.008),
+            external_field=KeplerField(),
+            timestep_params=TimestepParams(eta=0.02, dt_max=0.5),
+        ).execute()
+
+        records = read_run_log(tmp_path / "log" / "run.jsonl")
+        kinds = [r["kind"] for r in records]
+        # append is idempotent: the resumed session reuses the file
+        # without emitting a second header, and marks where it took over
+        assert kinds.count("header") == 1
+        assert kinds[0] == "header"
+        assert "resume" in kinds
+        assert records[-1].get("note") == "final"
+
+    def test_intervals_restored_from_checkpoint(self, tmp_path):
+        blocks = [0]
+
+        def killer(s):
+            blocks[0] += 1
+            if blocks[0] == 8:
+                raise SimulationKilled("power cut")
+
+        run = make_managed_run(tmp_path, "iv", on_block=killer)
+        with pytest.raises(SimulationKilled):
+            run.execute(t_end=6.0)
+        resumed = ProductionRun.resume(
+            tmp_path / "iv",
+            HostDirectBackend(eps=0.008),
+            external_field=KeplerField(),
+            timestep_params=TimestepParams(eta=0.02, dt_max=0.5),
+        )
+        assert resumed.snapshot_interval == 2.0
+        assert resumed.checkpoint_interval == 5
+        assert resumed.run_id == "ck-test"
+
+    def test_t_end_required_without_restore(self, tmp_path):
+        run = make_managed_run(tmp_path, "noend")
+        with pytest.raises(ConfigurationError):
+            run.execute()
+
+    def test_resume_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint found"):
+            ProductionRun.resume(tmp_path / "nothing", HostDirectBackend(eps=0.008))
+
+
+class TestCLICheckpointWorkflow:
+    RUN = [
+        "run", "--n", "16", "--t-end", "3", "--dt-max", "0.25",
+        "--checkpoint-interval", "4", "--snapshot-interval", "1",
+    ]
+
+    def test_managed_run_then_resume(self, capsys, tmp_path):
+        from repro.cli import main
+
+        d = tmp_path / "rundir"
+        assert main(self.RUN + ["--run-dir", str(d)]) == 0
+        out = capsys.readouterr().out
+        assert "production run complete" in out
+        assert sorted((d / "checkpoints").glob("ckpt_*.npz"))
+
+        assert main(["run", "--resume", str(d)]) == 0
+        out = capsys.readouterr().out
+        assert "resuming from ckpt_" in out
+        assert "production run complete" in out
+
+    def test_resume_without_checkpoint_exits_2(self, capsys, tmp_path):
+        from repro.cli import main
+
+        assert main(["run", "--resume", str(tmp_path / "void")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: no checkpoint found")
+        assert "--checkpoint-interval" in err  # tells the user what to do

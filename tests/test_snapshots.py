@@ -60,6 +60,37 @@ class TestRoundTrip:
         assert np.allclose(sim2.system.pos, sim.system.pos, atol=1e-7)
 
 
+class TestAtomicity:
+    def test_crash_mid_write_preserves_previous(self, tmp_path, monkeypatch):
+        """A crash while writing leaves the old snapshot intact under the
+        final name — no torn file, no leftover temp file."""
+        s1 = make_random_cluster(8, seed=1)
+        s2 = make_random_cluster(8, seed=2)
+        path = save_snapshot(tmp_path / "snap", s1)
+
+        def torn_write(fh, *args, **kwargs):
+            fh.write(b"PK\x03\x04 half an archive")
+            raise OSError("simulated crash mid-write")
+
+        monkeypatch.setattr(np, "savez_compressed", torn_write)
+        with pytest.raises(OSError):
+            save_snapshot(path, s2)
+        monkeypatch.undo()
+
+        loaded, _ = load_snapshot(path)
+        assert np.array_equal(loaded.pos, s1.pos)  # previous state survives
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_crash_on_fresh_path_leaves_nothing(self, tmp_path, monkeypatch):
+        def torn_write(fh, *args, **kwargs):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr(np, "savez_compressed", torn_write)
+        with pytest.raises(OSError):
+            save_snapshot(tmp_path / "new", make_random_cluster(4))
+        assert list(tmp_path.iterdir()) == []
+
+
 class TestErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(SnapshotError):

@@ -7,6 +7,9 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent.parent / "tools"))
 
+from check_fault_matrix import check as fault_check
+from check_fault_matrix import main as fault_main
+from check_fault_matrix import missing_injectors, untested_kinds
 from check_metric_names import check_paths
 from check_metric_names import main as lint_main
 from gen_api_docs import collect_modules, describe_module, main, render_api_docs
@@ -94,3 +97,28 @@ class TestMetricNameLint:
         ok = tmp_path / "ok.py"
         ok.write_text('reg.counter(f"events.{kind}_total")\n')
         assert check_paths([ok]) == []
+
+
+class TestFaultMatrixLint:
+    def test_repo_is_clean(self, capsys):
+        assert fault_main([]) == 0
+        assert "fault matrix ok" in capsys.readouterr().out
+
+    def test_every_kind_has_injector(self):
+        assert missing_injectors() == []
+
+    def test_untested_kind_flagged(self, tmp_path):
+        (tmp_path / "test_one.py").write_text(
+            "def test_x():\n    use(FaultKind.CHIP_KILL)\n"
+        )
+        missing = untested_kinds(tmp_path)
+        assert "chip_kill" not in missing
+        assert "host_kill" in missing
+        problems = fault_check(tmp_path)
+        assert any("host_kill" in p for p in problems)
+        assert fault_main([str(tmp_path)]) == 1
+
+    def test_missing_tests_dir_reported(self, tmp_path):
+        problems = fault_check(tmp_path / "nope")
+        assert any("not found" in p for p in problems)
+        assert fault_main([str(tmp_path / "nope")]) == 1

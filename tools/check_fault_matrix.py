@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Lint: every fault kind must be implemented and tested.
+
+For each member of :class:`repro.resilience.FaultKind` this check
+requires:
+
+1. an injector implementation — a ``_inject_<kind.value>`` method on
+   :class:`repro.resilience.FaultInjector` (injection dispatches by
+   name, so a missing method is a runtime AttributeError waiting for
+   the first plan that schedules that kind);
+2. at least one test referencing the kind — ``FaultKind.<NAME>`` or the
+   string value ``"<kind.value>"`` somewhere under ``tests/``.
+
+Pure standard library; run::
+
+    python tools/check_fault_matrix.py [tests_dir]
+
+Defaults to the repository's ``tests`` tree.  Exit code 1 on gaps.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.resilience import FaultInjector, FaultKind  # noqa: E402
+
+__all__ = ["missing_injectors", "untested_kinds", "check", "main"]
+
+
+def missing_injectors() -> list[str]:
+    """Fault kinds without a ``_inject_*`` method on the injector."""
+    return [
+        kind.value
+        for kind in FaultKind
+        if not callable(getattr(FaultInjector, f"_inject_{kind.value}", None))
+    ]
+
+
+def untested_kinds(tests_dir: Path) -> list[str]:
+    """Fault kinds no test file mentions (by enum name or string value)."""
+    corpus = "\n".join(
+        p.read_text() for p in sorted(tests_dir.rglob("*.py"))
+    )
+    out = []
+    for kind in FaultKind:
+        if f"FaultKind.{kind.name}" in corpus or f'"{kind.value}"' in corpus:
+            continue
+        out.append(kind.value)
+    return out
+
+
+def check(tests_dir: Path) -> list[str]:
+    """Human-readable gap messages."""
+    problems = []
+    for kind in missing_injectors():
+        problems.append(
+            f"FaultKind {kind!r} has no FaultInjector._inject_{kind} "
+            "implementation"
+        )
+    if tests_dir.is_dir():
+        for kind in untested_kinds(tests_dir):
+            problems.append(
+                f"FaultKind {kind!r} is never referenced by a test under "
+                f"{tests_dir}"
+            )
+    else:
+        problems.append(f"tests directory not found: {tests_dir}")
+    return problems
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    tests_dir = Path(argv[0]) if argv else REPO_ROOT / "tests"
+    problems = check(tests_dir)
+    for msg in problems:
+        print(msg)
+    if problems:
+        print(f"{len(problems)} fault-matrix gap(s)")
+        return 1
+    print(f"fault matrix ok ({len(list(FaultKind))} kinds covered)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
