@@ -4,10 +4,17 @@ Every benchmark emits its "paper vs measured" table through
 :func:`emit`, which both prints it (visible with ``pytest -s``) and
 writes it under ``benchmarks/results/`` so the tables survive pytest's
 output capture.  EXPERIMENTS.md is assembled from those files.
+
+:func:`emit_json` is the machine-readable twin: it writes a structured
+result document (``benchmarks/results/<name>.json``, or any explicit
+path such as the repo-root ``BENCH_kernels.json`` baseline) so the
+perf trajectory can be tracked across commits by tooling instead of by
+eyeball.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 from repro.perf import Table
@@ -28,8 +35,28 @@ def emit(table: Table, name: str) -> Path:
     return path
 
 
+def emit_json(document: dict, name: str, path: Path | str | None = None) -> Path:
+    """Persist a machine-readable benchmark document.
+
+    ``document`` must be JSON-serialisable; a ``"benchmark": name`` key
+    is stamped in.  Default destination is
+    ``benchmarks/results/<name>.json``; pass ``path`` to write
+    elsewhere (e.g. a repo-root ``BENCH_*.json`` baseline).
+    """
+    document = {"benchmark": name, **document}
+    if path is None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.json"
+    path = Path(path)
+    with open(path, "w") as f:
+        json.dump(document, f, indent=2, sort_keys=False)
+        f.write("\n")
+    return path
+
+
 def fresh(name: str) -> None:
-    """Remove a previous results file so re-runs do not accumulate."""
-    path = RESULTS_DIR / f"{name}.txt"
-    if path.exists():
-        path.unlink()
+    """Remove previous results files so re-runs do not accumulate."""
+    for suffix in (".txt", ".json"):
+        path = RESULTS_DIR / f"{name}{suffix}"
+        if path.exists():
+            path.unlink()

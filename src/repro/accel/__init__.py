@@ -1,0 +1,81 @@
+"""repro.accel — allocation-free, thread-parallel force-kernel engine.
+
+The software analogue of the GRAPE-6 force pipeline stack:
+preallocated shape-bucketed tile buffers
+(:mod:`~repro.accel.workspace`), ``out=``-form tile kernels
+(:mod:`~repro.accel.kernels`), a persistent thread pool with a
+fixed-order partial-sum reduction and a fused per-chunk source
+predictor (:mod:`~repro.accel.engine`), all behind a kernel registry
+with shape-bucketed — optionally autotuned — dispatch
+(:mod:`~repro.accel.registry`).
+
+Most callers want the process-wide engine::
+
+    from repro.accel import get_engine
+    acc, jerk = get_engine().acc_jerk(pos_i, vel_i, pos, vel, mass, eps)
+
+Tuning env vars (read when the default engine is first built):
+``REPRO_TILE_BUDGET``, ``REPRO_KERNEL_THREADS``,
+``REPRO_KERNEL_JCHUNK``, ``REPRO_KERNEL_AUTOTUNE`` — see
+:class:`~repro.accel.engine.EngineConfig`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .engine import EngineConfig, KernelEngine
+from .kernels import predict_sources
+from .registry import (
+    REGISTRY,
+    KernelSpec,
+    all_kernels,
+    kernels_for,
+    register_kernel,
+    select_kernel,
+    shape_bucket,
+)
+from .workspace import KernelWorkspace, TileBuffers, TileView, bucket_size
+
+__all__ = [
+    "EngineConfig",
+    "KernelEngine",
+    "KernelWorkspace",
+    "TileBuffers",
+    "TileView",
+    "KernelSpec",
+    "REGISTRY",
+    "register_kernel",
+    "all_kernels",
+    "kernels_for",
+    "select_kernel",
+    "shape_bucket",
+    "bucket_size",
+    "predict_sources",
+    "get_engine",
+    "set_engine",
+]
+
+_engine_lock = threading.Lock()
+_engine: KernelEngine | None = None
+
+
+def get_engine() -> KernelEngine:
+    """The process-wide engine (built from env config on first use)."""
+    global _engine
+    if _engine is None:
+        with _engine_lock:
+            if _engine is None:
+                _engine = KernelEngine(EngineConfig.from_env())
+    return _engine
+
+
+def set_engine(engine: KernelEngine | None) -> KernelEngine | None:
+    """Replace the process-wide engine (``None`` resets to lazy default).
+
+    Returns the previous engine so tests can restore it.
+    """
+    global _engine
+    with _engine_lock:
+        previous, _engine = _engine, engine
+    return previous

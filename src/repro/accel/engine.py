@@ -1,0 +1,639 @@
+"""Allocation-free, thread-parallel force-kernel engine.
+
+:class:`KernelEngine` is the software stand-in for a GRAPE-6 cluster
+host board: it owns the preallocated :class:`~repro.accel.workspace`
+buffers, a persistent thread pool (NumPy releases the GIL inside the
+large tile ufuncs, so j-axis chunks genuinely overlap), and the
+dispatch table of :mod:`repro.accel.registry`.
+
+Determinism contract
+--------------------
+The j-axis chunk plan (:meth:`KernelEngine._jplan`) depends only on
+``(n_j, j_chunk, max_chunks)`` — never on thread count, scheduling or
+timing — and partial sums are reduced in ascending chunk order (the
+software analogue of the GRAPE-6 network-board reduction tree).  The
+serial path accumulates the same chunks in the same order, so with
+``deterministic=True`` (the default) results are **bit-identical**
+whether the engine runs serial or threaded, and independent of
+``REPRO_KERNEL_THREADS``.  The only knobs that change bits are
+``j_chunk`` (it splits the j summation) and the opt-in timing
+autotuner (``REPRO_KERNEL_AUTOTUNE=1``), which may pick different
+kernels in different processes.
+
+Environment overrides (read once per :meth:`EngineConfig.from_env`):
+
+``REPRO_TILE_BUDGET``
+    Max tile elements (rows*cols) materialised at once; replaces the
+    hardcoded ``_TILE_BUDGET`` of :mod:`repro.core.forces`.
+``REPRO_KERNEL_THREADS``
+    Worker threads (1 disables the pool).
+``REPRO_KERNEL_JCHUNK``
+    Target j-axis chunk length (changes summation order, hence bits).
+``REPRO_KERNEL_AUTOTUNE``
+    ``1`` enables timing-based kernel selection per shape bucket.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
+
+import numpy as np
+
+from ..core.predictor import predict_positions, predict_system, predict_velocities
+from ..obs import NULL_OBS
+from . import kernels as tk
+from . import registry as reg
+from .workspace import KernelWorkspace
+
+__all__ = ["EngineConfig", "KernelEngine"]
+
+
+def _env_int(name: str, default: int, minimum: int = 1) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return max(int(raw), minimum)
+    except ValueError:
+        return default
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Immutable tuning knobs for one :class:`KernelEngine`.
+
+    ``max_chunks`` caps the j-chunk count *independently of thread
+    count* so the summation order (and therefore every bit of the
+    result) does not change when ``threads`` does.
+    """
+
+    threads: int = 1
+    tile_budget: int = 1 << 18
+    j_chunk: int = 2048
+    max_chunks: int = 16
+    #: Below this many pairs a call runs serial (scheduling only — the
+    #: chunk plan, and hence the bits, are unaffected).
+    parallel_pairs: int = 1 << 18
+    #: Shape heuristic: at/above this many pairs the workspace kernels
+    #: win over the reference implementations.
+    accel_min_pairs: int = 4096
+    deterministic: bool = True
+    autotune: bool = False
+
+    @classmethod
+    def from_env(cls, **overrides) -> "EngineConfig":
+        """Build a config from ``REPRO_*`` environment overrides."""
+        values = dict(
+            threads=_env_int("REPRO_KERNEL_THREADS", min(os.cpu_count() or 1, 8)),
+            tile_budget=_env_int("REPRO_TILE_BUDGET", cls.tile_budget, minimum=1024),
+            j_chunk=_env_int("REPRO_KERNEL_JCHUNK", cls.j_chunk, minimum=64),
+            autotune=_env_flag("REPRO_KERNEL_AUTOTUNE"),
+        )
+        values.update(overrides)
+        return cls(**values)
+
+    def describe(self) -> dict:
+        """JSON-friendly view (benchmark provenance block)."""
+        return {
+            "threads": self.threads,
+            "tile_budget": self.tile_budget,
+            "j_chunk": self.j_chunk,
+            "max_chunks": self.max_chunks,
+            "parallel_pairs": self.parallel_pairs,
+            "accel_min_pairs": self.accel_min_pairs,
+            "deterministic": self.deterministic,
+            "autotune": self.autotune,
+        }
+
+
+class KernelEngine:
+    """Dispatches force-kernel ops through workspace-backed kernels.
+
+    One engine is meant to live as long as the process (see
+    :func:`repro.accel.get_engine`): its thread pool and per-thread
+    workspaces amortise across every block step of a run.
+    """
+
+    def __init__(self, config: EngineConfig | None = None, obs=None) -> None:
+        self.config = config or EngineConfig.from_env()
+        self._tls = threading.local()
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        self._ws_bytes = 0
+        self._ws_lock = threading.Lock()
+        self._pick_cache: dict[tuple, reg.KernelSpec] = {}
+        self.observe(obs if obs is not None else NULL_OBS)
+
+    # -- observability -----------------------------------------------------
+
+    def observe(self, obs) -> None:
+        """Bind the ``kernel.*`` metric family to ``obs`` (an
+        :class:`~repro.obs.Observability` bundle or a bare registry)."""
+        metrics = getattr(obs, "metrics", obs)
+        self._c_calls = metrics.counter("kernel.calls_total")
+        self._c_tile_bytes = metrics.counter("kernel.tile_bytes_total")
+        self._c_autotune = metrics.counter("kernel.autotune_picks_total")
+        self._g_eff = metrics.gauge("kernel.thread_efficiency")
+        self._g_threads = metrics.gauge("kernel.threads")
+        self._g_ws_bytes = metrics.gauge("kernel.workspace_bytes")
+        self._g_threads.set(self.config.threads)
+        self._g_ws_bytes.set(self._ws_bytes)
+
+    def _on_alloc(self, nbytes: int) -> None:
+        with self._ws_lock:
+            self._ws_bytes += int(nbytes)
+            self._g_ws_bytes.set(self._ws_bytes)
+
+    @property
+    def workspace_bytes(self) -> int:
+        """Bytes currently held across all thread-local workspaces."""
+        return self._ws_bytes
+
+    # -- workers / workspaces ---------------------------------------------
+
+    def _ws(self) -> KernelWorkspace:
+        ws = getattr(self._tls, "ws", None)
+        if ws is None:
+            ws = self._tls.ws = KernelWorkspace(on_alloc=self._on_alloc)
+        return ws
+
+    def _get_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.config.threads,
+                    thread_name_prefix="repro-kernel",
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the thread pool (workspaces stay warm)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    # -- chunk planning ----------------------------------------------------
+
+    def _jplan(self, n_j: int) -> list[tuple[int, int]]:
+        """Fixed j-axis chunk bounds — a pure function of the config.
+
+        Near-equal integer split into ``min(ceil(n_j/j_chunk),
+        max_chunks)`` chunks; never consults thread count or runtime
+        state, which is what makes threaded results reproducible.
+        """
+        cfg = self.config
+        n_chunks = max(1, min(-(-n_j // cfg.j_chunk), cfg.max_chunks))
+        base, extra = divmod(n_j, n_chunks)
+        bounds = []
+        j0 = 0
+        for k in range(n_chunks):
+            j1 = j0 + base + (1 if k < extra else 0)
+            bounds.append((j0, j1))
+            j0 = j1
+        return bounds
+
+    def _rows(self, n_i: int, width: int) -> int:
+        return max(1, min(n_i, self.config.tile_budget // max(width, 1)))
+
+    # -- the sweep driver --------------------------------------------------
+
+    def _sweep(self, n_i: int, n_j: int, outs: list, chunk_body) -> None:
+        """Run ``chunk_body(ws, j0, j1, outs)`` over the j-chunk plan.
+
+        ``chunk_body`` must *add* its chunk's contribution into the
+        (pre-zeroed) ``outs`` arrays.  Serial mode accumulates chunks
+        directly, in ascending order; threaded mode gives every chunk a
+        zeroed partial-sum slice and reduces the slices in the same
+        ascending order, so both orderings are ``(((0+t0)+t1)+...)``
+        and the results are bit-identical.
+        """
+        chunks = self._jplan(n_j)
+        cfg = self.config
+        threaded = (
+            len(chunks) > 1
+            and cfg.threads > 1
+            and n_i * n_j >= cfg.parallel_pairs
+        )
+        if not threaded:
+            ws = self._ws()
+            for j0, j1 in chunks:
+                chunk_body(ws, j0, j1, outs)
+            return
+
+        main_ws = self._ws()
+        slabs = [
+            main_ws.partials(len(chunks), n_i, o.shape[1] if o.ndim == 2 else 0, slot=m)
+            for m, o in enumerate(outs)
+        ]
+        busy = [0.0] * len(chunks)
+
+        def task(k: int, j0: int, j1: int) -> None:
+            t0 = perf_counter()
+            ws = self._ws()
+            parts = [slab[k] for slab in slabs]
+            for part in parts:
+                part[...] = 0.0
+            chunk_body(ws, j0, j1, parts)
+            busy[k] = perf_counter() - t0
+
+        t_wall = perf_counter()
+        pool = self._get_pool()
+        futures = [pool.submit(task, k, j0, j1) for k, (j0, j1) in enumerate(chunks)]
+        for fut in futures:
+            fut.result()
+        # Fixed-order reduction: ascending chunk index, like the GRAPE
+        # network boards summing pipeline partials in wired order.
+        for out, slab in zip(outs, slabs):
+            for k in range(len(chunks)):
+                out += slab[k]
+        wall = perf_counter() - t_wall
+        if wall > 0.0:
+            self._g_eff.set(min(sum(busy) / (cfg.threads * wall), 1.0))
+
+    # -- dispatch ----------------------------------------------------------
+
+    def dispatch(self, op: str, n_i: int, n_j: int, args: tuple, kwargs: dict):
+        """Select a kernel for ``op`` at shape ``(n_i, n_j)`` and run it."""
+        self._c_calls.inc()
+        key = (op, reg.shape_bucket(n_i), reg.shape_bucket(n_j))
+        spec = self._pick_cache.get(key)
+        if spec is None:
+            if self.config.autotune:
+                return self._autotune(key, op, args, kwargs)
+            spec = reg.select_kernel(op, n_i, n_j, self)
+            self._pick_cache[key] = spec
+        return spec.runner(self, *args, **kwargs)
+
+    def _autotune(self, key: tuple, op: str, args: tuple, kwargs: dict):
+        """Time every candidate once, cache the winner, return its result."""
+        best = None
+        for spec in reg.kernels_for(op):
+            t0 = perf_counter()
+            result = spec.runner(self, *args, **kwargs)
+            elapsed = perf_counter() - t0
+            if best is None or elapsed < best[0]:
+                best = (elapsed, spec, result)
+        self._pick_cache[key] = best[1]
+        self._c_autotune.inc()
+        return best[2]
+
+    def cached_pick(self, op: str, n_i: int, n_j: int):
+        """The cached :class:`KernelSpec` for a shape bucket, or ``None``."""
+        return self._pick_cache.get((op, reg.shape_bucket(n_i), reg.shape_bucket(n_j)))
+
+    # -- public ops (normalise, count, dispatch) ---------------------------
+
+    def acc_jerk(self, pos_i, vel_i, pos_j, vel_j, mass_j, eps,
+                 self_indices=None, counter=None):
+        """Softened acceleration and jerk; mirrors
+        :func:`repro.core.forces.acc_jerk`."""
+        pos_i, vel_i, pos_j, vel_j = _norm(pos_i, vel_i, pos_j, vel_j)
+        mass_j = _mass(mass_j)
+        n_i, n_j = pos_i.shape[0], pos_j.shape[0]
+        if counter is not None:
+            counter.add(n_i, n_j, with_jerk=True)
+        self._c_tile_bytes.inc(n_i * n_j * 8 * 11)
+        return self.dispatch(
+            "acc_jerk", n_i, n_j,
+            (pos_i, vel_i, pos_j, vel_j, mass_j, eps),
+            {"self_indices": _idx(self_indices)},
+        )
+
+    def acc_only(self, pos_i, pos_j, mass_j, eps, self_indices=None, counter=None):
+        """Softened acceleration only; mirrors
+        :func:`repro.core.forces.acc_only`."""
+        pos_i, pos_j = _norm(pos_i, pos_j)
+        mass_j = _mass(mass_j)
+        n_i, n_j = pos_i.shape[0], pos_j.shape[0]
+        if counter is not None:
+            counter.add(n_i, n_j, with_jerk=False)
+        self._c_tile_bytes.inc(n_i * n_j * 8 * 6)
+        return self.dispatch(
+            "acc_only", n_i, n_j,
+            (pos_i, pos_j, mass_j, eps),
+            {"self_indices": _idx(self_indices)},
+        )
+
+    def pairwise_potential(self, pos_i, pos_j, mass_j, eps, self_indices=None):
+        """Softened potential per sink; mirrors
+        :func:`repro.core.forces.pairwise_potential`."""
+        pos_i, pos_j = _norm(pos_i, pos_j)
+        mass_j = _mass(mass_j)
+        n_i, n_j = pos_i.shape[0], pos_j.shape[0]
+        self._c_tile_bytes.inc(n_i * n_j * 8 * 6)
+        return self.dispatch(
+            "potential", n_i, n_j,
+            (pos_i, pos_j, mass_j, eps),
+            {"self_indices": _idx(self_indices)},
+        )
+
+    def acc_spline(self, pos_i, pos_j, mass_j, h, self_indices=None, counter=None):
+        """Cubic-spline-softened acceleration; mirrors
+        :func:`repro.core.kernels.acc_spline`."""
+        pos_i, pos_j = _norm(pos_i, pos_j)
+        mass_j = _mass(mass_j)
+        n_i, n_j = pos_i.shape[0], pos_j.shape[0]
+        if counter is not None:
+            counter.add(n_i, n_j, with_jerk=False)
+        self._c_tile_bytes.inc(n_i * n_j * 8 * 7)
+        return self.dispatch(
+            "spline", n_i, n_j,
+            (pos_i, pos_j, mass_j, h),
+            {"self_indices": _idx(self_indices)},
+        )
+
+    def acc_jerk_active(self, system, active, t_now, eps, counter=None):
+        """Force+jerk on the active block of a particle system at ``t_now``.
+
+        The op every backend block step goes through.  The fused kernel
+        predicts sources per j-chunk inside the loop (and leaves the
+        system's ``pred_pos``/``pred_vel`` untouched); the reference
+        kernel is the classic ``predict_system`` + ``acc_jerk`` pair.
+        """
+        active = np.asarray(active)
+        n_i, n_j = active.size, system.n
+        if counter is not None:
+            counter.add(n_i, n_j, with_jerk=True)
+        self._c_tile_bytes.inc(n_i * n_j * 8 * 11)
+        return self.dispatch(
+            "acc_jerk_active", n_i, n_j, (system, active, float(t_now), eps), {},
+        )
+
+    # -- collision sweep ---------------------------------------------------
+
+    def collision_candidates(self, pos, radii, active):
+        """Overlapping (sink-row, source-index) pairs, workspace-tiled.
+
+        Returns ``(rows, cols)`` index arrays sorted row-major over the
+        conceptual ``(n_active, N)`` overlap matrix — the same order
+        ``np.nonzero`` yields on the reference full-matrix path — with
+        self-pairs excluded.  Peak memory is one tile instead of the
+        reference's ``(n_active, N, 3)`` slab.
+        """
+        pos = np.atleast_2d(np.asarray(pos, dtype=np.float64))
+        radii = np.asarray(radii, dtype=np.float64)
+        active = np.asarray(active)
+        n_i, n_j = active.size, pos.shape[0]
+        if n_i == 0 or n_j == 0:
+            return np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp)
+        pos_i = pos[active]
+        rad_i = radii[active]
+        ws = self._ws()
+        width = min(n_j, max(self.config.j_chunk, 64))
+        rows = self._rows(n_i, width)
+        hit_r: list[np.ndarray] = []
+        hit_c: list[np.ndarray] = []
+        for i0 in range(0, n_i, rows):
+            i1 = min(i0 + rows, n_i)
+            for j0 in range(0, n_j, width):
+                j1 = min(j0 + width, n_j)
+                tv = ws.tile(i1 - i0, j1 - j0)
+                tk._separations(tv, pos_i[i0:i1], pos[j0:j1], 0.0, None)
+                np.add(rad_i[i0:i1, None], radii[None, j0:j1], out=tv.w)
+                tv.w *= tv.w
+                mask = tk.tile_mask(active, i0, i1, j0, j1)
+                if mask is not None:
+                    tv.r2[mask] = np.inf
+                rr, cc = np.nonzero(tv.r2 < tv.w)
+                if rr.size:
+                    hit_r.append(rr + i0)
+                    hit_c.append(cc + j0)
+        if not hit_r:
+            return np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp)
+        rows_all = np.concatenate(hit_r)
+        cols_all = np.concatenate(hit_c)
+        order = np.lexsort((cols_all, rows_all))
+        return rows_all[order], cols_all[order]
+
+    # -- workspace kernel implementations ---------------------------------
+
+    def _accel_acc_jerk(self, pos_i, vel_i, pos_j, vel_j, mass_j, eps,
+                        self_indices=None):
+        n_i, n_j = pos_i.shape[0], pos_j.shape[0]
+        acc = np.zeros((n_i, 3))
+        jerk = np.zeros((n_i, 3))
+        if n_i == 0 or n_j == 0:
+            return acc, jerk
+        eps2 = float(eps) ** 2
+
+        def body(ws, j0, j1, outs):
+            acc_o, jerk_o = outs
+            width = j1 - j0
+            rows = self._rows(n_i, width)
+            pj, vj, mj = pos_j[j0:j1], vel_j[j0:j1], mass_j[j0:j1]
+            for i0 in range(0, n_i, rows):
+                i1 = min(i0 + rows, n_i)
+                tv = ws.tile(i1 - i0, width)
+                mask = tk.tile_mask(self_indices, i0, i1, j0, j1)
+                tk.acc_jerk_tile(
+                    tv, pos_i[i0:i1], vel_i[i0:i1], pj, vj, mj, eps2,
+                    acc_o[i0:i1], jerk_o[i0:i1], mask,
+                )
+
+        self._sweep(n_i, n_j, [acc, jerk], body)
+        return acc, jerk
+
+    def _accel_acc_only(self, pos_i, pos_j, mass_j, eps, self_indices=None):
+        n_i, n_j = pos_i.shape[0], pos_j.shape[0]
+        acc = np.zeros((n_i, 3))
+        if n_i == 0 or n_j == 0:
+            return acc
+        eps2 = float(eps) ** 2
+
+        def body(ws, j0, j1, outs):
+            (acc_o,) = outs
+            width = j1 - j0
+            rows = self._rows(n_i, width)
+            pj, mj = pos_j[j0:j1], mass_j[j0:j1]
+            for i0 in range(0, n_i, rows):
+                i1 = min(i0 + rows, n_i)
+                tv = ws.tile(i1 - i0, width)
+                mask = tk.tile_mask(self_indices, i0, i1, j0, j1)
+                tk.acc_tile(tv, pos_i[i0:i1], pj, mj, eps2, acc_o[i0:i1], mask)
+
+        self._sweep(n_i, n_j, [acc], body)
+        return acc
+
+    def _accel_potential(self, pos_i, pos_j, mass_j, eps, self_indices=None):
+        n_i, n_j = pos_i.shape[0], pos_j.shape[0]
+        phi = np.zeros(n_i)
+        if n_i == 0 or n_j == 0:
+            return phi
+        eps2 = float(eps) ** 2
+
+        def body(ws, j0, j1, outs):
+            (phi_o,) = outs
+            width = j1 - j0
+            rows = self._rows(n_i, width)
+            pj, mj = pos_j[j0:j1], mass_j[j0:j1]
+            for i0 in range(0, n_i, rows):
+                i1 = min(i0 + rows, n_i)
+                tv = ws.tile(i1 - i0, width)
+                mask = tk.tile_mask(self_indices, i0, i1, j0, j1)
+                tk.potential_tile(tv, pos_i[i0:i1], pj, mj, eps2, phi_o[i0:i1], mask)
+
+        self._sweep(n_i, n_j, [phi], body)
+        return phi
+
+    def _accel_spline(self, pos_i, pos_j, mass_j, h, self_indices=None):
+        n_i, n_j = pos_i.shape[0], pos_j.shape[0]
+        acc = np.zeros((n_i, 3))
+        if n_i == 0 or n_j == 0:
+            return acc
+
+        def body(ws, j0, j1, outs):
+            (acc_o,) = outs
+            width = j1 - j0
+            rows = self._rows(n_i, width)
+            pj, mj = pos_j[j0:j1], mass_j[j0:j1]
+            for i0 in range(0, n_i, rows):
+                i1 = min(i0 + rows, n_i)
+                tv = ws.tile(i1 - i0, width)
+                mask = tk.tile_mask(self_indices, i0, i1, j0, j1)
+                tk.spline_tile(tv, pos_i[i0:i1], pj, mj, h, acc_o[i0:i1], mask)
+
+        self._sweep(n_i, n_j, [acc], body)
+        return acc
+
+    def _fused_acc_jerk_active(self, system, active, t_now, eps):
+        """Fused predict-and-accumulate: sources predicted per j-chunk.
+
+        Sinks are predicted once (block-sized work); sources are
+        predicted chunk-by-chunk inside the sweep, so a one-particle
+        block never pays an O(N) ``pred_pos`` write.  Prediction uses
+        the exact :mod:`repro.core.predictor` expression, so the tile
+        sums see bit-identical source coordinates.
+        """
+        n_i, n_j = active.size, system.n
+        acc = np.zeros((n_i, 3))
+        jerk = np.zeros((n_i, 3))
+        if n_i == 0 or n_j == 0:
+            return acc, jerk
+        eps2 = float(eps) ** 2
+        # Sinks are block-sized: predict with the canonical expression
+        # (elementwise, so slicing before or after gives the same bits
+        # as a full predict_system sweep).
+        dt_i = t_now - system.t[active]
+        pos_i = predict_positions(
+            system.pos[active], system.vel[active],
+            system.acc[active], system.jerk[active], dt_i,
+        )
+        vel_i = predict_velocities(
+            system.vel[active], system.acc[active], system.jerk[active], dt_i,
+        )
+
+        def body(ws, j0, j1, outs):
+            acc_o, jerk_o = outs
+            width = j1 - j0
+            pj, vj = tk.predict_sources(
+                ws.vec(width, 3, slot=4), ws.vec(width, 3, slot=5),
+                ws.vec(width, 3, slot=6), ws.vec(width, 0, slot=7),
+                ws.vec(width, 0, slot=8),
+                system.pos[j0:j1], system.vel[j0:j1],
+                system.acc[j0:j1], system.jerk[j0:j1],
+                system.t[j0:j1], t_now,
+            )
+            mj = system.mass[j0:j1]
+            rows = self._rows(n_i, width)
+            for i0 in range(0, n_i, rows):
+                i1 = min(i0 + rows, n_i)
+                tv = ws.tile(i1 - i0, width)
+                mask = tk.tile_mask(active, i0, i1, j0, j1)
+                tk.acc_jerk_tile(
+                    tv, pos_i[i0:i1], vel_i[i0:i1], pj, vj, mj, eps2,
+                    acc_o[i0:i1], jerk_o[i0:i1], mask,
+                )
+
+        self._sweep(n_i, n_j, [acc, jerk], body)
+        return acc, jerk
+
+
+def _norm(*arrays):
+    """Float64 arrays, 2-D (single particles promoted to one row)."""
+    return tuple(np.atleast_2d(np.asarray(a, dtype=np.float64)) for a in arrays)
+
+
+def _mass(mass_j):
+    """Float64 1-D mass array (never row-promoted)."""
+    return np.asarray(mass_j, dtype=np.float64)
+
+
+def _idx(self_indices):
+    return None if self_indices is None else np.asarray(self_indices)
+
+
+# -- reference runners (registry glue) ------------------------------------
+
+
+def _reference_acc_jerk(engine, pos_i, vel_i, pos_j, vel_j, mass_j, eps,
+                        self_indices=None):
+    from ..core import forces
+
+    return forces.acc_jerk(pos_i, vel_i, pos_j, vel_j, mass_j, eps,
+                           self_indices=self_indices)
+
+
+def _reference_acc_only(engine, pos_i, pos_j, mass_j, eps, self_indices=None):
+    from ..core import forces
+
+    return forces.acc_only(pos_i, pos_j, mass_j, eps, self_indices=self_indices)
+
+
+def _reference_potential(engine, pos_i, pos_j, mass_j, eps, self_indices=None):
+    from ..core import forces
+
+    return forces.pairwise_potential(pos_i, pos_j, mass_j, eps,
+                                     self_indices=self_indices)
+
+
+def _reference_spline(engine, pos_i, pos_j, mass_j, h, self_indices=None):
+    from ..core.kernels import _acc_spline_reference
+
+    return _acc_spline_reference(pos_i, pos_j, mass_j, h, self_indices=self_indices)
+
+
+def _reference_acc_jerk_active(engine, system, active, t_now, eps):
+    from ..core import forces
+
+    predict_system(system, t_now)
+    return forces.acc_jerk(
+        system.pred_pos[active], system.pred_vel[active],
+        system.pred_pos, system.pred_vel, system.mass, eps,
+        self_indices=active,
+    )
+
+
+def _register_builtins() -> None:
+    spec = reg.register_kernel
+    spec("acc_jerk", "reference", _reference_acc_jerk,
+         doc="Chunked broadcasting kernel of repro.core.forces")
+    spec("acc_jerk", "accel", KernelEngine._accel_acc_jerk,
+         doc="Workspace tiles + threaded j-chunks, fixed-order reduction")
+    spec("acc_only", "reference", _reference_acc_only,
+         doc="Chunked broadcasting kernel of repro.core.forces")
+    spec("acc_only", "accel", KernelEngine._accel_acc_only,
+         doc="Workspace tiles + threaded j-chunks, fixed-order reduction")
+    spec("potential", "reference", _reference_potential,
+         doc="Chunked broadcasting kernel of repro.core.forces")
+    spec("potential", "accel", KernelEngine._accel_potential,
+         doc="Workspace tiles + threaded j-chunks, fixed-order reduction")
+    spec("spline", "reference", _reference_spline,
+         doc="Chunked broadcasting kernel of repro.core.kernels")
+    spec("spline", "accel", KernelEngine._accel_spline,
+         doc="Workspace tiles, branch masks as the only per-call allocation")
+    spec("acc_jerk_active", "reference", _reference_acc_jerk_active,
+         doc="predict_system sweep followed by the reference acc_jerk")
+    spec("acc_jerk_active", "fused", KernelEngine._fused_acc_jerk_active,
+         doc="Per-j-chunk source prediction fused into the tile loop")
+
+
+_register_builtins()

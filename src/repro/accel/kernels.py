@@ -1,0 +1,194 @@
+"""Allocation-free tile kernels over :class:`~repro.accel.workspace.TileView`.
+
+Each function evaluates one ``(n_i, n_j)`` interaction tile entirely in
+preallocated workspace buffers (``out=`` ufunc and einsum forms) and
+**adds** its contribution into caller-owned accumulators.  The maths is
+identical to :mod:`repro.core.forces` — Plummer-softened force, jerk,
+potential — plus the cubic-spline force of :mod:`repro.core.kernels`;
+only the memory discipline differs.
+
+Self-interactions are excluded the same way as the reference kernels:
+the softened ``r2`` entry of an (i, i) pair is set to ``inf``, which
+drives every downstream term (including the jerk's ``rv/r2``) to an
+exact zero.
+
+The fused-prediction helper :func:`predict_sources` evaluates the
+GRAPE-6 on-chip predictor polynomial for one j-chunk inside the force
+loop, so small active blocks never pay a full-system ``pred_pos`` /
+``pred_vel`` sweep.  It reuses the exact expression of
+:mod:`repro.core.predictor` so fused and unfused paths agree bit for
+bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "tile_mask",
+    "acc_jerk_tile",
+    "acc_tile",
+    "potential_tile",
+    "spline_tile",
+    "predict_sources",
+]
+
+
+def tile_mask(self_indices, i0: int, i1: int, j0: int, j1: int):
+    """Local ``(rows, cols)`` coordinates of excluded self-pairs.
+
+    ``self_indices`` maps sink rows to their global source column; the
+    tile covers sink rows ``[i0, i1)`` against source columns
+    ``[j0, j1)``.  Returns ``None`` when no self-pair lands in the
+    tile.
+    """
+    if self_indices is None:
+        return None
+    sel = self_indices[i0:i1]
+    inside = (sel >= j0) & (sel < j1)
+    if not inside.any():
+        return None
+    return np.nonzero(inside)[0], sel[inside] - j0
+
+
+def _separations(tv, pos_i, pos_j, eps2: float, mask) -> None:
+    """Fill ``tv.dr`` and softened ``tv.r2`` (with self-pairs at inf)."""
+    np.subtract(pos_j[None, :, :], pos_i[:, None, :], out=tv.dr)
+    np.einsum("ijk,ijk->ij", tv.dr, tv.dr, out=tv.r2)
+    tv.r2 += eps2
+    if mask is not None:
+        tv.r2[mask] = np.inf
+
+
+def acc_jerk_tile(
+    tv, pos_i, vel_i, pos_j, vel_j, mass_j, eps2: float,
+    acc_out, jerk_out, mask=None,
+) -> None:
+    """Add this tile's softened acceleration and jerk into the outputs."""
+    _separations(tv, pos_i, pos_j, eps2, mask)
+    np.subtract(vel_j[None, :, :], vel_i[:, None, :], out=tv.dv)
+    np.einsum("ijk,ijk->ij", tv.dr, tv.dv, out=tv.rv)
+    np.sqrt(tv.r2, out=tv.s)
+    tv.s *= tv.r2  # r^3
+    np.divide(mass_j[None, :], tv.s, out=tv.mr3)  # m_j / r^3
+    np.einsum("ij,ijk->ik", tv.mr3, tv.dr, out=tv.vec1)
+    acc_out += tv.vec1
+    np.multiply(tv.mr3, tv.rv, out=tv.w)
+    tv.w /= tv.r2
+    tv.w *= 3.0
+    np.einsum("ij,ijk->ik", tv.mr3, tv.dv, out=tv.vec1)
+    np.einsum("ij,ijk->ik", tv.w, tv.dr, out=tv.vec2)
+    tv.vec1 -= tv.vec2
+    jerk_out += tv.vec1
+
+
+def acc_tile(tv, pos_i, pos_j, mass_j, eps2: float, acc_out, mask=None) -> None:
+    """Add this tile's softened acceleration (38-op kernel) into ``acc_out``."""
+    _separations(tv, pos_i, pos_j, eps2, mask)
+    np.sqrt(tv.r2, out=tv.s)
+    tv.s *= tv.r2
+    np.divide(mass_j[None, :], tv.s, out=tv.mr3)
+    np.einsum("ij,ijk->ik", tv.mr3, tv.dr, out=tv.vec1)
+    acc_out += tv.vec1
+
+
+def potential_tile(tv, pos_i, pos_j, mass_j, eps2: float, phi_out, mask=None) -> None:
+    """Subtract this tile's ``sum_j m_j / r`` from ``phi_out`` (phi is negative)."""
+    _separations(tv, pos_i, pos_j, eps2, mask)
+    np.sqrt(tv.r2, out=tv.s)
+    np.divide(mass_j[None, :], tv.s, out=tv.mr3)  # m_j / r
+    np.einsum("ij->i", tv.mr3, out=tv.row1)
+    phi_out -= tv.row1
+
+
+def spline_tile(
+    tv, pos_i, pos_j, mass_j, h: float, acc_out, mask=None,
+) -> None:
+    """Add this tile's cubic-spline-softened acceleration into ``acc_out``.
+
+    Piecewise evaluation (Hernquist & Katz 1989 force factor, see
+    :func:`repro.core.kernels.spline_force_factor`) over workspace
+    buffers: ``u = r/h`` lands in ``s``, the force factor ``g(u)/h^3``
+    in ``mr3``.  The three branch masks are the only per-call
+    allocations (1 byte per pair, an 8x saving over the reference
+    path's float temporaries).
+    """
+    inv_h3 = 1.0 / float(h) ** 3
+    _separations(tv, pos_i, pos_j, 0.0, None)
+    np.sqrt(tv.r2, out=tv.s)
+    tv.s /= h  # u = r / h
+    u = tv.s
+    g = tv.mr3
+    inner = u < 0.5
+    outer = u >= 1.0
+    mid = ~(inner | outer)
+
+    # inner: 32/3 + u^2 (32 u - 192/5)
+    np.multiply(u, 32.0, out=tv.w)
+    tv.w -= 192.0 / 5.0
+    tv.w *= u
+    tv.w *= u
+    tv.w += 32.0 / 3.0
+    np.copyto(g, tv.w, where=inner)
+
+    # mid: 64/3 - 48 u + (192/5) u^2 - (32/3) u^3 - 1/(15 u^3)
+    np.multiply(u, -32.0 / 3.0, out=tv.w)
+    tv.w += 192.0 / 5.0
+    tv.w *= u
+    tv.w -= 48.0
+    tv.w *= u
+    tv.w += 64.0 / 3.0
+    np.multiply(u, u, out=tv.rv)  # u^2
+    tv.rv *= u  # u^3
+    tv.rv *= 15.0
+    np.divide(1.0, tv.rv, out=tv.rv, where=mid)
+    np.subtract(tv.w, tv.rv, out=tv.w, where=mid)
+    np.copyto(g, tv.w, where=mid)
+
+    # outer: 1/u^3 (exactly Newtonian)
+    np.multiply(u, u, out=tv.rv)
+    tv.rv *= u
+    np.divide(1.0, tv.rv, out=tv.rv, where=outer)
+    np.copyto(g, tv.rv, where=outer)
+
+    g *= inv_h3
+    if mask is not None:
+        g[mask] = 0.0
+    g *= mass_j[None, :]
+    np.einsum("ij,ijk->ik", g, tv.dr, out=tv.vec1)
+    acc_out += tv.vec1
+
+
+def predict_sources(jpos, jvel, jsc, jdt, jdt6, pos, vel, acc, jerk, t, t_now: float):
+    """Predict one j-chunk of sources to ``t_now`` inside the tile loop.
+
+    ``jpos``/``jvel``/``jsc`` are ``(cols, 3)`` workspace buffers,
+    ``jdt``/``jdt6`` are ``(cols,)`` scratch; the remaining arguments
+    are the *chunk slices* of the system arrays.  Writes the 3rd/2nd
+    order Taylor prediction into ``jpos`` / ``jvel`` and returns them.
+    The expression mirrors
+    :func:`repro.core.predictor.predict_positions` /
+    ``predict_velocities`` term for term, so the fused path is
+    bit-identical to a full ``predict_system`` sweep.
+    """
+    np.subtract(t_now, t, out=jdt)
+    dt = jdt[:, None]
+    # pos + dt*(vel + dt*(0.5*acc + (dt/6)*jerk)); every step below is
+    # elementwise and either identical to or a commuted twin of the
+    # reference expression (float add/mul are bitwise commutative, and
+    # *0.5 is an exact scaling), so the results carry the same bits.
+    np.divide(jdt, 6.0, out=jdt6)
+    np.multiply(jerk, jdt6[:, None], out=jpos)
+    np.multiply(acc, 0.5, out=jsc)
+    jpos += jsc
+    jpos *= dt
+    jpos += vel
+    jpos *= dt
+    jpos += pos
+    # vel + dt*(acc + 0.5*dt*jerk)
+    np.multiply(jerk, 0.5, out=jvel)
+    jvel *= dt
+    jvel += acc
+    jvel *= dt
+    jvel += vel
+    return jpos, jvel

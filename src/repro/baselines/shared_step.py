@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.forces import InteractionCounter, acc_jerk, acc_only
+from ..accel import get_engine
+from ..core.forces import InteractionCounter
 from ..core.hermite import hermite_step_arrays
 from ..errors import ConfigurationError
 
@@ -40,7 +41,7 @@ class _SharedBase:
 
     def _mutual_acc_jerk(self, pos, vel):
         n = pos.shape[0]
-        return acc_jerk(
+        return get_engine().acc_jerk(
             pos, vel, pos, vel, self.system.mass, self.eps,
             self_indices=np.arange(n), counter=self.counter,
         )
@@ -98,7 +99,7 @@ class SharedLeapfrog(_SharedBase):
 
     def _total_acc(self, pos, vel):
         n = pos.shape[0]
-        acc = acc_only(
+        acc = get_engine().acc_only(
             pos, pos, self.system.mass, self.eps,
             self_indices=np.arange(n), counter=self.counter,
         )

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..accel import get_engine
 from ..core.backends import ForceBackend
-from ..core.forces import InteractionCounter, pairwise_potential
+from ..core.forces import InteractionCounter
 from ..core.predictor import predict_system
 from ..errors import ConfigurationError
 from .tree import Octree
@@ -78,7 +79,7 @@ class TreeBackend(ForceBackend):
 
     def potential(self, system) -> np.ndarray:
         n = system.n
-        return pairwise_potential(
+        return get_engine().pairwise_potential(
             system.pos, system.pos, system.mass, self.eps, self_indices=np.arange(n)
         )
 

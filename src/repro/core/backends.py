@@ -29,8 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .forces import InteractionCounter, acc_jerk
-from .predictor import predict_system
+from .forces import InteractionCounter
 
 __all__ = ["ForceBackend", "HostDirectBackend"]
 
@@ -66,17 +65,31 @@ class ForceBackend:
 class HostDirectBackend(ForceBackend):
     """Reference backend: host-side prediction + direct summation.
 
+    Force evaluation goes through the :mod:`repro.accel` engine's
+    ``acc_jerk_active`` op — preallocated workspace tiles, optional
+    j-axis threading, and (for small blocks against large N) the fused
+    per-chunk source predictor that skips the full ``predict_system``
+    sweep.
+
     Parameters
     ----------
     eps:
         Plummer softening applied to every pairwise interaction.
+    engine:
+        A :class:`repro.accel.KernelEngine`; defaults to the shared
+        process-wide engine.
     """
 
-    def __init__(self, eps: float) -> None:
+    def __init__(self, eps: float, engine=None) -> None:
         if eps < 0:
             raise ValueError("softening must be non-negative")
         self.eps = float(eps)
         self.counter = InteractionCounter()
+        if engine is None:
+            from ..accel import get_engine
+
+            engine = get_engine()
+        self.engine = engine
 
     def load(self, system) -> None:
         # The host backend reads straight from the ParticleSystem arrays;
@@ -84,25 +97,15 @@ class HostDirectBackend(ForceBackend):
         return None
 
     def forces_on(self, system, active: np.ndarray, t_now: float):
-        predict_system(system, t_now)
-        return acc_jerk(
-            system.pred_pos[active],
-            system.pred_vel[active],
-            system.pred_pos,
-            system.pred_vel,
-            system.mass,
-            self.eps,
-            self_indices=np.asarray(active),
-            counter=self.counter,
+        return self.engine.acc_jerk_active(
+            system, np.asarray(active), t_now, self.eps, counter=self.counter
         )
 
     def push_updates(self, system, active: np.ndarray) -> None:
         return None
 
     def potential(self, system) -> np.ndarray:
-        from .forces import pairwise_potential
-
         n = system.n
-        return pairwise_potential(
+        return self.engine.pairwise_potential(
             system.pos, system.pos, system.mass, self.eps, self_indices=np.arange(n)
         )

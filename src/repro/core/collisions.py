@@ -89,7 +89,49 @@ def find_collision_pairs(
     Returns pairs ``(i, j)`` with ``i`` from ``active``, ``j`` any other
     index, ``i != j``, separation < ``radii[i] + radii[j]``; duplicates
     (both members active) are reported once with ``i < j``.
+
+    The overlap sweep is tiled through the :mod:`repro.accel` workspace
+    engine, so peak memory is one tile rather than the full
+    ``(n_active, n, 3)`` separation slab; candidate order (row-major
+    over the conceptual overlap matrix) and the dedup rule match the
+    reference full-matrix path exactly.
     """
+    pos = np.asarray(pos, dtype=np.float64)
+    radii = np.asarray(radii, dtype=np.float64)
+    active = np.asarray(active)
+    if active.size == 0:
+        return []
+
+    from ..accel import get_engine
+
+    rows, cols = get_engine().collision_candidates(pos, radii, active)
+    return _dedup_pairs(active, rows, cols)
+
+
+def _dedup_pairs(
+    active: np.ndarray, rows: np.ndarray, cols: np.ndarray
+) -> list[tuple[int, int]]:
+    """Canonicalise row-major candidate hits to unique ``(min, max)`` pairs."""
+    pairs: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    for r, j in zip(rows, cols):
+        i = int(active[r])
+        j = int(j)
+        a, b = (i, j) if i < j else (j, i)
+        # if both active the pair appears twice; canonicalise
+        if (a, b) in seen:
+            continue
+        seen.add((a, b))
+        pairs.append((a, b))
+    return pairs
+
+
+def _find_collision_pairs_reference(
+    pos: np.ndarray,
+    radii: np.ndarray,
+    active: np.ndarray,
+) -> list[tuple[int, int]]:
+    """Full-matrix detection (the pre-engine path, kept for equivalence tests)."""
     pos = np.asarray(pos, dtype=np.float64)
     radii = np.asarray(radii, dtype=np.float64)
     active = np.asarray(active)
@@ -102,23 +144,7 @@ def find_collision_pairs(
     hits = dist2 < limit * limit
     rows = np.arange(active.size)
     hits[rows, active] = False  # self
-
-    pairs = []
-    seen = set()
-    active_set = set(int(a) for a in active)
-    for r, j in zip(*np.nonzero(hits)):
-        i = int(active[r])
-        j = int(j)
-        a, b = (i, j) if i < j else (j, i)
-        # if both active the pair appears twice; canonicalise
-        if (a, b) in seen:
-            continue
-        if j in active_set and i > j:
-            # will also be found from j's row as (j, i)
-            pass
-        seen.add((a, b))
-        pairs.append((a, b))
-    return pairs
+    return _dedup_pairs(active, *np.nonzero(hits))
 
 
 def merge_state(

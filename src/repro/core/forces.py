@@ -41,10 +41,23 @@ __all__ = [
     "min_pairwise_distance",
 ]
 
+def _default_tile_budget() -> int:
+    """``REPRO_TILE_BUDGET`` env override, else the 2**22 default."""
+    import os
+
+    raw = os.environ.get("REPRO_TILE_BUDGET", "").strip()
+    try:
+        return max(int(raw), 1024) if raw else 1 << 22
+    except ValueError:
+        return 1 << 22
+
+
 #: Maximum number of pairwise-tile elements materialised at once
 #: (n_i_chunk * n_j); 2**22 doubles * ~10 temporaries stays well under
-#: typical L3 + keeps allocation overhead amortised.
-_TILE_BUDGET = 1 << 22
+#: typical L3 + keeps allocation overhead amortised.  Overridable via
+#: the ``REPRO_TILE_BUDGET`` environment variable (the accel engine
+#: reads the same variable for its — smaller, cache-sized — tiles).
+_TILE_BUDGET = _default_tile_budget()
 
 
 @dataclass
@@ -244,7 +257,9 @@ def potential_energy(pos: np.ndarray, mass: np.ndarray, eps: float) -> float:
     pos = np.asarray(pos, dtype=np.float64)
     mass = np.asarray(mass, dtype=np.float64)
     n = pos.shape[0]
-    phi = pairwise_potential(pos, pos, mass, eps, self_indices=np.arange(n))
+    from ..accel import get_engine
+
+    phi = get_engine().pairwise_potential(pos, pos, mass, eps, self_indices=np.arange(n))
     return 0.5 * float(np.dot(mass, phi))
 
 

@@ -105,6 +105,15 @@ class Simulation:
         self._c_psteps = self.obs.metrics.counter("blockstep.active_particles")
         self.scheduler = BlockScheduler(metrics=self.obs.metrics)
         self.events = EventLog(metrics=self.obs.metrics)
+        # Route the backend's kernel engine (repro.accel) into the same
+        # metrics registry so kernel.* shows up in run exports.  Only an
+        # enabled bundle is attached — a NULL obs must not detach an
+        # engine someone instrumented explicitly.
+        engine = getattr(backend, "engine", None) or getattr(
+            getattr(backend, "machine", None), "engine", None
+        )
+        if engine is not None and self.obs.enabled:
+            engine.observe(self.obs)
         self.time = float(t0[0])
         self.block_steps = 0
         self.particle_steps = 0

@@ -69,13 +69,33 @@ def acc_spline(
     mass_j: np.ndarray,
     h: float,
     self_indices: np.ndarray | None = None,
+    counter=None,
 ) -> np.ndarray:
     """Spline-softened acceleration on sinks ``i`` from sources ``j``.
 
     Exactly Newtonian for separations beyond ``h``; finite (linear in
     ``r``) at the centre.  Arguments mirror
-    :func:`repro.core.forces.acc_only`.
+    :func:`repro.core.forces.acc_only`, including the ``counter`` for
+    flop accounting (38-op convention, no jerk), and evaluation is
+    dispatched through the :mod:`repro.accel` workspace engine.
     """
+    if h <= 0:
+        raise ConfigurationError("spline softening length must be positive")
+    from ..accel import get_engine
+
+    return get_engine().acc_spline(
+        pos_i, pos_j, mass_j, h, self_indices=self_indices, counter=counter
+    )
+
+
+def _acc_spline_reference(
+    pos_i: np.ndarray,
+    pos_j: np.ndarray,
+    mass_j: np.ndarray,
+    h: float,
+    self_indices: np.ndarray | None = None,
+) -> np.ndarray:
+    """Chunked broadcasting implementation (the ``spline/reference`` kernel)."""
     if h <= 0:
         raise ConfigurationError("spline softening length must be positive")
     pos_i = np.atleast_2d(np.asarray(pos_i, dtype=np.float64))

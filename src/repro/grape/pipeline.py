@@ -21,7 +21,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.forces import acc_jerk
 from ..errors import GrapeError
 from .fixedpoint import PIPELINE_MANTISSA_BITS, round_mantissa
 
@@ -190,7 +189,9 @@ class ForcePipelineArray:
                         interactions=n_i * n_j,
                     )
 
-        acc, jerk = acc_jerk(
+        from ..accel import get_engine
+
+        acc, jerk = get_engine().acc_jerk(
             pos_i, vel_i, pos_j, vel_j, mass_j, self.eps, self_indices=self_indices
         )
         if self.emulate_precision:

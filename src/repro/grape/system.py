@@ -29,7 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.backends import ForceBackend
-from ..core.forces import InteractionCounter, acc_jerk, pairwise_potential
+from ..core.forces import InteractionCounter
 from ..core.predictor import predict_system
 from ..errors import ConfigurationError, GrapeError, GrapeMemoryError
 from .board import round_robin_slices
@@ -77,6 +77,11 @@ class Grape6Machine:
         self.timing_model = Grape6TimingModel(self.config, host_cost=host_cost)
         self.totals = TimingTotals()
         self.jmem_capacity_per_chip = jmem_capacity_per_chip
+        from ..accel import get_engine
+
+        #: Force-kernel engine serving flat mode; shared with the host
+        #: backend so flat results stay bitwise identical to it.
+        self.engine = get_engine()
         self.clusters: list[Cluster] = []
         if mode == "hierarchy":
             self.clusters = self._build_clusters()
@@ -276,16 +281,10 @@ class Grape6Machine:
         return acc, jerk
 
     def _compute_flat(self, system, active, t_now):
-        predict_system(system, t_now)
-        return acc_jerk(
-            system.pred_pos[active],
-            system.pred_vel[active],
-            system.pred_pos,
-            system.pred_vel,
-            system.mass,
-            self.eps,
-            self_indices=active,
-        )
+        # Same engine dispatch as HostDirectBackend.forces_on — the
+        # kernel pick and the arithmetic match exactly, which is what
+        # keeps flat mode bitwise identical to the host backend.
+        return self.engine.acc_jerk_active(system, active, t_now, self.eps)
 
     def _compute_hierarchy(self, system, active, t_now):
         from ..core.predictor import predict_positions, predict_velocities
@@ -438,6 +437,6 @@ class Grape6Backend(ForceBackend):
 
     def potential(self, system) -> np.ndarray:
         n = system.n
-        return pairwise_potential(
+        return self.machine.engine.pairwise_potential(
             system.pos, system.pos, system.mass, self.eps, self_indices=np.arange(n)
         )

@@ -37,6 +37,25 @@ METRIC_CATALOGUE: dict[str, tuple[str, str]] = {
         "counter",
         "Pairwise force interactions evaluated by the run's backend",
     ),
+    # -- accel kernel engine ---------------------------------------------
+    "kernel.calls_total": ("counter", "Kernel-engine dispatches"),
+    "kernel.tile_bytes_total": (
+        "counter",
+        "Workspace bytes streamed through kernel tiles (pairs x buffers)",
+    ),
+    "kernel.autotune_picks_total": (
+        "counter",
+        "Shape buckets resolved by the timing autotuner",
+    ),
+    "kernel.thread_efficiency": (
+        "gauge",
+        "Busy/wall fraction of the last threaded kernel sweep",
+    ),
+    "kernel.threads": ("gauge", "Worker threads of the active kernel engine"),
+    "kernel.workspace_bytes": (
+        "gauge",
+        "Bytes held in preallocated kernel workspaces",
+    ),
     # -- GRAPE-6 model ---------------------------------------------------
     "grape.blocks_total": ("counter", "Force blocks computed on the GRAPE machine"),
     "grape.interactions_total": (

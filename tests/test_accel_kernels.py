@@ -1,0 +1,383 @@
+"""Equivalence and determinism tests for the accel kernel engine.
+
+Every registered kernel (``repro.accel.registry.REGISTRY``) is checked
+against its op's reference implementation; ``EQUIVALENCE_KERNELS``
+below is the literal roll-call ``tools/check_kernel_registry.py`` greps
+for, and a test asserts it matches the registry exactly.
+
+Tolerance contract: the workspace kernels change only the *summation
+order* of the pairwise sums (j-chunked, fixed ascending reduction), so
+results agree with the reference to norm-relative ~1e-13; components
+that nearly cancel can show larger elementwise relative error, which is
+why the checks below are norm-relative.  Bit-exact promises
+(serial vs. threaded, thread-count independence) are asserted with
+``np.array_equal``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel import EngineConfig, KernelEngine, get_engine
+from repro.accel import registry as reg
+from repro.core.collisions import (
+    _dedup_pairs,
+    _find_collision_pairs_reference,
+    find_collision_pairs,
+)
+from repro.core.forces import acc_jerk as forces_acc_jerk
+from repro.core.particles import ParticleSystem
+from repro.core.predictor import predict_system
+
+# Literal op/name keys — tools/check_kernel_registry.py requires every
+# registered kernel to appear here (and in BENCH_kernels.json).
+EQUIVALENCE_KERNELS = [
+    "acc_jerk/reference",
+    "acc_jerk/accel",
+    "acc_only/reference",
+    "acc_only/accel",
+    "potential/reference",
+    "potential/accel",
+    "spline/reference",
+    "spline/accel",
+    "acc_jerk_active/reference",
+    "acc_jerk_active/fused",
+]
+
+EPS = 0.008
+SPLINE_H = 0.01
+NORM_RTOL = 1e-12
+
+
+def norm_close(a, b, rtol=NORM_RTOL):
+    """Norm-relative agreement (robust to cancellation in components)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    scale = max(np.linalg.norm(a), np.linalg.norm(b), 1e-300)
+    return np.linalg.norm(a - b) <= rtol * scale
+
+
+def make_system(n=257, seed=7):
+    rng = np.random.default_rng(seed)
+    system = ParticleSystem(
+        rng.uniform(1e-10, 1e-8, n),
+        rng.normal(size=(n, 3)) * 5.0,
+        rng.normal(size=(n, 3)) * 0.1,
+        time=0.0,
+    )
+    system.acc[...] = rng.normal(size=(n, 3)) * 1e-4
+    system.jerk[...] = rng.normal(size=(n, 3)) * 1e-6
+    # stagger particle times so acc_jerk_active prediction is non-trivial
+    system.t[...] = rng.uniform(0.0, 1e-3, n)
+    return system
+
+
+@pytest.fixture(scope="module")
+def workload():
+    system = make_system()
+    active = np.arange(0, system.n, 2)
+    return system, active
+
+
+def small_engine(**overrides):
+    """Engine with small tiles/chunks so every code path is exercised."""
+    defaults = dict(threads=1, tile_budget=1 << 12, j_chunk=64,
+                    parallel_pairs=1)
+    defaults.update(overrides)
+    return KernelEngine(EngineConfig(**defaults))
+
+
+def run_spec(spec, engine, system, active, t_now=5e-4):
+    """Invoke one registered kernel with its op's argument convention."""
+    pos_i = system.pos[active]
+    vel_i = system.vel[active]
+    if spec.op == "acc_jerk":
+        return spec.runner(engine, pos_i, vel_i, system.pos, system.vel,
+                           system.mass, EPS, self_indices=active)
+    if spec.op == "acc_only":
+        return spec.runner(engine, pos_i, system.pos, system.mass, EPS,
+                           self_indices=active)
+    if spec.op == "potential":
+        return spec.runner(engine, pos_i, system.pos, system.mass, EPS,
+                           self_indices=active)
+    if spec.op == "spline":
+        return spec.runner(engine, pos_i, system.pos, system.mass, SPLINE_H,
+                           self_indices=active)
+    if spec.op == "acc_jerk_active":
+        return spec.runner(engine, system, active, t_now, EPS)
+    raise ValueError(spec.op)
+
+
+class TestRegistryRollCall:
+    def test_equivalence_list_matches_registry(self):
+        assert sorted(EQUIVALENCE_KERNELS) == sorted(
+            s.key for s in reg.all_kernels()
+        )
+
+    def test_every_op_has_reference_and_preferred(self):
+        for op, preferred in reg.PREFERRED.items():
+            names = {s.name for s in reg.kernels_for(op)}
+            assert "reference" in names
+            assert preferred in names
+
+    def test_register_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            reg.register_kernel("warp_drive", "accel", lambda e: None)
+
+
+@pytest.mark.parametrize("key", EQUIVALENCE_KERNELS)
+class TestKernelEquivalence:
+    def test_matches_reference(self, key, workload):
+        op, name = key.split("/")
+        system, active = workload
+        engine = small_engine()
+        try:
+            ref = run_spec(reg.REGISTRY[(op, "reference")], engine,
+                           system, active)
+            got = run_spec(reg.REGISTRY[(op, name)], engine, system, active)
+        finally:
+            engine.close()
+        ref = ref if isinstance(ref, tuple) else (ref,)
+        got = got if isinstance(got, tuple) else (got,)
+        assert len(ref) == len(got)
+        for r, g in zip(ref, got):
+            if name == "reference":
+                assert np.array_equal(r, g)
+            else:
+                assert norm_close(r, g)
+
+
+class TestDeterminism:
+    """The engine's bit-reproducibility promises."""
+
+    def test_serial_vs_threaded_bit_identical(self, workload):
+        system, active = workload
+        serial = small_engine(threads=1)
+        threaded = small_engine(threads=4)
+        try:
+            for op, preferred in reg.PREFERRED.items():
+                spec = reg.REGISTRY[(op, preferred)]
+                a = run_spec(spec, serial, system, active)
+                b = run_spec(spec, threaded, system, active)
+                a = a if isinstance(a, tuple) else (a,)
+                b = b if isinstance(b, tuple) else (b,)
+                for x, y in zip(a, b):
+                    assert np.array_equal(x, y), f"{spec.key}: thread drift"
+        finally:
+            serial.close()
+            threaded.close()
+
+    def test_thread_count_does_not_change_jplan(self):
+        e2 = small_engine(threads=2)
+        e8 = small_engine(threads=8)
+        try:
+            for n_j in (1, 63, 64, 65, 257, 4096, 100_000):
+                assert e2._jplan(n_j) == e8._jplan(n_j)
+        finally:
+            e2.close()
+            e8.close()
+
+    def test_tile_budget_does_not_change_bits(self, workload):
+        system, active = workload
+        small = small_engine(tile_budget=1 << 10)
+        large = small_engine(tile_budget=1 << 20)
+        try:
+            spec = reg.REGISTRY[("acc_jerk", "accel")]
+            a_s, j_s = run_spec(spec, small, system, active)
+            a_l, j_l = run_spec(spec, large, system, active)
+        finally:
+            small.close()
+            large.close()
+        assert np.array_equal(a_s, a_l)
+        assert np.array_equal(j_s, j_l)
+
+    def test_fused_leaves_pred_arrays_untouched(self, workload):
+        system, active = workload
+        system = system.copy() if hasattr(system, "copy") else make_system()
+        sentinel = 123.456
+        system.pred_pos[...] = sentinel
+        system.pred_vel[...] = sentinel
+        engine = small_engine()
+        try:
+            spec = reg.REGISTRY[("acc_jerk_active", "fused")]
+            run_spec(spec, engine, system, active)
+        finally:
+            engine.close()
+        assert np.all(system.pred_pos == sentinel)
+        assert np.all(system.pred_vel == sentinel)
+
+    def test_fused_matches_reference_prediction(self):
+        """Fused per-chunk prediction reproduces predict_system + acc_jerk."""
+        system = make_system(n=130, seed=11)
+        active = np.array([0, 5, 64, 129])
+        t_now = 7e-4
+        engine = small_engine()
+        try:
+            fused = reg.REGISTRY[("acc_jerk_active", "fused")]
+            acc_f, jerk_f = fused.runner(engine, system, active, t_now, EPS)
+        finally:
+            engine.close()
+        predict_system(system, t_now)
+        acc_r, jerk_r = forces_acc_jerk(
+            system.pred_pos[active], system.pred_vel[active],
+            system.pred_pos, system.pred_vel, system.mass, EPS,
+            self_indices=active,
+        )
+        assert norm_close(acc_f, acc_r)
+        assert norm_close(jerk_f, jerk_r)
+
+
+class TestEdgeCases:
+    def test_empty_active_block(self):
+        system = make_system(n=16)
+        engine = small_engine()
+        empty = np.empty(0, dtype=np.intp)
+        try:
+            acc, jerk = engine.acc_jerk_active(system, empty, 0.0, EPS)
+            assert acc.shape == (0, 3) and jerk.shape == (0, 3)
+            acc = engine.acc_jerk(
+                np.empty((0, 3)), np.empty((0, 3)),
+                system.pos, system.vel, system.mass, EPS,
+            )[0]
+            assert acc.shape == (0, 3)
+            phi = engine.pairwise_potential(np.empty((0, 3)), system.pos,
+                                            system.mass, EPS)
+            assert phi.shape == (0,)
+        finally:
+            engine.close()
+
+    def test_self_interaction_excluded(self):
+        """A particle feels no force from itself (no softened self-term)."""
+        system = make_system(n=3)
+        active = np.arange(3)
+        engine = small_engine()
+        try:
+            for key in ("accel", "reference"):
+                spec = reg.REGISTRY[("acc_jerk", key)]
+                acc, jerk = run_spec(spec, engine, system, active, t_now=0.0)
+                # with self-terms removed, momentum balances: sum(m*a) ~ 0
+                net = (system.mass[active, None] * acc).sum(axis=0)
+                assert np.linalg.norm(net) < 1e-20
+            spline = reg.REGISTRY[("spline", "accel")]
+            acc_s = run_spec(spline, engine, system, active)
+            net = (system.mass[active, None] * acc_s).sum(axis=0)
+            assert np.linalg.norm(net) < 1e-20
+        finally:
+            engine.close()
+
+    def test_single_particle_promotion(self):
+        system = make_system(n=32)
+        engine = small_engine()
+        try:
+            acc, jerk = engine.acc_jerk(
+                system.pos[0], system.vel[0], system.pos, system.vel,
+                system.mass, EPS, self_indices=np.array([0]),
+            )
+        finally:
+            engine.close()
+        assert acc.shape == (1, 3) and jerk.shape == (1, 3)
+
+    def test_collision_candidates_match_reference(self):
+        rng = np.random.default_rng(42)
+        n = 200
+        pos = rng.normal(size=(n, 3))
+        radii = rng.uniform(0.05, 0.2, n)  # dense enough to overlap
+        active = np.arange(0, n, 3)
+        ref = _find_collision_pairs_reference(pos, radii, active)
+        got = find_collision_pairs(pos, radii, active)
+        assert got == ref
+        assert len(ref) > 0  # the workload must actually produce pairs
+        engine = small_engine()
+        try:
+            rows, cols = engine.collision_candidates(pos, radii, active)
+        finally:
+            engine.close()
+        assert _dedup_pairs(active, rows, cols) == ref
+
+    def test_collision_candidates_empty(self):
+        engine = small_engine()
+        try:
+            rows, cols = engine.collision_candidates(
+                np.zeros((4, 3)) + np.arange(4)[:, None] * 10.0,
+                np.full(4, 1e-3), np.arange(4),
+            )
+        finally:
+            engine.close()
+        assert rows.size == 0 and cols.size == 0
+
+
+class TestDispatchAndConfig:
+    def test_heuristic_small_block_uses_reference(self):
+        engine = KernelEngine(EngineConfig(accel_min_pairs=4096))
+        try:
+            spec = reg.select_kernel("acc_jerk", 2, 8, engine)
+            assert spec.name == "reference"
+            spec = reg.select_kernel("acc_jerk", 64, 8192, engine)
+            assert spec.name == "accel"
+        finally:
+            engine.close()
+
+    def test_dispatch_caches_pick_per_bucket(self, workload):
+        system, active = workload
+        engine = small_engine(accel_min_pairs=1)
+        try:
+            engine.acc_jerk_active(system, active, 0.0, EPS)
+            pick = engine.cached_pick("acc_jerk_active", active.size, system.n)
+            assert pick is not None and pick.name == "fused"
+        finally:
+            engine.close()
+
+    def test_autotune_caches_winner(self, workload):
+        system, active = workload
+        engine = small_engine(autotune=True)
+        try:
+            acc, jerk = engine.acc_jerk_active(system, active, 5e-4, EPS)
+            pick = engine.cached_pick("acc_jerk_active", active.size, system.n)
+            assert pick is not None
+            ref = reg.REGISTRY[("acc_jerk_active", "reference")]
+            acc_r, jerk_r = run_spec(ref, engine, system, active)
+            assert norm_close(acc, acc_r)
+        finally:
+            engine.close()
+
+    def test_from_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TILE_BUDGET", "65536")
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "3")
+        monkeypatch.setenv("REPRO_KERNEL_JCHUNK", "512")
+        monkeypatch.setenv("REPRO_KERNEL_AUTOTUNE", "1")
+        cfg = EngineConfig.from_env()
+        assert cfg.tile_budget == 65536
+        assert cfg.threads == 3
+        assert cfg.j_chunk == 512
+        assert cfg.autotune is True
+
+    def test_from_env_ignores_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TILE_BUDGET", "banana")
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "")
+        cfg = EngineConfig.from_env(threads=2)
+        assert cfg.tile_budget == EngineConfig.tile_budget
+        assert cfg.threads == 2
+
+    def test_get_engine_singleton(self):
+        assert get_engine() is get_engine()
+
+
+class TestMetricsBinding:
+    def test_kernel_metrics_flow(self, workload):
+        from repro.obs import Observability
+
+        system, active = workload
+        obs = Observability()
+        engine = small_engine()
+        try:
+            engine.observe(obs)
+            engine.acc_jerk_active(system, active, 5e-4, EPS)
+        finally:
+            engine.close()
+        snap = obs.metrics.snapshot()
+        assert snap["kernel.calls_total"] >= 1
+        assert snap["kernel.tile_bytes_total"] > 0
+        assert snap["kernel.threads"] == engine.config.threads
+        assert snap["kernel.workspace_bytes"] == engine.workspace_bytes
+        assert engine.workspace_bytes > 0

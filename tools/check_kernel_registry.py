@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Lint: every registered force kernel must be tested and benchmarked.
+
+For each :class:`repro.accel.registry.KernelSpec` (key ``op/name``)
+this check requires:
+
+1. an equivalence test — the literal key string somewhere under
+   ``tests/`` (the canonical home is ``EQUIVALENCE_KERNELS`` in
+   ``tests/test_accel_kernels.py``, which a test asserts equals the
+   registry, so a kernel cannot be silently registered untested);
+2. a benchmark entry — an ``entries`` row with matching ``op`` and
+   ``kernel`` in the repo-root ``BENCH_kernels.json`` baseline
+   (regenerate with ``PYTHONPATH=src python -m repro.accel.bench``).
+
+Pure standard library beyond the repo itself; run::
+
+    python tools/check_kernel_registry.py [tests_dir [bench_json]]
+
+Exit code 1 on gaps.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.accel import all_kernels  # noqa: E402
+
+__all__ = ["untested_kernels", "unbenchmarked_kernels", "check", "main"]
+
+
+def untested_kernels(tests_dir: Path) -> list[str]:
+    """Registered kernel keys no test file mentions literally."""
+    corpus = "\n".join(p.read_text() for p in sorted(tests_dir.rglob("*.py")))
+    return [s.key for s in all_kernels() if s.key not in corpus]
+
+
+def unbenchmarked_kernels(bench_json: Path) -> list[str]:
+    """Registered kernel keys with no entry in the benchmark baseline."""
+    document = json.loads(bench_json.read_text())
+    benched = {
+        f"{e.get('op')}/{e.get('kernel')}" for e in document.get("entries", [])
+    }
+    return [s.key for s in all_kernels() if s.key not in benched]
+
+
+def check(tests_dir: Path, bench_json: Path) -> list[str]:
+    """Human-readable gap messages."""
+    problems = []
+    if tests_dir.is_dir():
+        for key in untested_kernels(tests_dir):
+            problems.append(
+                f"kernel {key!r} has no equivalence test under {tests_dir} "
+                "(add it to EQUIVALENCE_KERNELS in tests/test_accel_kernels.py)"
+            )
+    else:
+        problems.append(f"tests directory not found: {tests_dir}")
+    if bench_json.is_file():
+        for key in unbenchmarked_kernels(bench_json):
+            problems.append(
+                f"kernel {key!r} has no entry in {bench_json.name} "
+                "(regenerate: PYTHONPATH=src python -m repro.accel.bench)"
+            )
+    else:
+        problems.append(f"benchmark baseline not found: {bench_json}")
+    return problems
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    tests_dir = Path(argv[0]) if argv else REPO_ROOT / "tests"
+    bench_json = (
+        Path(argv[1]) if len(argv) > 1 else REPO_ROOT / "BENCH_kernels.json"
+    )
+    problems = check(tests_dir, bench_json)
+    for msg in problems:
+        print(msg)
+    if problems:
+        print(f"{len(problems)} kernel-registry gap(s)")
+        return 1
+    print(f"kernel registry ok ({len(all_kernels())} kernels covered)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
