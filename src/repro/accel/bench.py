@@ -89,6 +89,12 @@ def _op_args(op: str, system, active, t_now: float):
         return (pos_i, system.pos, system.mass, _SPLINE_H), {"self_indices": active}
     if op == "acc_jerk_active":
         return (system, active, t_now, _EPS), {}
+    if op == "acc_jerk_masked":
+        # neighbour-sphere-like sparsity: ~1% of pairs, self excluded
+        rng = np.random.default_rng(11)
+        include = rng.random((active.size, system.n)) < 0.01
+        include[np.arange(active.size), active] = False
+        return (pos_i, vel_i, system.pos, system.vel, system.mass, _EPS, include), {}
     raise ValueError(f"unknown op {op!r}")
 
 

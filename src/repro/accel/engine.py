@@ -351,6 +351,35 @@ class KernelEngine:
             {"self_indices": _idx(self_indices)},
         )
 
+    def acc_jerk_masked(self, pos_i, vel_i, pos_j, vel_j, mass_j, eps,
+                        include, counter=None):
+        """Softened acceleration and jerk over an explicit pair mask.
+
+        ``include`` is a boolean ``(n_i, n_j)`` matrix selecting which
+        (sink, source) pairs contribute — the near-field op of the
+        tree/direct hybrid backend, where each sink sums only over its
+        neighbour sphere.  Excluded pairs cost their tile slot but
+        contribute exact zeros (``r2`` driven to inf, the same
+        mechanism as self-pair exclusion), so the fixed-order j-chunk
+        reduction — and with it serial/threaded bit-identity — is
+        untouched.  The counter books the *included* pair count.
+        """
+        pos_i, vel_i, pos_j, vel_j = _norm(pos_i, vel_i, pos_j, vel_j)
+        mass_j = _mass(mass_j)
+        n_i, n_j = pos_i.shape[0], pos_j.shape[0]
+        include = np.ascontiguousarray(include, dtype=bool)
+        if include.shape != (n_i, n_j):
+            raise ValueError(
+                f"include mask shape {include.shape} != ({n_i}, {n_j})"
+            )
+        if counter is not None:
+            counter.add(int(include.sum()), 1, with_jerk=True)
+        self._c_tile_bytes.inc(n_i * n_j * 8 * 11)
+        return self.dispatch(
+            "acc_jerk_masked", n_i, n_j,
+            (pos_i, vel_i, pos_j, vel_j, mass_j, eps, include), {},
+        )
+
     def acc_jerk_active(self, system, active, t_now, eps, counter=None):
         """Force+jerk on the active block of a particle system at ``t_now``.
 
@@ -504,6 +533,32 @@ class KernelEngine:
         self._sweep(n_i, n_j, [acc], body)
         return acc
 
+    def _accel_acc_jerk_masked(self, pos_i, vel_i, pos_j, vel_j, mass_j, eps,
+                               include):
+        n_i, n_j = pos_i.shape[0], pos_j.shape[0]
+        acc = np.zeros((n_i, 3))
+        jerk = np.zeros((n_i, 3))
+        if n_i == 0 or n_j == 0:
+            return acc, jerk
+        eps2 = float(eps) ** 2
+        excluded = ~include
+
+        def body(ws, j0, j1, outs):
+            acc_o, jerk_o = outs
+            width = j1 - j0
+            rows = self._rows(n_i, width)
+            pj, vj, mj = pos_j[j0:j1], vel_j[j0:j1], mass_j[j0:j1]
+            for i0 in range(0, n_i, rows):
+                i1 = min(i0 + rows, n_i)
+                tv = ws.tile(i1 - i0, width)
+                tk.acc_jerk_tile(
+                    tv, pos_i[i0:i1], vel_i[i0:i1], pj, vj, mj, eps2,
+                    acc_o[i0:i1], jerk_o[i0:i1], excluded[i0:i1, j0:j1],
+                )
+
+        self._sweep(n_i, n_j, [acc, jerk], body)
+        return acc, jerk
+
     def _fused_acc_jerk_active(self, system, active, t_now, eps):
         """Fused predict-and-accumulate: sources predicted per j-chunk.
 
@@ -601,6 +656,20 @@ def _reference_spline(engine, pos_i, pos_j, mass_j, h, self_indices=None):
     return _acc_spline_reference(pos_i, pos_j, mass_j, h, self_indices=self_indices)
 
 
+def _reference_acc_jerk_masked(engine, pos_i, vel_i, pos_j, vel_j, mass_j, eps,
+                               include):
+    dr = pos_j[None, :, :] - pos_i[:, None, :]
+    dv = vel_j[None, :, :] - vel_i[:, None, :]
+    r2 = np.einsum("ijk,ijk->ij", dr, dr) + float(eps) ** 2
+    r2 = np.where(include, r2, np.inf)
+    rv = np.einsum("ijk,ijk->ij", dr, dv)
+    mr3 = mass_j[None, :] / (r2 * np.sqrt(r2))
+    acc = np.einsum("ij,ijk->ik", mr3, dr)
+    w = 3.0 * mr3 * rv / r2
+    jerk = np.einsum("ij,ijk->ik", mr3, dv) - np.einsum("ij,ijk->ik", w, dr)
+    return acc, jerk
+
+
 def _reference_acc_jerk_active(engine, system, active, t_now, eps):
     from ..core import forces
 
@@ -634,6 +703,10 @@ def _register_builtins() -> None:
          doc="predict_system sweep followed by the reference acc_jerk")
     spec("acc_jerk_active", "fused", KernelEngine._fused_acc_jerk_active,
          doc="Per-j-chunk source prediction fused into the tile loop")
+    spec("acc_jerk_masked", "reference", _reference_acc_jerk_masked,
+         doc="Single-shot broadcasting sum over an explicit pair mask")
+    spec("acc_jerk_masked", "accel", KernelEngine._accel_acc_jerk_masked,
+         doc="Workspace tiles with per-tile mask slices, fixed-order reduction")
 
 
 _register_builtins()

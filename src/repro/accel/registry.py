@@ -1,7 +1,7 @@
 """Kernel registry and shape-bucketed dispatch for the accel engine.
 
 Every force-kernel *op* (``acc_jerk``, ``acc_only``, ``potential``,
-``spline``, ``acc_jerk_active``) has one or more registered
+``spline``, ``acc_jerk_active``, ``acc_jerk_masked``) has one or more registered
 implementations — at minimum the ``reference`` NumPy kernel and a
 workspace-backed ``accel``/``fused`` twin.  :func:`select_kernel` picks
 one per *shape bucket* (both dimensions rounded up to powers of two):
@@ -37,6 +37,7 @@ PREFERRED = {
     "potential": "accel",
     "spline": "accel",
     "acc_jerk_active": "fused",
+    "acc_jerk_masked": "accel",
 }
 
 #: Fallback pair-count threshold when no engine config is at hand.

@@ -26,6 +26,8 @@ from ..errors import ConfigurationError
 
 __all__ = ["Octree", "OctreeStats"]
 
+_SQRT3 = float(np.sqrt(3.0))  # circumscribed-sphere factor of a cube
+
 
 class OctreeStats:
     """Counters of one tree build / walk."""
@@ -210,6 +212,7 @@ class Octree:
         eps: float,
         vel_i: np.ndarray | None = None,
         exclude_self: np.ndarray | None = None,
+        h_i: np.ndarray | float | None = None,
     ) -> tuple[np.ndarray, np.ndarray | None]:
         """Tree forces (and jerks if velocities are available).
 
@@ -228,6 +231,15 @@ class Octree:
         exclude_self:
             Source-index of each sink (sinks that are tree particles),
             to drop self-interaction in leaf sums.
+        h_i:
+            Optional per-sink neighbour-sphere radius (scalar
+            broadcasts).  Sources with unsoftened ``dist2 < h_i**2``
+            are excluded from the walk entirely — the exact complement
+            of :func:`repro.grape.neighbours.neighbour_search`'s range
+            predicate — so a hybrid backend can add the near field by
+            direct summation without double counting.  Nodes are only
+            accepted as multipoles when their cube lies wholly outside
+            the sink's sphere.
 
         Returns ``(acc, jerk_or_None)``.
         """
@@ -238,6 +250,10 @@ class Octree:
         want_jerk = self.vel is not None and vel_i is not None
         if want_jerk:
             vel_i = np.atleast_2d(np.asarray(vel_i, dtype=np.float64))
+        if h_i is not None:
+            h_i = np.broadcast_to(np.asarray(h_i, dtype=np.float64), (n_i,))
+            if np.any(h_i < 0):
+                raise ConfigurationError("neighbour radius must be non-negative")
         acc = np.zeros((n_i, 3))
         jerk = np.zeros((n_i, 3)) if want_jerk else None
         eps2 = float(eps) ** 2
@@ -253,6 +269,20 @@ class Octree:
             is_leaf = self.node_leaf_start[nodes] >= 0
             with np.errstate(divide="ignore"):
                 accept = (size * size < theta * theta * dist2) & ~is_leaf
+            if np.any(accept):
+                # A cube that contains the sink can satisfy the opening
+                # criterion once theta > 2/sqrt(3) (the sink is within
+                # sqrt(3)/2 * size of the COM) yet its monopole would
+                # absorb the sink's own mass — always open such nodes.
+                delta = pos_i[pi] - self.node_center[nodes]
+                inside = np.abs(delta).max(axis=1) <= self.node_half[nodes]
+                accept &= ~inside
+                if h_i is not None:
+                    # neighbour-sphere exclusion: accept only nodes whose
+                    # cube lies entirely outside the sink's sphere
+                    cdist = np.sqrt(np.einsum("ij,ij->i", delta, delta))
+                    clearance = h_i[pi] + _SQRT3 * self.node_half[nodes]
+                    accept &= cdist > clearance
 
             # 1) accepted internal nodes: monopole contribution
             if np.any(accept):
@@ -276,7 +306,13 @@ class Octree:
                     )[:, None] * s
                 np.add.at(acc, ai, contrib)
                 if want_jerk:
-                    node_vel = self.node_mom[an] / self.node_mass[an][:, None]
+                    node_mass = self.node_mass[an][:, None]
+                    node_vel = np.divide(
+                        self.node_mom[an],
+                        node_mass,
+                        out=np.zeros_like(self.node_mom[an]),
+                        where=node_mass > 0,
+                    )
                     dv = node_vel - vel_i[ai]
                     rv = np.einsum("ij,ij->i", dr, dv)
                     jc = (self.node_mass[an] * inv_r3)[:, None] * dv - (
@@ -295,10 +331,16 @@ class Octree:
                     count = self.node_leaf_count[node]
                     src = self.leaf_perm[start : start + count]
                     dr = self.pos[src] - pos_i[sink]
-                    r2 = np.einsum("ij,ij->i", dr, dr) + eps2
+                    dist2 = np.einsum("ij,ij->i", dr, dr)
+                    r2 = dist2 + eps2
                     if exclude_self is not None:
                         mask = src == exclude_self[sink]
                         r2[mask] = np.inf
+                    if h_i is not None:
+                        # strict-inequality complement of neighbour_search's
+                        # ``dist2 < h**2`` range predicate (same unsoftened
+                        # distances, so the near/far split is exact)
+                        r2[dist2 < h_i[sink] ** 2] = np.inf
                     inv_r3 = 1.0 / (r2 * np.sqrt(r2))
                     w = self.mass[src] * inv_r3
                     acc[sink] += (w[:, None] * dr).sum(axis=0)

@@ -41,10 +41,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--eta", type=float, default=0.02, help="Aarseth accuracy parameter")
     p_run.add_argument("--dt-max", type=float, default=1.0, help="largest block step")
     p_run.add_argument(
-        "--backend", choices=("host", "grape", "tree"), default="host",
+        "--backend", choices=("host", "grape", "tree", "hybrid"), default="host",
         help="force engine",
     )
     p_run.add_argument("--eps", type=float, default=0.008, help="softening [AU]")
+    p_run.add_argument(
+        "--theta", type=float, default=0.5,
+        help="tree opening angle (tree and hybrid backends)",
+    )
+    p_run.add_argument(
+        "--r-neighbour", type=float, default=0.05,
+        help="default neighbour-sphere radius [AU] (hybrid backend)",
+    )
     p_run.add_argument(
         "--trace-out", metavar="PATH", default=None,
         help="write a Chrome-trace/Perfetto JSON of the run (enables tracing)",
@@ -117,7 +125,8 @@ def _config_for(name: str):
     }[name]()
 
 
-def _build_backend(name: str, eps: float):
+def _build_backend(name: str, eps: float, theta: float = 0.5,
+                   r_neighbour: float = 0.05):
     """Construct a force backend; returns ``(backend, machine_or_None)``."""
     from .baselines import TreeBackend
     from .core import HostDirectBackend
@@ -126,7 +135,11 @@ def _build_backend(name: str, eps: float):
     if name == "host":
         return HostDirectBackend(eps=eps), None
     if name == "tree":
-        return TreeBackend(eps=eps, theta=0.5), None
+        return TreeBackend(eps=eps, theta=theta), None
+    if name == "hybrid":
+        from .hybrid import HybridBackend
+
+        return HybridBackend(eps=eps, theta=theta, r_neighbour=r_neighbour), None
     machine = Grape6Machine(Grape6Config.paper_full_system(), eps=eps)
     return Grape6Backend(machine), machine
 
@@ -136,7 +149,9 @@ def _cmd_run_managed(args) -> int:
     from .planetesimal import PlanetesimalDiskConfig, build_disk_system
     from .runio import ProductionRun
 
-    backend, _ = _build_backend(args.backend, args.eps)
+    backend, _ = _build_backend(
+        args.backend, args.eps, theta=args.theta, r_neighbour=args.r_neighbour
+    )
     system = build_disk_system(
         PlanetesimalDiskConfig(n_planetesimals=args.n, seed=args.seed)
     )
@@ -161,6 +176,8 @@ def _cmd_run_managed(args) -> int:
             "eta": args.eta,
             "dt_max": args.dt_max,
             "eps": args.eps,
+            "theta": args.theta,
+            "r_neighbour": args.r_neighbour,
         },
         run_id=f"disk-n{args.n}",
     )
@@ -189,7 +206,9 @@ def _cmd_run_resume(args) -> int:
     _, meta = load_snapshot(path)
     cfg = (meta.get("checkpoint") or {}).get("config") or {}
     backend, _ = _build_backend(
-        cfg.get("backend", args.backend), cfg.get("eps", args.eps)
+        cfg.get("backend", args.backend), cfg.get("eps", args.eps),
+        theta=cfg.get("theta", args.theta),
+        r_neighbour=cfg.get("r_neighbour", args.r_neighbour),
     )
     eta = cfg.get("eta", args.eta)
     run = ProductionRun.resume(
@@ -214,7 +233,9 @@ def _cmd_run(args) -> int:
     if args.run_dir:
         return _cmd_run_managed(args)
 
-    backend, machine = _build_backend(args.backend, args.eps)
+    backend, machine = _build_backend(
+        args.backend, args.eps, theta=args.theta, r_neighbour=args.r_neighbour
+    )
 
     obs = None
     if args.trace_out or args.metrics_out:
@@ -355,10 +376,11 @@ def main(argv=None) -> int:
     """CLI entry point; returns the process exit code.
 
     Library failures (snapshot/checkpoint problems, GRAPE hardware
-    errors, comm-model errors) exit with code 2 and a one-line message
-    on stderr instead of a traceback.
+    errors, comm-model errors, bad configuration values such as a
+    negative ``--theta``) exit with code 2 and a one-line message on
+    stderr instead of a traceback.
     """
-    from .errors import CommError, GrapeError, SnapshotError
+    from .errors import CommError, ConfigurationError, GrapeError, SnapshotError
 
     args = build_parser().parse_args(argv)
     handler = {
@@ -370,7 +392,7 @@ def main(argv=None) -> int:
     }[args.command]
     try:
         return handler(args)
-    except (SnapshotError, GrapeError, CommError) as exc:
+    except (SnapshotError, GrapeError, CommError, ConfigurationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -114,6 +114,10 @@ class Simulation:
         )
         if engine is not None and self.obs.enabled:
             engine.observe(self.obs)
+        # Backends with their own metric families (e.g. the hybrid's
+        # ``hybrid.*`` tree/direct split) bind here the same way.
+        if self.obs.enabled and hasattr(backend, "observe"):
+            backend.observe(self.obs)
         self.time = float(t0[0])
         self.block_steps = 0
         self.particle_steps = 0
@@ -428,9 +432,10 @@ class Simulation:
     def _candidate_pairs(self, rows: np.ndarray, t_now: float) -> list:
         """Colliding pairs among ``rows`` vs everything, at ``t_now``.
 
-        Uses the backend's hardware neighbour search when available
-        (GRAPE backends — candidate screening rides the force pass for
-        free on the real chip), falling back to the O(n_act x N)
+        Uses the backend's neighbour search when available (GRAPE
+        backends expose it via their machine — candidate screening
+        rides the force pass for free on the real chip — and the
+        hybrid backend directly), falling back to the O(n_act x N)
         sweep.  Both paths apply the exact radius test, so the merger
         set is identical.
         """
@@ -438,10 +443,12 @@ class Simulation:
 
         sys_ = self.system
         radii = self.collision_policy.radii(sys_.mass)
-        machine = getattr(self.backend, "machine", None)
-        if machine is not None and hasattr(machine, "neighbours_of"):
+        finder = getattr(self.backend, "machine", None)
+        if finder is None or not hasattr(finder, "neighbours_of"):
+            finder = self.backend if hasattr(self.backend, "neighbours_of") else None
+        if finder is not None:
             h = 2.0 * float(radii.max())
-            res = machine.neighbours_of(sys_, rows, t_now, h=h)
+            res = finder.neighbours_of(sys_, rows, t_now, h=h)
             key_to_row = {int(k): r for r, k in enumerate(sys_.key)}
             pairs = set()
             for local, row in enumerate(rows):
@@ -473,6 +480,8 @@ class Simulation:
         sys_.pos[survivor_row] = outcome.pos
         sys_.vel[survivor_row] = outcome.vel
         sys_.t[survivor_row] = t_now
+        # the merged body keeps the wider neighbour sphere of the pair
+        sys_.h_nb[survivor_row] = max(float(sys_.h_nb[i]), float(sys_.h_nb[j]))
 
         self.system = sys_.remove(np.array([absorbed_row]))
         self.backend.load(self.system)

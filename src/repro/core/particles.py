@@ -18,6 +18,7 @@ A :class:`ParticleSystem` carries, for each of ``n`` particles:
 ``pred_pos``  shape ``(n, 3)`` predicted positions at the current system time
 ``pred_vel``  shape ``(n, 3)`` predicted velocities at the current system time
 ``key``       shape ``(n,)`` stable integer identifiers
+``h_nb``      shape ``(n,)`` neighbour-sphere radii (0 = backend default)
 
 Under the individual-timestep algorithm different particles live at
 different times; ``pred_pos``/``pred_vel`` are the shared-time view of the
@@ -65,6 +66,7 @@ class ParticleSystem:
         "pred_pos",
         "pred_vel",
         "key",
+        "h_nb",
     )
 
     def __init__(
@@ -116,6 +118,10 @@ class ParticleSystem:
         self.pred_pos = pos.copy()
         self.pred_vel = vel.copy()
         self.key = keys
+        # Neighbour-sphere radii for neighbour-scheme backends; 0 means
+        # "use the backend's global default" so plain direct/tree runs
+        # never have to think about it.
+        self.h_nb = np.zeros(n)
 
     # -- basic protocol ----------------------------------------------------
 
@@ -185,6 +191,7 @@ class ParticleSystem:
             out.acc[offset : offset + s.n] = s.acc
             out.jerk[offset : offset + s.n] = s.jerk
             out.dt[offset : offset + s.n] = s.dt
+            out.h_nb[offset : offset + s.n] = s.h_nb
             offset += s.n
         return out
 
@@ -199,6 +206,7 @@ class ParticleSystem:
         out.dt = self.dt.copy()
         out.pred_pos = self.pred_pos.copy()
         out.pred_vel = self.pred_vel.copy()
+        out.h_nb = self.h_nb.copy()
         return out
 
     def select(self, index: np.ndarray) -> "ParticleSystem":
@@ -224,6 +232,7 @@ class ParticleSystem:
         out.dt = self.dt[index].copy()
         out.pred_pos = self.pred_pos[index].copy()
         out.pred_vel = self.pred_vel[index].copy()
+        out.h_nb = self.h_nb[index].copy()
         return out
 
     def remove(self, index: np.ndarray) -> "ParticleSystem":
@@ -252,6 +261,7 @@ class ParticleSystem:
             "pred_pos": (n, 3),
             "pred_vel": (n, 3),
             "key": (n,),
+            "h_nb": (n,),
         }
         for name, shape in expect.items():
             arr = getattr(self, name)
@@ -261,3 +271,5 @@ class ParticleSystem:
                 raise ParticleError(f"{name} contains non-finite values")
         if np.any(self.dt < 0):
             raise ParticleError("negative timestep")
+        if np.any(self.h_nb < 0):
+            raise ParticleError("negative neighbour radius")

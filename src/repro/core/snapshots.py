@@ -30,6 +30,10 @@ _FORMAT_VERSION = 1
 
 _ARRAYS = ("mass", "pos", "vel", "acc", "jerk", "t", "dt", "key")
 
+#: Arrays written by current code but absent from older snapshots;
+#: loaded when present, defaulted otherwise (keeps format_version 1).
+_OPTIONAL_ARRAYS = ("h_nb",)
+
 
 def save_snapshot(path, system: ParticleSystem, metadata: dict | None = None) -> Path:
     """Write ``system`` (and optional JSON-serialisable metadata) to ``path``.
@@ -45,7 +49,7 @@ def save_snapshot(path, system: ParticleSystem, metadata: dict | None = None) ->
         meta_json = json.dumps(meta)
     except TypeError as exc:
         raise SnapshotError(f"metadata is not JSON-serialisable: {exc}") from exc
-    arrays = {name: getattr(system, name) for name in _ARRAYS}
+    arrays = {name: getattr(system, name) for name in _ARRAYS + _OPTIONAL_ARRAYS}
     # Atomic publish: write to a sibling temp file, fsync, then rename.
     # (A file handle is passed so numpy cannot append a second suffix.)
     tmp = path.with_name(path.name + ".tmp")
@@ -87,6 +91,8 @@ def load_snapshot(path) -> tuple[ParticleSystem, dict]:
         system.jerk = np.ascontiguousarray(data["jerk"])
         system.t = np.ascontiguousarray(data["t"])
         system.dt = np.ascontiguousarray(data["dt"])
+        if "h_nb" in data:
+            system.h_nb = np.ascontiguousarray(data["h_nb"])
         system.pred_pos = system.pos.copy()
         system.pred_vel = system.vel.copy()
     meta.pop("format_version", None)

@@ -12,9 +12,15 @@ This module provides the functional equivalent used by
 
 * :func:`neighbour_search` — vectorised (i, j) range query returning,
   per i-particle, the j-keys within ``h_i`` and the nearest neighbour;
+* :func:`merge_neighbour_results` — board-level reduction combining
+  per-chip query results for the same i-block;
 * the machine-level plumbing lives in ``Grape6Machine.neighbours_of``
   (flat mode: one sweep; hierarchy mode: per-chip queries merged by the
   boards, mirroring the hardware's per-chip neighbour memories).
+
+Both the search and the merge break exact nearest-distance ties by the
+smallest j-key, so results are independent of source ordering and of
+the chip partition.
 """
 
 from __future__ import annotations
@@ -25,7 +31,9 @@ import numpy as np
 
 from ..errors import ConfigurationError
 
-__all__ = ["NeighbourResult", "neighbour_search"]
+__all__ = ["NeighbourResult", "neighbour_search", "merge_neighbour_results"]
+
+_NO_KEY = np.iinfo(np.int64).max  # sentinel above any real j-key
 
 
 @dataclass(frozen=True)
@@ -67,6 +75,12 @@ def neighbour_search(
     h = np.broadcast_to(np.asarray(h, dtype=np.float64), (n_i,))
     if np.any(h < 0):
         raise ConfigurationError("neighbour radius must be non-negative")
+    if n_i == 0:
+        return NeighbourResult(
+            lists=[],
+            nearest_key=np.empty(0, dtype=np.int64),
+            nearest_dist=np.empty(0),
+        )
 
     dr = pos_j[None, :, :] - pos_i[:, None, :]
     dist2 = np.einsum("ijk,ijk->ij", dr, dr)
@@ -82,28 +96,50 @@ def neighbour_search(
         nearest_key = np.full(n_i, -1, dtype=np.int64)
         nearest_dist = np.full(n_i, np.inf)
     else:
-        arg = np.argmin(dist2, axis=1)
-        nearest_dist = np.sqrt(dist2[np.arange(n_i), arg])
-        nearest_key = np.where(np.isfinite(nearest_dist), j_keys[arg], -1)
+        best = dist2.min(axis=1)
+        # ties on exact distance resolve to the smallest j-key so the
+        # result is independent of source ordering
+        candidates = np.where(dist2 == best[:, None], j_keys[None, :], _NO_KEY)
+        nearest_key = candidates.min(axis=1)
+        nearest_dist = np.sqrt(best)
+        nearest_key = np.where(np.isfinite(nearest_dist), nearest_key, -1)
         nearest_key = nearest_key.astype(np.int64)
     return NeighbourResult(lists=lists, nearest_key=nearest_key, nearest_dist=nearest_dist)
 
 
 def merge_neighbour_results(results: list[NeighbourResult]) -> NeighbourResult:
-    """Combine per-chip results for the same i-block (board reduction)."""
+    """Combine per-chip results for the same i-block (board reduction).
+
+    The merged neighbour lists are key-sorted and the nearest-neighbour
+    reduction breaks exact distance ties by the smallest j-key, so the
+    outcome does not depend on the chip partition or ordering.  An
+    i-block of zero particles merges to an empty result.
+    """
     if not results:
         raise ConfigurationError("nothing to merge")
     n_i = len(results[0].lists)
+    if any(len(r.lists) != n_i for r in results):
+        raise ConfigurationError("chip results disagree on i-block size")
+    if n_i == 0:
+        return NeighbourResult(
+            lists=[],
+            nearest_key=np.empty(0, dtype=np.int64),
+            nearest_dist=np.empty(0),
+        )
     lists = []
     for i in range(n_i):
         parts = [r.lists[i] for r in results]
-        lists.append(np.concatenate(parts) if parts else np.empty(0, dtype=np.int64))
+        merged = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        lists.append(np.sort(merged))
     dists = np.stack([r.nearest_dist for r in results])
     keys = np.stack([r.nearest_key for r in results])
-    arg = np.argmin(dists, axis=0)
-    cols = np.arange(n_i)
+    best = dists.min(axis=0)
+    # ties across chips resolve to the smallest j-key (order-free)
+    candidates = np.where(dists == best[None, :], keys, _NO_KEY)
+    nearest_key = candidates.min(axis=0)
+    nearest_key = np.where(np.isfinite(best), nearest_key, -1).astype(np.int64)
     return NeighbourResult(
         lists=lists,
-        nearest_key=keys[arg, cols],
-        nearest_dist=dists[arg, cols],
+        nearest_key=nearest_key,
+        nearest_dist=best,
     )

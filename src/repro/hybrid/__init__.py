@@ -1,0 +1,14 @@
+"""Tree/direct hybrid neighbour-scheme force backend.
+
+The Fukushige & Kawai hybrid the paper's related work describes: each
+particle's force is split at its neighbour sphere — everything inside
+``h_i`` is summed directly (collisional accuracy where it matters),
+everything outside comes from a Barnes–Hut octree walk (O(N log N)
+where the paper's pure direct sum is O(N^2)).  See ``docs/HYBRID.md``
+for the scheme, error bounds and parameter guidance, and
+``BENCH_hybrid.json`` for the measured direct-vs-hybrid crossover.
+"""
+
+from .backend import HybridBackend
+
+__all__ = ["HybridBackend"]

@@ -77,6 +77,32 @@ METRIC_CATALOGUE: dict[str, tuple[str, str]] = {
     "grape.peak_flops": ("gauge", "Peak speed of the attached machine shape"),
     "grape.jwrite_total": ("counter", "j-particle writes issued through the driver"),
     "grape.wire_bytes_total": ("counter", "Bytes captured on the traced host wire"),
+    # -- tree/direct hybrid backend --------------------------------------
+    "hybrid.tree_builds_total": (
+        "counter",
+        "Octree rebuilds by the hybrid backend (one per force block)",
+    ),
+    "hybrid.near_interactions_total": (
+        "counter",
+        "Direct near-field pairs summed inside neighbour spheres",
+    ),
+    "hybrid.far_interactions_total": (
+        "counter",
+        "Tree-walk interactions (particle-particle + node terms)",
+    ),
+    "hybrid.tree_seconds": (
+        "counter",
+        "Wall time in hybrid tree build + far-field walk (t_tree)",
+    ),
+    "hybrid.direct_seconds": (
+        "counter",
+        "Wall time in hybrid near-field direct summation (t_direct)",
+    ),
+    "hybrid.neighbour_count": (
+        "histogram",
+        "Mean neighbours per active particle, sampled per block",
+    ),
+    "hybrid.theta": ("gauge", "Opening angle of the hybrid's far-field tree"),
     # -- software communication substrate --------------------------------
     "comm.bytes_sent": ("counter", "Payload bytes sent over simulated links"),
     "comm.messages_total": ("counter", "Point-to-point messages sent"),

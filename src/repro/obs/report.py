@@ -14,7 +14,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["TimeBreakdown", "time_breakdown", "render_time_breakdown"]
+__all__ = [
+    "TimeBreakdown",
+    "time_breakdown",
+    "render_time_breakdown",
+    "HybridBreakdown",
+    "hybrid_breakdown",
+]
 
 
 def _get(metrics: dict, dotted: str, default: float = 0.0) -> float:
@@ -73,13 +79,70 @@ def time_breakdown(metrics: dict) -> TimeBreakdown | None:
     return bd
 
 
-def render_time_breakdown(metrics: dict) -> str:
-    """The breakdown as a printable table (empty string if nothing to show)."""
+@dataclass(frozen=True)
+class HybridBreakdown:
+    """t_tree / t_direct accounting of the hybrid backend's force split."""
+
+    tree_seconds: float
+    direct_seconds: float
+    near_interactions: float
+    far_interactions: float
+    tree_builds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.tree_seconds + self.direct_seconds
+
+
+def hybrid_breakdown(metrics: dict) -> HybridBreakdown | None:
+    """Build a :class:`HybridBreakdown`; ``None`` if no hybrid time was logged."""
+    bd = HybridBreakdown(
+        tree_seconds=_get(metrics, "hybrid.tree_seconds"),
+        direct_seconds=_get(metrics, "hybrid.direct_seconds"),
+        near_interactions=_get(metrics, "hybrid.near_interactions_total"),
+        far_interactions=_get(metrics, "hybrid.far_interactions_total"),
+        tree_builds=_get(metrics, "hybrid.tree_builds_total"),
+    )
+    if bd.total_seconds == 0.0 and bd.tree_builds == 0.0:
+        return None
+    return bd
+
+
+def _render_hybrid(bd: HybridBreakdown) -> str:
     from ..perf.report import Table
 
+    table = Table(
+        ["component", "seconds", "share", "interactions"],
+        title="Hybrid force split (t_tree vs t_direct)",
+    )
+    total = bd.total_seconds or 1.0
+    table.add_row(
+        "tree far field (t_tree)", bd.tree_seconds,
+        f"{bd.tree_seconds / total:.1%}", int(bd.far_interactions),
+    )
+    table.add_row(
+        "direct near field (t_direct)", bd.direct_seconds,
+        f"{bd.direct_seconds / total:.1%}", int(bd.near_interactions),
+    )
+    lines = [table.render()]
+    if bd.tree_builds:
+        lines.append(f"tree rebuilds:    {int(bd.tree_builds)}")
+    return "\n".join(lines)
+
+
+def render_time_breakdown(metrics: dict) -> str:
+    """The breakdown as a printable table (empty string if nothing to show).
+
+    Renders the GRAPE Section-5 table when modelled hardware time was
+    logged, and appends the hybrid backend's t_tree/t_direct split when
+    ``hybrid.*`` metrics are present (either may appear alone).
+    """
+    from ..perf.report import Table
+
+    hybrid = hybrid_breakdown(metrics)
     bd = time_breakdown(metrics)
     if bd is None:
-        return ""
+        return _render_hybrid(hybrid) if hybrid is not None else ""
     table = Table(
         ["component", "seconds", "share"],
         title="GRAPE-6 time breakdown (paper Section 5)",
@@ -99,4 +162,6 @@ def render_time_breakdown(metrics: dict) -> str:
     )
     if bd.wall_seconds:
         lines.append(f"python wall:      {bd.wall_seconds:.2f} s")
+    if hybrid is not None:
+        lines.append(_render_hybrid(hybrid))
     return "\n".join(lines)

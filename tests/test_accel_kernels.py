@@ -43,6 +43,8 @@ EQUIVALENCE_KERNELS = [
     "spline/accel",
     "acc_jerk_active/reference",
     "acc_jerk_active/fused",
+    "acc_jerk_masked/reference",
+    "acc_jerk_masked/accel",
 ]
 
 EPS = 0.008
@@ -88,6 +90,14 @@ def small_engine(**overrides):
     return KernelEngine(EngineConfig(**defaults))
 
 
+def make_mask(system, active, seed=5):
+    """Neighbour-sphere-like sparse pair mask with self-pairs excluded."""
+    rng = np.random.default_rng(seed)
+    include = rng.random((active.size, system.n)) < 0.05
+    include[np.arange(active.size), active] = False
+    return include
+
+
 def run_spec(spec, engine, system, active, t_now=5e-4):
     """Invoke one registered kernel with its op's argument convention."""
     pos_i = system.pos[active]
@@ -106,6 +116,9 @@ def run_spec(spec, engine, system, active, t_now=5e-4):
                            self_indices=active)
     if spec.op == "acc_jerk_active":
         return spec.runner(engine, system, active, t_now, EPS)
+    if spec.op == "acc_jerk_masked":
+        return spec.runner(engine, pos_i, vel_i, system.pos, system.vel,
+                           system.mass, EPS, make_mask(system, active))
     raise ValueError(spec.op)
 
 
@@ -277,6 +290,54 @@ class TestEdgeCases:
         finally:
             engine.close()
         assert acc.shape == (1, 3) and jerk.shape == (1, 3)
+
+    def test_masked_full_mask_matches_acc_jerk(self):
+        """Everything included (minus self) reproduces the plain op."""
+        system = make_system(n=65, seed=13)
+        active = np.arange(0, 65, 2)
+        include = np.ones((active.size, system.n), dtype=bool)
+        include[np.arange(active.size), active] = False
+        engine = small_engine()
+        try:
+            acc_m, jerk_m = engine.acc_jerk_masked(
+                system.pos[active], system.vel[active], system.pos,
+                system.vel, system.mass, EPS, include,
+            )
+            acc_r, jerk_r = engine.acc_jerk(
+                system.pos[active], system.vel[active], system.pos,
+                system.vel, system.mass, EPS, self_indices=active,
+            )
+        finally:
+            engine.close()
+        assert norm_close(acc_m, acc_r)
+        assert norm_close(jerk_m, jerk_r)
+
+    def test_masked_excluded_pairs_are_exact_zero(self):
+        """An all-False mask must produce bitwise zero, not tiny residue."""
+        system = make_system(n=16)
+        active = np.arange(4)
+        include = np.zeros((4, system.n), dtype=bool)
+        engine = small_engine()
+        try:
+            acc, jerk = engine.acc_jerk_masked(
+                system.pos[active], system.vel[active], system.pos,
+                system.vel, system.mass, EPS, include,
+            )
+        finally:
+            engine.close()
+        assert not acc.any() and not jerk.any()
+
+    def test_masked_shape_mismatch_rejected(self):
+        system = make_system(n=8)
+        engine = small_engine()
+        try:
+            with pytest.raises(ValueError):
+                engine.acc_jerk_masked(
+                    system.pos[:2], system.vel[:2], system.pos, system.vel,
+                    system.mass, EPS, np.ones((3, 8), dtype=bool),
+                )
+        finally:
+            engine.close()
 
     def test_collision_candidates_match_reference(self):
         rng = np.random.default_rng(42)

@@ -8,6 +8,8 @@ backend and compared:
   order);
 * GRAPE hierarchy — equal to float-reordering tolerance;
 * tree at theta -> 0 — equal to the multipole-truncation floor;
+* hybrid at theta -> 0 — exact near/far partition, so equal to the
+  summation-order floor for any neighbour radius;
 * distributed ring forces — equal at a single force evaluation.
 """
 
@@ -22,6 +24,7 @@ from repro.core import (
     TimestepParams,
 )
 from repro.grape import Grape6Backend, Grape6Config, Grape6Machine
+from repro.hybrid import HybridBackend
 from repro.planetesimal import PlanetesimalDiskConfig, build_disk_system
 
 N = 28
@@ -82,6 +85,40 @@ class TestBackendMatrix:
                         sim.external_field).total
         assert e_tree == pytest.approx(e_ref, rel=1e-4)
 
+    def test_hybrid_theta_zero_close(self, reference):
+        sim = run_with(HybridBackend(eps=0.008, theta=0.0, r_neighbour=0.05))
+        assert np.allclose(sim.system.pos, reference.system.pos, atol=1e-6)
+        assert sim.block_steps == reference.block_steps
+
+    def test_hybrid_finite_theta_physical(self, reference):
+        """theta = 0.5: same macro state (energy) despite force error."""
+        from repro.core import energy
+
+        sim = run_with(HybridBackend(eps=0.008, theta=0.5, r_neighbour=0.05))
+        e_ref = energy(reference.predicted_state(T_END), 0.008,
+                       reference.external_field).total
+        e_hyb = energy(sim.predicted_state(T_END), 0.008,
+                       sim.external_field).total
+        assert e_hyb == pytest.approx(e_ref, rel=1e-4)
+
+    def test_hybrid_thread_count_invariant(self):
+        """REPRO_KERNEL_THREADS must not change hybrid trajectories."""
+        from repro.accel import EngineConfig, KernelEngine
+
+        results = []
+        for threads in (1, 4):
+            engine = KernelEngine(EngineConfig(threads=threads))
+            try:
+                sim = run_with(
+                    HybridBackend(eps=0.008, theta=0.4, r_neighbour=0.1,
+                                  engine=engine)
+                )
+                results.append((sim.system.pos.copy(), sim.system.vel.copy()))
+            finally:
+                engine.close()
+        assert np.array_equal(results[0][0], results[1][0])
+        assert np.array_equal(results[0][1], results[1][1])
+
     def test_ring_single_evaluation(self, reference):
         from repro.core.forces import acc_jerk
         from repro.parallel import ring_forces
@@ -104,6 +141,7 @@ class TestBackendMatrix:
                 Grape6Machine(Grape6Config.single_board(), eps=0.008, mode="flat")
             ),
             TreeBackend(eps=0.008, theta=0.2),
+            HybridBackend(eps=0.008, theta=0.2, r_neighbour=0.05),
         ]
         for backend in backends:
             sim = Simulation(

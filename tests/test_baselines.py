@@ -99,6 +99,80 @@ class TestOctreeForces:
         with pytest.raises(ConfigurationError):
             tree.accelerations(pos, theta=-1.0, eps=0.0)
 
+    def test_theta_zero_exact_singleton_leaves(self, cluster300):
+        """Regression: self-interaction must be excluded when every leaf
+        holds exactly one particle (leaf_size=1)."""
+        pos, vel, mass = cluster300
+        tree = Octree(pos, mass, vel=vel, leaf_size=1)
+        a_t, j_t = tree.accelerations(
+            pos, theta=0.0, eps=0.01, vel_i=vel, exclude_self=np.arange(300)
+        )
+        a_d, j_d = acc_jerk(pos, vel, pos, vel, mass, 0.01,
+                            self_indices=np.arange(300))
+        assert np.allclose(a_t, a_d, rtol=1e-12, atol=1e-15)
+        assert np.allclose(j_t, j_d, rtol=1e-12, atol=1e-15)
+
+    def test_zero_mass_nodes_give_finite_jerk(self, rng):
+        """Regression: massless subtrees used to produce NaN node
+        velocities (0/0) that poisoned the far-field jerk."""
+        pos = rng.normal(size=(64, 3)) * 10
+        vel = rng.normal(size=(64, 3))
+        mass = rng.uniform(0.1, 1, 64)
+        mass[32:] = 0.0  # a whole spatial octant can end up massless
+        pos[32:, 0] += 100.0
+        tree = Octree(pos, mass, vel=vel)
+        with np.errstate(invalid="raise", divide="raise"):
+            acc, jerk = tree.accelerations(
+                pos, theta=0.8, eps=0.01, vel_i=vel,
+                exclude_self=np.arange(64),
+            )
+        assert np.all(np.isfinite(acc))
+        assert np.all(np.isfinite(jerk))
+
+    def test_large_theta_does_not_absorb_self_mass(self, cluster300):
+        """Regression: for theta > 2/sqrt(3) a node containing the sink
+        could pass the MAC and contribute the sink's own mass.  The
+        containment guard caps the error at the multipole level."""
+        pos, _, mass = cluster300
+        a_d, _ = acc_jerk(pos, np.zeros_like(pos), pos, np.zeros_like(pos),
+                          mass, 0.01, self_indices=np.arange(300))
+        tree = Octree(pos, mass)
+        a_t, _ = tree.accelerations(pos, theta=2.5, eps=0.01,
+                                    exclude_self=np.arange(300))
+        err = np.median(
+            np.linalg.norm(a_t - a_d, axis=1) / np.linalg.norm(a_d, axis=1)
+        )
+        assert err < 0.3  # was ~5.6 with the self-mass leak
+
+    def test_h_i_sphere_excluded_from_force(self, rng):
+        """With per-sink radii the tree must drop exactly the pairs
+        inside each neighbour sphere (the hybrid's near field)."""
+        n = 120
+        pos = rng.normal(size=(n, 3)) * 2
+        vel = rng.normal(size=(n, 3))
+        mass = rng.uniform(0.1, 1, n)
+        h = np.full(n, 1.5)
+        eps = 0.01
+        tree = Octree(pos, mass, vel=vel)
+        a_t, _ = tree.accelerations(
+            pos, theta=0.0, eps=eps, vel_i=vel,
+            exclude_self=np.arange(n), h_i=h,
+        )
+        dr = pos[None, :, :] - pos[:, None, :]
+        dist2 = (dr**2).sum(axis=2)
+        keep = dist2 >= h[:, None] ** 2
+        np.fill_diagonal(keep, False)
+        r2 = dist2 + eps**2
+        w = np.where(keep, mass[None, :] / r2**1.5, 0.0)
+        a_ref = (w[:, :, None] * dr).sum(axis=1)
+        assert np.allclose(a_t, a_ref, rtol=1e-12, atol=1e-15)
+
+    def test_h_i_negative_rejected(self, cluster300):
+        pos, _, mass = cluster300
+        tree = Octree(pos, mass)
+        with pytest.raises(ConfigurationError):
+            tree.accelerations(pos, theta=0.5, eps=0.01, h_i=-1.0)
+
 
 class TestTreeBackend:
     def test_energy_conservation_under_block_steps(self):

@@ -86,6 +86,24 @@ class TestRun:
         out = capsys.readouterr().out
         assert "block steps:" in out
 
+    def test_run_hybrid(self, capsys):
+        assert main([
+            "run", "--n", "32", "--t-end", "1",
+            "--backend", "hybrid", "--theta", "0.4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "block steps:" in out
+
+    def test_bad_theta_one_line_error(self, capsys):
+        assert main([
+            "run", "--n", "8", "--t-end", "1",
+            "--backend", "hybrid", "--theta", "-2",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "theta" in err
+        assert "Traceback" not in err
+
 
 class TestRunObservability:
     def test_run_writes_trace_and_metrics(self, capsys, tmp_path):

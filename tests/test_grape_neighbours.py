@@ -54,6 +54,27 @@ class TestNeighbourSearch:
         with pytest.raises(ConfigurationError):
             neighbour_search(np.zeros((1, 3)), np.zeros((1, 3)), np.array([0]), h=-1.0)
 
+    def test_zero_i_particles(self):
+        """An empty active block is a legal query, not a crash."""
+        res = neighbour_search(
+            np.empty((0, 3)), np.zeros((4, 3)), np.arange(4), h=1.0
+        )
+        assert res.lists == []
+        assert res.nearest_key.shape == (0,)
+        assert res.nearest_dist.shape == (0,)
+
+    def test_distance_tie_prefers_lowest_key(self):
+        """Equidistant nearest candidates resolve to the lowest j-key,
+        independent of the source ordering."""
+        pos_j = np.array([[1.0, 0, 0], [-1.0, 0, 0], [0.0, 5.0, 0]])
+        for order in ([0, 1, 2], [1, 0, 2], [2, 1, 0]):
+            keys = np.array([40, 30, 99])[order]
+            res = neighbour_search(
+                np.zeros((1, 3)), pos_j[order], keys, h=2.0
+            )
+            assert res.nearest_key[0] == 30
+            assert res.nearest_dist[0] == pytest.approx(1.0)
+
 
 class TestMerge:
     def test_merge_combines_lists_and_nearest(self):
@@ -73,6 +94,74 @@ class TestMerge:
     def test_merge_empty_rejected(self):
         with pytest.raises(ConfigurationError):
             merge_neighbour_results([])
+
+    def test_merge_exported(self):
+        """Regression: the merge is part of the public API surface."""
+        from repro.grape import neighbours
+
+        assert "merge_neighbour_results" in neighbours.__all__
+
+    def test_merge_zero_i_particles(self):
+        """Merging chip results for an empty block returns an empty
+        result instead of crashing on the empty stack."""
+        empty = NeighbourResult(
+            lists=[], nearest_key=np.empty(0, dtype=np.int64),
+            nearest_dist=np.empty(0),
+        )
+        merged = merge_neighbour_results([empty, empty])
+        assert merged.lists == []
+        assert merged.nearest_key.shape == (0,)
+        assert merged.nearest_dist.shape == (0,)
+
+    def test_merge_tie_break_is_chip_order_independent(self):
+        """Two chips reporting the same nearest distance must merge to
+        the lowest key whichever chip comes first."""
+        r_a = NeighbourResult(
+            lists=[np.array([50])], nearest_key=np.array([50]),
+            nearest_dist=np.array([1.0]),
+        )
+        r_b = NeighbourResult(
+            lists=[np.array([20])], nearest_key=np.array([20]),
+            nearest_dist=np.array([1.0]),
+        )
+        for chips in ([r_a, r_b], [r_b, r_a]):
+            merged = merge_neighbour_results(chips)
+            assert merged.nearest_key[0] == 20
+            assert merged.nearest_dist[0] == pytest.approx(1.0)
+
+    def test_merge_lists_sorted(self):
+        r_a = NeighbourResult(
+            lists=[np.array([9, 3])], nearest_key=np.array([3]),
+            nearest_dist=np.array([0.2]),
+        )
+        r_b = NeighbourResult(
+            lists=[np.array([5])], nearest_key=np.array([5]),
+            nearest_dist=np.array([0.4]),
+        )
+        merged = merge_neighbour_results([r_a, r_b])
+        assert merged.lists[0].tolist() == [3, 5, 9]
+
+    def test_merge_disagreeing_sizes_rejected(self):
+        r_a = NeighbourResult(
+            lists=[np.array([1])], nearest_key=np.array([1]),
+            nearest_dist=np.array([0.5]),
+        )
+        r_b = NeighbourResult(
+            lists=[], nearest_key=np.empty(0, dtype=np.int64),
+            nearest_dist=np.empty(0),
+        )
+        with pytest.raises(ConfigurationError):
+            merge_neighbour_results([r_a, r_b])
+
+    def test_merge_all_missing_stays_minus_one(self):
+        """A particle with no candidate on any chip keeps key -1."""
+        miss = NeighbourResult(
+            lists=[np.empty(0, dtype=np.int64)], nearest_key=np.array([-1]),
+            nearest_dist=np.array([np.inf]),
+        )
+        merged = merge_neighbour_results([miss, miss])
+        assert merged.nearest_key[0] == -1
+        assert np.isinf(merged.nearest_dist[0])
 
 
 class TestMachineNeighbours:

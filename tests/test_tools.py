@@ -7,13 +7,17 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent.parent / "tools"))
 
+from check_backend_protocol import backend_subclasses, collect_classes
+from check_backend_protocol import check as protocol_check
+from check_backend_protocol import main as protocol_main
+from check_backend_protocol import required_methods
 from check_fault_matrix import check as fault_check
 from check_fault_matrix import main as fault_main
 from check_fault_matrix import missing_injectors, untested_kinds
 from check_kernel_registry import check as kernel_check
 from check_kernel_registry import main as kernel_main
 from check_kernel_registry import unbenchmarked_kernels, untested_kernels
-from check_metric_names import check_paths
+from check_metric_names import check_catalogue, check_paths
 from check_metric_names import main as lint_main
 from gen_api_docs import collect_modules, describe_module, main, render_api_docs
 
@@ -100,6 +104,103 @@ class TestMetricNameLint:
         ok = tmp_path / "ok.py"
         ok.write_text('reg.counter(f"events.{kind}_total")\n')
         assert check_paths([ok]) == []
+
+    def test_catalogue_self_validates(self):
+        assert check_catalogue() == []
+
+    def test_catalogue_hybrid_family_declared(self):
+        """The hybrid backend's whole metric family is in the catalogue."""
+        from repro.obs.catalogue import METRIC_CATALOGUE
+
+        hybrid = {k: v[0] for k, v in METRIC_CATALOGUE.items()
+                  if k.startswith("hybrid.")}
+        assert hybrid == {
+            "hybrid.tree_builds_total": "counter",
+            "hybrid.near_interactions_total": "counter",
+            "hybrid.far_interactions_total": "counter",
+            "hybrid.tree_seconds": "counter",
+            "hybrid.direct_seconds": "counter",
+            "hybrid.neighbour_count": "histogram",
+            "hybrid.theta": "gauge",
+        }
+
+    def test_bad_catalogue_entries_flagged(self):
+        bad = {
+            "NotDotted": ("counter", "x"),
+            "ok.name": ("thermometer", "x"),
+            "ok.other": ("gauge", ""),
+        }
+        problems = check_catalogue(bad)
+        assert len(problems) == 3
+        assert any("naming" in p for p in problems)
+        assert any("kind" in p for p in problems)
+        assert any("help" in p for p in problems)
+
+
+class TestBackendProtocolLint:
+    def test_repo_is_clean(self, capsys):
+        assert protocol_main([]) == 0
+        assert "backend protocol ok" in capsys.readouterr().out
+
+    def test_required_surface_discovered(self):
+        assert required_methods() == [
+            "load", "forces_on", "push_updates", "potential",
+        ]
+
+    def test_all_registered_backends_found(self):
+        src = Path(__file__).parent.parent / "src" / "repro"
+        names = {c.name for c in backend_subclasses(collect_classes(src))}
+        assert {
+            "HostDirectBackend", "Grape6Backend", "TreeBackend",
+            "HostOnlyBackend", "HybridBackend",
+        } <= names
+
+    def test_missing_method_flagged(self, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            "class HalfBackend(ForceBackend):\n"
+            "    def __init__(self):\n"
+            "        self.counter = object()\n"
+            "    def load(self, system):\n"
+            "        return None\n"
+        )
+        problems = protocol_check(tmp_path)
+        missing = {m for m in ("forces_on", "push_updates", "potential")
+                   if any(f"{m}()" in p for p in problems)}
+        assert missing == {"forces_on", "push_updates", "potential"}
+        assert not any("load()" in p for p in problems)
+        assert protocol_main([str(tmp_path)]) == 1
+
+    def test_missing_counter_flagged(self, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            "class NoCounterBackend(ForceBackend):\n"
+            "    def load(self, system): pass\n"
+            "    def forces_on(self, system, active, t_now): pass\n"
+            "    def push_updates(self, system, active): pass\n"
+            "    def potential(self, system): pass\n"
+        )
+        problems = protocol_check(tmp_path)
+        assert len(problems) == 1
+        assert "self.counter" in problems[0]
+
+    def test_inherited_surface_accepted(self, tmp_path):
+        """A subclass of a complete backend needs nothing of its own."""
+        (tmp_path / "ok.py").write_text(
+            "class FullBackend(ForceBackend):\n"
+            "    def __init__(self):\n"
+            "        self.counter = object()\n"
+            "    def load(self, system): pass\n"
+            "    def forces_on(self, system, active, t_now): pass\n"
+            "    def push_updates(self, system, active): pass\n"
+            "    def potential(self, system): pass\n"
+            "class ChildBackend(FullBackend):\n"
+            "    pass\n"
+        )
+        assert protocol_check(tmp_path) == []
+
+    def test_missing_src_dir_reported(self, tmp_path):
+        problems = protocol_check(tmp_path / "nope")
+        assert any("not found" in p for p in problems)
+        assert protocol_main([str(tmp_path / 'nope')]) == 1
 
 
 class TestFaultMatrixLint:

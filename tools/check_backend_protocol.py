@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Lint: every force backend must implement the full ForceBackend surface.
+
+The required surface is discovered from the AST of
+``src/repro/core/backends.py`` — the methods of ``ForceBackend`` whose
+bodies raise ``NotImplementedError`` — so adding a method to the
+protocol automatically extends this check.  Every class in the source
+tree that (transitively) subclasses ``ForceBackend`` must then
+
+1. define or inherit a concrete override of each required method
+   (inheriting the base stub does not count), and
+2. bind an interaction counter (``self.counter = ...``) somewhere in
+   its class chain, as the integrator and perf harness read it.
+
+Pure standard library; run::
+
+    python tools/check_backend_protocol.py [src_dir]
+
+Defaults to the repository's ``src/repro`` tree.  Exit code 1 on gaps.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+__all__ = [
+    "required_methods",
+    "collect_classes",
+    "backend_subclasses",
+    "check",
+    "main",
+]
+
+_PROTOCOL_FILE = Path("src") / "repro" / "core" / "backends.py"
+_PROTOCOL_CLASS = "ForceBackend"
+
+
+@dataclass
+class ClassInfo:
+    """What the lint needs to know about one class definition."""
+
+    name: str
+    path: Path
+    lineno: int
+    bases: list[str] = field(default_factory=list)
+    methods: set[str] = field(default_factory=set)
+    binds_counter: bool = False
+
+
+def _base_name(node: ast.expr) -> str | None:
+    """The textual last component of a base-class expression."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _raises_not_implemented(fn: ast.FunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Raise):
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            if isinstance(exc, ast.Name) and exc.id == "NotImplementedError":
+                return True
+    return False
+
+
+def _binds_self_counter(cls: ast.ClassDef) -> bool:
+    for node in ast.walk(cls):
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for tgt in targets:
+            if (
+                isinstance(tgt, ast.Attribute)
+                and tgt.attr == "counter"
+                and isinstance(tgt.value, ast.Name)
+                and tgt.value.id == "self"
+            ):
+                return True
+    return False
+
+
+def required_methods(repo_root: Path = REPO_ROOT) -> list[str]:
+    """The protocol surface: ForceBackend's NotImplementedError stubs."""
+    tree = ast.parse((repo_root / _PROTOCOL_FILE).read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == _PROTOCOL_CLASS:
+            return [
+                item.name
+                for item in node.body
+                if isinstance(item, ast.FunctionDef)
+                and _raises_not_implemented(item)
+            ]
+    raise RuntimeError(f"{_PROTOCOL_CLASS} not found in {_PROTOCOL_FILE}")
+
+
+def collect_classes(src_dir: Path) -> dict[str, ClassInfo]:
+    """Every class definition under ``src_dir``, keyed by class name."""
+    classes: dict[str, ClassInfo] = {}
+    for path in sorted(src_dir.rglob("*.py")):
+        try:
+            tree = ast.parse(path.read_text(), filename=str(path))
+        except SyntaxError:
+            continue
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            info = ClassInfo(node.name, path, node.lineno)
+            info.bases = [
+                b for b in (_base_name(base) for base in node.bases) if b
+            ]
+            info.methods = {
+                item.name
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            info.binds_counter = _binds_self_counter(node)
+            classes[node.name] = info
+    return classes
+
+
+def backend_subclasses(classes: dict[str, ClassInfo]) -> list[ClassInfo]:
+    """Transitive ForceBackend subclasses, protocol class excluded."""
+
+    def descends(name: str, seen: frozenset = frozenset()) -> bool:
+        if name == _PROTOCOL_CLASS:
+            return True
+        info = classes.get(name)
+        if info is None or name in seen:
+            return False
+        return any(descends(b, seen | {name}) for b in info.bases)
+
+    return [
+        info
+        for name, info in sorted(classes.items())
+        if name != _PROTOCOL_CLASS and descends(name)
+    ]
+
+
+def _chain(info: ClassInfo, classes: dict[str, ClassInfo]):
+    """``info`` and its ancestors within the tree (protocol excluded)."""
+    out, queue, seen = [], [info.name], set()
+    while queue:
+        name = queue.pop(0)
+        if name in seen or name == _PROTOCOL_CLASS:
+            continue
+        seen.add(name)
+        cls = classes.get(name)
+        if cls is None:
+            continue
+        out.append(cls)
+        queue.extend(cls.bases)
+    return out
+
+
+def check(src_dir: Path) -> list[str]:
+    """Human-readable protocol-gap messages for ``src_dir``."""
+    if not src_dir.is_dir():
+        return [f"source directory not found: {src_dir}"]
+    required = required_methods()
+    classes = collect_classes(src_dir)
+    problems = []
+    for info in backend_subclasses(classes):
+        chain = _chain(info, classes)
+        provided = set().union(*(c.methods for c in chain))
+        where = f"{info.path}:{info.lineno}"
+        for method in required:
+            if method not in provided:
+                problems.append(
+                    f"{where}: backend {info.name!r} neither defines nor "
+                    f"inherits {method}() from the ForceBackend surface"
+                )
+        if not any(c.binds_counter for c in chain):
+            problems.append(
+                f"{where}: backend {info.name!r} never binds self.counter "
+                "(the integrator and perf harness read it)"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    src_dir = Path(argv[0]) if argv else REPO_ROOT / "src" / "repro"
+    problems = check(src_dir)
+    for msg in problems:
+        print(msg)
+    if problems:
+        print(f"{len(problems)} backend-protocol gap(s)")
+        return 1
+    classes = collect_classes(src_dir)
+    n = len(backend_subclasses(classes))
+    print(f"backend protocol ok ({n} backends, "
+          f"{len(required_methods())} required methods)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,11 @@ not match the accessor used.  Names built at runtime (f-strings etc.)
 are skipped — they must belong to a declared dynamic family, which the
 runtime registry's strict mode can enforce.
 
+The catalogue itself is validated too (:func:`check_catalogue`): every
+declared name must satisfy the naming convention, carry a known kind
+and a help string, and declared metric families (``hybrid.*`` etc.)
+must not collide with the dynamic prefixes.
+
 Pure standard library; run::
 
     python tools/check_metric_names.py [paths...]
@@ -26,12 +31,26 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.obs.catalogue import METRIC_CATALOGUE, NAME_RE, is_declared  # noqa: E402
+from repro.obs.catalogue import (  # noqa: E402
+    DYNAMIC_PREFIXES,
+    METRIC_CATALOGUE,
+    NAME_RE,
+    is_declared,
+)
 
-__all__ = ["find_metric_calls", "check_file", "check_paths", "main"]
+__all__ = [
+    "find_metric_calls",
+    "check_file",
+    "check_paths",
+    "check_catalogue",
+    "main",
+]
 
 #: Accessor method name -> metric kind it creates.
 _ACCESSORS = {"counter": "counter", "gauge": "gauge", "histogram": "histogram"}
+
+#: The kinds a catalogue entry may declare.
+_KINDS = frozenset(_ACCESSORS.values())
 
 
 def find_metric_calls(tree: ast.AST):
@@ -86,10 +105,40 @@ def check_paths(paths) -> list[str]:
     return problems
 
 
+def check_catalogue(catalogue=None) -> list[str]:
+    """Self-validation of the declared catalogue."""
+    catalogue = METRIC_CATALOGUE if catalogue is None else catalogue
+    problems = []
+    for name, entry in catalogue.items():
+        if not NAME_RE.match(name):
+            problems.append(
+                f"catalogue: declared name {name!r} violates the naming "
+                "convention (dotted lower-case)"
+            )
+        if len(entry) != 2 or entry[0] not in _KINDS:
+            problems.append(
+                f"catalogue: {name!r} must declare (kind, help) with kind "
+                f"in {sorted(_KINDS)}, got {entry!r}"
+            )
+        elif not entry[1]:
+            problems.append(f"catalogue: {name!r} has an empty help string")
+        if any(name.startswith(p) for p in DYNAMIC_PREFIXES) and name not in (
+            # the seed event counters double as documentation of the family
+            "events.escape_total",
+            "events.merger_total",
+            "events.close_encounter_total",
+        ):
+            problems.append(
+                f"catalogue: {name!r} shadows a dynamic prefix; declare it "
+                "in DYNAMIC_PREFIXES terms or rename the family"
+            )
+    return problems
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     paths = argv or [REPO_ROOT / "src"]
-    problems = check_paths(paths)
+    problems = check_catalogue() + check_paths(paths)
     for msg in problems:
         print(msg)
     if problems:
