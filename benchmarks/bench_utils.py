@@ -17,9 +17,11 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.obs.history import SCHEMA_VERSION, BenchHistory, host_fingerprint
 from repro.perf import Table
 
 RESULTS_DIR = Path(__file__).parent / "results"
+HISTORY_DIR = RESULTS_DIR / "history"
 
 
 def emit(table: Table, name: str) -> Path:
@@ -35,15 +37,23 @@ def emit(table: Table, name: str) -> Path:
     return path
 
 
-def emit_json(document: dict, name: str, path: Path | str | None = None) -> Path:
-    """Persist a machine-readable benchmark document.
+def emit_json(document: dict, name: str, path: Path | str | None = None,
+              history: bool = False) -> Path:
+    """Persist a machine-readable benchmark document (schema v2).
 
-    ``document`` must be JSON-serialisable; a ``"benchmark": name`` key
-    is stamped in.  Default destination is
-    ``benchmarks/results/<name>.json``; pass ``path`` to write
-    elsewhere (e.g. a repo-root ``BENCH_*.json`` baseline).
+    ``document`` must be JSON-serialisable; ``"benchmark": name``, a
+    ``schema_version`` and a host fingerprint (Python, CPU count,
+    ``REPRO_KERNEL_THREADS``, NumPy — see
+    :func:`repro.obs.history.host_fingerprint`) are stamped in so later
+    comparisons can tell a code regression from a machine change.
+    Default destination is ``benchmarks/results/<name>.json``; pass
+    ``path`` to write elsewhere (e.g. a repo-root ``BENCH_*.json``
+    baseline).  ``history=True`` additionally appends the document to
+    the bench-history store (``benchmarks/results/history/``) read by
+    ``repro perf diff`` / ``trend`` / ``gate``.
     """
-    document = {"benchmark": name, **document}
+    document = {"benchmark": name, "schema_version": SCHEMA_VERSION, **document}
+    document.setdefault("host", host_fingerprint())
     if path is None:
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{name}.json"
@@ -51,6 +61,8 @@ def emit_json(document: dict, name: str, path: Path | str | None = None) -> Path
     with open(path, "w") as f:
         json.dump(document, f, indent=2, sort_keys=False)
         f.write("\n")
+    if history:
+        BenchHistory(HISTORY_DIR).append(document)
     return path
 
 

@@ -98,13 +98,14 @@ def _op_args(op: str, system, active, t_now: float):
     raise ValueError(f"unknown op {op!r}")
 
 
-def _time_runner(engine, spec, args, kwargs, repeats: int) -> float:
-    best = float("inf")
+def _time_runner(engine, spec, args, kwargs, repeats: int) -> list[float]:
+    """Per-repeat wall seconds (min-of-k and bootstrap CIs happen later)."""
+    samples = []
     for _ in range(repeats):
         t0 = perf_counter()
         spec.runner(engine, *args, **kwargs)
-        best = min(best, perf_counter() - t0)
-    return best
+        samples.append(perf_counter() - t0)
+    return samples
 
 
 def run_bench(
@@ -124,7 +125,8 @@ def run_bench(
         for spec in reg.all_kernels():
             args, kwargs = _op_args(spec.op, system, active, t_now)
             spec.runner(engine, *args, **kwargs)  # warm-up (workspaces, pool)
-            best = _time_runner(engine, spec, args, kwargs, repeats)
+            samples = _time_runner(engine, spec, args, kwargs, repeats)
+            best = min(samples)
             if spec.name == "reference":
                 reference_best[spec.op] = best
             entries.append(
@@ -134,6 +136,7 @@ def run_bench(
                     "n_active": int(n_active),
                     "n_source": int(n_source),
                     "best_seconds": best,
+                    "samples_seconds": samples,
                     "repeats": int(repeats),
                 }
             )
@@ -184,8 +187,8 @@ def main(argv=None) -> int:
         from bench_utils import emit_json
     finally:
         sys.path.pop(0)
-    emit_json(document, "kernels", path=out_path)
-    print(f"wrote {out_path}")
+    emit_json(document, "kernels", path=out_path, history=True)
+    print(f"wrote {out_path} (+ history record)")
 
     gate = [
         e for e in document["entries"]

@@ -44,7 +44,7 @@ from time import perf_counter
 import numpy as np
 
 from ..core.predictor import predict_positions, predict_system, predict_velocities
-from ..obs import NULL_OBS
+from ..obs import NULL_OBS, NULL_TRACER
 from . import kernels as tk
 from . import registry as reg
 from .workspace import KernelWorkspace
@@ -138,6 +138,7 @@ class KernelEngine:
         """Bind the ``kernel.*`` metric family to ``obs`` (an
         :class:`~repro.obs.Observability` bundle or a bare registry)."""
         metrics = getattr(obs, "metrics", obs)
+        self._tracer = getattr(obs, "tracer", NULL_TRACER)
         self._c_calls = metrics.counter("kernel.calls_total")
         self._c_tile_bytes = metrics.counter("kernel.tile_bytes_total")
         self._c_autotune = metrics.counter("kernel.autotune_picks_total")
@@ -271,7 +272,12 @@ class KernelEngine:
                 return self._autotune(key, op, args, kwargs)
             spec = reg.select_kernel(op, n_i, n_j, self)
             self._pick_cache[key] = spec
-        return spec.runner(self, *args, **kwargs)
+        if not self._tracer.enabled:
+            return spec.runner(self, *args, **kwargs)
+        with self._tracer.span(
+            "kernel." + op, kernel=spec.name, n_i=n_i, n_j=n_j
+        ):
+            return spec.runner(self, *args, **kwargs)
 
     def _autotune(self, key: tuple, op: str, args: tuple, kwargs: dict):
         """Time every candidate once, cache the winner, return its result."""

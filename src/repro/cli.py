@@ -1,19 +1,29 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands cover the common entry points:
+The main entry points:
 
 ``run``
     Integrate a scaled paper disk with a chosen force backend and
     print run statistics (block counts, energy error, Tflops model for
     the GRAPE backend).  ``--trace-out`` / ``--metrics-out`` enable the
     :mod:`repro.obs` instrumentation and export a Chrome-trace JSON /
-    Prometheus text file; ``report --metrics`` renders the paper-style
-    time breakdown from the latter.
+    Prometheus text file; ``--profile`` prints the phase-profiler
+    hotspot table after the run; ``report --metrics`` renders the
+    paper-style time breakdown from the exposition file.
 
 ``perf``
     Evaluate the GRAPE-6 timing model for a given machine shape,
     particle count and block size — the PERF-TFLOPS analysis without
-    running a simulation.
+    running a simulation.  Its subcommands read the bench-history
+    store: ``perf diff`` (latest vs previous record, or two explicit
+    documents), ``perf trend`` (trajectory per entry), ``perf gate``
+    (committed ``BENCH_*.json`` baselines vs latest history; exits 1 on
+    a statistically supported slowdown).
+
+``top``
+    Live view of a managed run directory: tails ``run.jsonl`` and
+    redraws progress, event counts and health events until the final
+    record lands (``--once`` for a single snapshot).
 
 ``info``
     Print the paper's constants and the machine configurations.
@@ -81,13 +91,85 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", metavar="DIR", default=None,
         help="continue a managed run from the latest checkpoint in DIR",
     )
+    p_run.add_argument(
+        "--profile", action="store_true",
+        help="print the phase-profiler hotspot table after the run "
+             "(enables tracing)",
+    )
 
-    p_perf = sub.add_parser("perf", help="evaluate the GRAPE-6 timing model")
+    p_perf = sub.add_parser(
+        "perf",
+        help="evaluate the GRAPE-6 timing model / query bench history",
+    )
     p_perf.add_argument("--n", type=int, default=1_800_000, help="total particles")
     p_perf.add_argument("--block", type=int, default=3000, help="active block size")
     p_perf.add_argument(
         "--config", choices=("board", "node", "cluster", "full"), default="full",
         help="machine shape",
+    )
+    perf_sub = p_perf.add_subparsers(dest="perf_command")
+
+    def _history_flags(p, threshold=True):
+        p.add_argument(
+            "--history", metavar="DIR", default="benchmarks/results/history",
+            help="bench-history store root",
+        )
+        p.add_argument(
+            "--benchmark", metavar="NAME", default=None,
+            help="restrict to one benchmark (default: all with history)",
+        )
+        if threshold:
+            p.add_argument(
+                "--threshold", type=float, default=0.10, metavar="FRAC",
+                help="fractional slowdown that counts as a regression",
+            )
+
+    p_diff = perf_sub.add_parser(
+        "diff", help="compare the two newest history records per benchmark"
+    )
+    _history_flags(p_diff)
+    p_diff.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="explicit baseline document (with --current: skip the history)",
+    )
+    p_diff.add_argument(
+        "--current", metavar="PATH", default=None,
+        help="explicit current document (with --baseline)",
+    )
+
+    p_trend = perf_sub.add_parser(
+        "trend", help="per-entry time trajectory across the history"
+    )
+    _history_flags(p_trend, threshold=False)
+
+    p_gate = perf_sub.add_parser(
+        "gate",
+        help="fail (exit 1) when the latest history regresses vs the "
+             "committed BENCH_*.json baselines",
+    )
+    _history_flags(p_gate)
+    p_gate.add_argument(
+        "--baseline", metavar="PATH", action="append", default=None,
+        help="baseline document(s) (default: ./BENCH_*.json); repeatable",
+    )
+    p_gate.add_argument(
+        "--current", metavar="PATH", default=None,
+        help="explicit current document (default: latest history record)",
+    )
+
+    p_top = sub.add_parser(
+        "top", help="live view of a managed run directory (run.jsonl)"
+    )
+    p_top.add_argument(
+        "directory", help="run directory (or a run.jsonl path directly)"
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh cadence",
+    )
+    p_top.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit (no polling)",
     )
 
     sub.add_parser("info", help="print paper constants and machine shapes")
@@ -110,6 +192,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", metavar="PATH", default=None,
         help="render the paper-style time breakdown from a metrics file "
              "written by `repro run --metrics-out`",
+    )
+    p_rep.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="render the phase-profile top table from an exported trace "
+             "(spans JSONL or Chrome-trace JSON; format is sniffed)",
+    )
+    p_rep.add_argument(
+        "--run-log", metavar="PATH", default=None,
+        help="render the health events of a managed run "
+             "(a run.jsonl file or its run directory)",
     )
     return parser
 
@@ -155,6 +247,11 @@ def _cmd_run_managed(args) -> int:
     system = build_disk_system(
         PlanetesimalDiskConfig(n_planetesimals=args.n, seed=args.seed)
     )
+    obs = None
+    if args.profile or args.trace_out or args.metrics_out:
+        from .obs import Observability
+
+        obs = Observability()
     sim = Simulation(
         system,
         backend,
@@ -162,6 +259,7 @@ def _cmd_run_managed(args) -> int:
         timestep_params=TimestepParams(
             eta=args.eta, eta_start=args.eta / 2.0, dt_max=args.dt_max
         ),
+        obs=obs,
     )
     run = ProductionRun(
         sim,
@@ -183,7 +281,7 @@ def _cmd_run_managed(args) -> int:
     )
     report = run.execute(args.t_end)
     print(report.summary())
-    return 0
+    return _emit_run_observability(args, obs)
 
 
 def _cmd_run_resume(args) -> int:
@@ -225,6 +323,35 @@ def _cmd_run_resume(args) -> int:
     return 0
 
 
+def _emit_run_observability(args, obs) -> int:
+    """Shared ``run`` tail: export trace/metrics files, print the profile."""
+    if obs is None:
+        return 0
+    try:
+        if args.trace_out:
+            path = obs.export_chrome_trace(args.trace_out)
+            print(f"trace written:    {path} "
+                  f"({len(obs.tracer.spans)} spans; load in chrome://tracing)")
+        if args.metrics_out:
+            path = obs.export_prometheus(args.metrics_out)
+            print(f"metrics written:  {path} ({len(obs.metrics)} series)")
+    except OSError as exc:
+        print(f"error: cannot write observability output: {exc}")
+        return 1
+    breakdown = obs.render_time_breakdown()
+    if breakdown:
+        print()
+        print(breakdown)
+    if args.profile:
+        from .obs import profile_spans
+
+        profile = profile_spans(obs.tracer)
+        text = profile.render()
+        print()
+        print(text if text else "no spans recorded — nothing to profile")
+    return 0
+
+
 def _cmd_run(args) -> int:
     from .perf import run_scaled_disk
 
@@ -238,7 +365,7 @@ def _cmd_run(args) -> int:
     )
 
     obs = None
-    if args.trace_out or args.metrics_out:
+    if args.trace_out or args.metrics_out or args.profile:
         from .obs import Observability
 
         obs = Observability()
@@ -260,26 +387,139 @@ def _cmd_run(args) -> int:
         print(f"GRAPE model:      {machine.totals.total_seconds:.4f} s, "
               f"{machine.achieved_flops() / 1e12:.3f} Tflops "
               f"({machine.efficiency():.1%} of peak)")
-    if obs is not None:
-        try:
-            if args.trace_out:
-                path = obs.export_chrome_trace(args.trace_out)
-                print(f"trace written:    {path} "
-                      f"({len(obs.tracer.spans)} spans; load in chrome://tracing)")
-            if args.metrics_out:
-                path = obs.export_prometheus(args.metrics_out)
-                print(f"metrics written:  {path} ({len(obs.metrics)} series)")
-        except OSError as exc:
-            print(f"error: cannot write observability output: {exc}")
-            return 1
-        breakdown = obs.render_time_breakdown()
-        if breakdown:
+    return _emit_run_observability(args, obs)
+
+
+def _load_bench_doc(path):
+    """One benchmark JSON document; SnapshotError on missing/corrupt."""
+    import json
+    from pathlib import Path
+
+    from .errors import SnapshotError
+
+    p = Path(path)
+    if not p.exists():
+        raise SnapshotError(f"benchmark document not found: {p}")
+    try:
+        doc = json.loads(p.read_text())
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"corrupt benchmark document {p}: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise SnapshotError(f"{p} is not a benchmark document (want an object)")
+    return doc
+
+
+def _history_names(hist, args) -> list[str]:
+    return [args.benchmark] if args.benchmark else hist.benchmarks()
+
+
+def _cmd_perf_diff(args) -> int:
+    from .errors import ConfigurationError
+    from .obs import BenchHistory, compare_documents, render_comparison
+
+    if bool(args.baseline) != bool(args.current):
+        raise ConfigurationError(
+            "--baseline and --current must be given together"
+        )
+    regressions = 0
+    if args.baseline:
+        result = compare_documents(
+            _load_bench_doc(args.baseline), _load_bench_doc(args.current),
+            threshold=args.threshold,
+        )
+        print(render_comparison(result) or "no comparable entries")
+        regressions += len(result.regressions)
+    else:
+        hist = BenchHistory(args.history)
+        names = _history_names(hist, args)
+        if not names:
+            print(f"no benchmark history under {hist.root} — run the "
+                  "benchmarks first (pytest benchmarks/ --benchmark-only)")
+            return 0
+        for name in names:
+            records = hist.records(name)
+            if len(records) < 2:
+                print(f"{name}: {len(records)} history record(s) — "
+                      "need two to diff")
+                continue
+            result = compare_documents(
+                records[-2], records[-1], threshold=args.threshold
+            )
+            print(render_comparison(result) or f"{name}: no comparable entries")
             print()
-            print(breakdown)
+            regressions += len(result.regressions)
+    if regressions:
+        print(f"{regressions} significant regression(s) found")
+        return 1
+    return 0
+
+
+def _cmd_perf_trend(args) -> int:
+    from .obs import BenchHistory, render_trend
+
+    hist = BenchHistory(args.history)
+    names = _history_names(hist, args)
+    if not names:
+        print(f"no benchmark history under {hist.root}")
+        return 0
+    for name in names:
+        records = hist.records(name)
+        text = render_trend(records, name)
+        print(text if text else f"{name}: no records with timed entries")
+        print()
+    return 0
+
+
+def _cmd_perf_gate(args) -> int:
+    from pathlib import Path
+
+    from .obs import BenchHistory, compare_documents, render_comparison
+
+    baselines = args.baseline or [
+        str(p) for p in sorted(Path(".").glob("BENCH_*.json"))
+    ]
+    if not baselines:
+        print("gate: no BENCH_*.json baselines found — nothing to check")
+        return 0
+    hist = BenchHistory(args.history)
+    failed = checked = 0
+    for path in baselines:
+        base = _load_bench_doc(path)
+        name = base.get("benchmark")
+        if args.benchmark and name != args.benchmark:
+            continue
+        if args.current:
+            current = _load_bench_doc(args.current)
+            if current.get("benchmark") != name:
+                continue
+        else:
+            current = hist.latest(name) if name else None
+        if current is None:
+            print(f"gate: no history record for {name!r} — skipped (advisory)")
+            continue
+        checked += 1
+        result = compare_documents(base, current, threshold=args.threshold)
+        print(render_comparison(result) or f"{name}: no comparable entries")
+        print()
+        if result.regressions:
+            failed += 1
+    if failed:
+        print(f"gate FAILED: {failed} of {checked} benchmark(s) regressed "
+              f"beyond {args.threshold:.0%}")
+        return 1
+    print(f"gate passed: {checked} benchmark(s) checked")
     return 0
 
 
 def _cmd_perf(args) -> int:
+    sub = getattr(args, "perf_command", None)
+    if sub == "diff":
+        return _cmd_perf_diff(args)
+    if sub == "trend":
+        return _cmd_perf_trend(args)
+    if sub == "gate":
+        return _cmd_perf_gate(args)
+
     from .grape import Grape6TimingModel
 
     cfg = _config_for(args.config)
@@ -339,29 +579,54 @@ def _cmd_selftest(args) -> int:
 def _cmd_report(args) -> int:
     from pathlib import Path
 
-    printed_metrics = False
+    printed_any = False
     if args.metrics:
-        from .errors import SnapshotError
+        # missing/truncated exposition raises SnapshotError -> exit 2
         from .obs import parse_prometheus, render_time_breakdown
 
-        try:
-            metrics = parse_prometheus(args.metrics)
-        except SnapshotError as exc:
-            print(f"error: {exc}")
-            return 1
+        metrics = parse_prometheus(args.metrics)
         breakdown = render_time_breakdown(metrics)
         if breakdown:
             print(breakdown)
             print()
-            printed_metrics = True
+            printed_any = True
         else:
             print(f"no GRAPE time breakdown in {args.metrics} "
                   "(run with --backend grape --metrics-out)")
 
+    if args.trace:
+        from .obs import profile_trace_file
+
+        profile = profile_trace_file(args.trace)
+        text = profile.render()
+        if text:
+            print(text)
+            print()
+            printed_any = True
+        else:
+            print(f"no spans in {args.trace} — nothing to profile")
+
+    if args.run_log:
+        from .obs import render_health_events
+        from .runio.runlog import read_run_log
+
+        log_path = Path(args.run_log)
+        if log_path.is_dir():
+            log_path = log_path / "run.jsonl"
+        records = read_run_log(log_path)
+        health = [r for r in records if r.get("kind") == "health"]
+        text = render_health_events(health)
+        if text:
+            print(text)
+            print()
+        else:
+            print(f"no health events in {log_path} — clean run")
+        printed_any = True
+
     results = Path(args.results_dir)
     files = sorted(results.glob("*.txt"))
     if not files:
-        if printed_metrics:
+        if printed_any:
             return 0
         print(f"no result tables in {results}; "
               "run `pytest benchmarks/ --benchmark-only` first")
@@ -370,6 +635,77 @@ def _cmd_report(args) -> int:
         print(f.read_text().rstrip())
         print()
     return 0
+
+
+def _render_top(records, directory) -> str:
+    """One ``repro top`` frame from the run-log records."""
+    header = records[0] if records and records[0].get("kind") == "header" else {}
+    samples = [r for r in records if r.get("kind") == "sample"]
+    counts: dict[str, int] = {}
+    for r in records:
+        kind = r.get("kind", "?")
+        if kind not in ("header", "sample"):
+            counts[kind] = counts.get(kind, 0) + 1
+    lines = [
+        f"run {header.get('run_id', '?')} in {directory} — "
+        f"n={header.get('n', '?')} t_end={header.get('t_end', '?')}"
+    ]
+    if samples:
+        s = samples[-1]
+        done = bool(s.get("note") == "final")
+        err = s.get("energy_error")
+        lines.append(
+            f"  t={s.get('t', 0.0):g}  blocks={s.get('block_steps', 0):,}  "
+            f"particle steps={s.get('particle_steps', 0):,}  "
+            f"n={s.get('n', '?')}  mean block={s.get('mean_block', 0.0):.1f}"
+        )
+        if err is not None:
+            lines.append(f"  |dE/E| = {err:.3e}"
+                         + ("  [run complete]" if done else ""))
+    else:
+        lines.append("  no samples yet")
+    if counts:
+        lines.append(
+            "  events: "
+            + "  ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        )
+    health = [r for r in records if r.get("kind") == "health"]
+    if health:
+        from .obs import render_health_events
+
+        lines.append("")
+        lines.append(render_health_events(health, limit=8))
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    import time as _time
+    from pathlib import Path
+
+    from .errors import SnapshotError
+    from .runio.runlog import read_run_log
+
+    target = Path(args.directory)
+    log_path = target if target.suffix == ".jsonl" else target / "run.jsonl"
+    while True:
+        try:
+            records = read_run_log(log_path)
+        except SnapshotError:
+            if args.once:
+                raise
+            records = []
+        if records:
+            if sys.stdout.isatty() and not args.once:  # pragma: no cover
+                print("\x1b[2J\x1b[H", end="")
+            print(_render_top(records, target))
+            samples = [r for r in records if r.get("kind") == "sample"]
+            if samples and samples[-1].get("note") == "final":
+                return 0
+        else:
+            print(f"waiting for {log_path} ...")
+        if args.once:
+            return 0
+        _time.sleep(args.interval)  # pragma: no cover - interactive loop
 
 
 def main(argv=None) -> int:
@@ -389,6 +725,7 @@ def main(argv=None) -> int:
         "info": _cmd_info,
         "selftest": _cmd_selftest,
         "report": _cmd_report,
+        "top": _cmd_top,
     }[args.command]
     try:
         return handler(args)

@@ -180,8 +180,8 @@ def main(argv=None) -> int:
         from bench_utils import emit_json
     finally:
         sys.path.pop(0)
-    emit_json(document, "hybrid_crossover", path=out_path)
-    print(f"wrote {out_path}")
+    emit_json(document, "hybrid_crossover", path=out_path, history=True)
+    print(f"wrote {out_path} (+ history record)")
     cx = document["crossover"]
     print(f"work crossover:  N = {cx['work_n']}")
     print(f"wall crossover:  N = {cx['wall_n']}")

@@ -30,10 +30,27 @@ from __future__ import annotations
 
 from .catalogue import DYNAMIC_PREFIXES, METRIC_CATALOGUE, is_declared
 from .export import (
+    load_spans,
     parse_prometheus,
+    read_spans_jsonl,
     write_chrome_trace,
     write_prometheus,
     write_spans_jsonl,
+)
+from .health import (
+    HealthEvent,
+    HealthMonitor,
+    HealthSample,
+    default_detectors,
+    render_health_events,
+)
+from .history import (
+    SCHEMA_VERSION,
+    BenchHistory,
+    compare_documents,
+    host_fingerprint,
+    render_comparison,
+    render_trend,
 )
 from .metrics import (
     NULL_REGISTRY,
@@ -42,9 +59,12 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     NullRegistry,
+    escape_help,
+    escape_label_value,
 )
+from .prof import PhaseProfile, profile_spans, profile_trace_file
 from .report import TimeBreakdown, render_time_breakdown, time_breakdown
-from .trace import NULL_TRACER, NullTracer, Span, Tracer
+from .trace import NULL_TRACER, NullTracer, Span, SpanLog, Tracer
 
 __all__ = [
     "Observability",
@@ -56,20 +76,39 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "escape_help",
+    "escape_label_value",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
     "Span",
+    "SpanLog",
     "METRIC_CATALOGUE",
     "DYNAMIC_PREFIXES",
     "is_declared",
     "write_chrome_trace",
     "write_spans_jsonl",
+    "read_spans_jsonl",
+    "load_spans",
     "write_prometheus",
     "parse_prometheus",
     "TimeBreakdown",
     "time_breakdown",
     "render_time_breakdown",
+    "PhaseProfile",
+    "profile_spans",
+    "profile_trace_file",
+    "HealthMonitor",
+    "HealthSample",
+    "HealthEvent",
+    "default_detectors",
+    "render_health_events",
+    "BenchHistory",
+    "SCHEMA_VERSION",
+    "host_fingerprint",
+    "compare_documents",
+    "render_comparison",
+    "render_trend",
 ]
 
 

@@ -149,6 +149,43 @@ METRIC_CATALOGUE: dict[str, tuple[str, str]] = {
     # -- checkpoint / restart --------------------------------------------
     "checkpoint.writes_total": ("counter", "Checkpoints written"),
     "checkpoint.restores_total": ("counter", "Runs resumed from a checkpoint"),
+    "checkpoint.write_seconds": (
+        "histogram",
+        "Wall seconds per checkpoint write (atomic snapshot + pointer flip)",
+    ),
+    # -- phase profiler ---------------------------------------------------
+    "prof.spans_total": (
+        "counter",
+        "Spans aggregated by the phase profiler",
+    ),
+    "prof.phases": ("gauge", "Distinct phases in the last computed profile"),
+    "prof.aggregate_seconds": (
+        "counter",
+        "Wall time the profiler spent aggregating spans (its own overhead)",
+    ),
+    # -- run-health watchdogs --------------------------------------------
+    "health.checks_total": ("counter", "Health-detector evaluations"),
+    "health.events_total": (
+        "counter",
+        "Health events emitted across all detectors",
+    ),
+    "health.last_severity": (
+        "gauge",
+        "Max severity of the latest health check (0 ok, 1 warning, 2 critical)",
+    ),
+    # -- bench-history store ---------------------------------------------
+    "perf.history.records_total": (
+        "counter",
+        "Benchmark records appended to the history store",
+    ),
+    "perf.history.comparisons_total": (
+        "counter",
+        "Statistical benchmark comparisons performed (diff / gate)",
+    ),
+    "perf.history.regressions": (
+        "gauge",
+        "Significant slowdowns found by the last comparison",
+    ),
     # -- whole-run measurements ------------------------------------------
     "run.wall_seconds": ("gauge", "Python wall-clock time of the measured run"),
     "run.energy_error": ("gauge", "Relative energy error at the end of the run"),
@@ -156,7 +193,10 @@ METRIC_CATALOGUE: dict[str, tuple[str, str]] = {
 }
 
 #: Families whose member names are formed at runtime (kind is implied).
-DYNAMIC_PREFIXES: tuple[str, ...] = ("events.",)
+#: ``health.detector.`` admits the per-detector event counters
+#: (``health.detector.<name>_events_total``) so custom detectors work
+#: under a strict registry without a catalogue edit.
+DYNAMIC_PREFIXES: tuple[str, ...] = ("events.", "health.detector.")
 
 #: Legal metric name: dotted lower-case, Prometheus-safe after s/./_/g.
 NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")

@@ -16,21 +16,32 @@ Three formats, three audiences:
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 
 from ..errors import SnapshotError
-from .trace import MODEL_TRACK, WALL_TRACK
+from .trace import MODEL_TRACK, WALL_TRACK, Span, SpanLog
 
 __all__ = [
     "chrome_trace_events",
     "write_chrome_trace",
     "write_spans_jsonl",
+    "read_spans_jsonl",
+    "load_spans",
     "write_prometheus",
     "parse_prometheus",
 ]
 
 #: Chrome-trace thread ids per track (process is always 1).
 _TRACK_TIDS = {WALL_TRACK: 1, MODEL_TRACK: 2}
+
+#: One exposition sample: ``name[{labels}] value`` (labels opaque here —
+#: escaped quotes make label blocks non-trivial to split on whitespace).
+_SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?:[^"}]*"(?:[^"\\]|\\.)*")*[^}]*\})?'
+    r'\s+(?P<value>\S+)$'
+)
 
 
 def chrome_trace_events(tracer) -> list[dict]:
@@ -114,6 +125,99 @@ def write_spans_jsonl(tracer, path, run_id: str = "") -> Path:
     return path
 
 
+def read_spans_jsonl(path) -> SpanLog:
+    """Read a spans JSONL file back into a :class:`~repro.obs.trace.SpanLog`.
+
+    Follows the run-log conventions of :func:`write_spans_jsonl`: a
+    leading ``header`` record, one ``span`` object per line, and a torn
+    final line (crash mid-write) tolerated silently.  A missing file,
+    a mid-file corrupt line, or a span record without its required
+    fields raises :class:`~repro.errors.SnapshotError`.
+    """
+    from ..runio.runlog import read_run_log
+
+    records = read_run_log(path)  # raises SnapshotError on missing/corrupt
+    spans = []
+    for rec in records:
+        if rec.get("kind") != "span":
+            continue
+        try:
+            spans.append(
+                Span(
+                    rec["name"],
+                    rec["track"],
+                    rec["ts_ns"],
+                    rec["dur_ns"],
+                    rec["depth"],
+                    rec.get("attrs") or {},
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(
+                f"malformed span record in {path}: {rec!r}"
+            ) from exc
+    return SpanLog(spans)
+
+
+def _spans_from_chrome(doc, path) -> SpanLog:
+    """Rebuild spans from a Chrome-trace document (depth from nesting)."""
+    tid_to_track = {tid: track for track, tid in _TRACK_TIDS.items()}
+    try:
+        events = doc["traceEvents"]
+    except (TypeError, KeyError) as exc:
+        raise SnapshotError(f"{path} is not a Chrome-trace document") from exc
+    raw = []
+    for e in events:
+        if e.get("ph") != "X":
+            continue
+        track = tid_to_track.get(e.get("tid"))
+        if track is None:
+            continue
+        ts = int(round(float(e["ts"]) * 1e3))
+        dur = int(round(float(e["dur"]) * 1e3))
+        raw.append((ts, -dur, e["name"], track, e.get("args") or {}))
+    spans = []
+    stacks: dict[str, list[int]] = {WALL_TRACK: [], MODEL_TRACK: []}
+    for ts, neg_dur, name, track, attrs in sorted(raw, key=lambda r: (r[3], r[0], r[1])):
+        dur = -neg_dur
+        stack = stacks[track]
+        while stack and ts >= stack[-1]:
+            stack.pop()
+        depth = len(stack)
+        stack.append(ts + dur)
+        spans.append(Span(name, track, ts, dur, depth, attrs))
+    return SpanLog(spans)
+
+
+def load_spans(path) -> SpanLog:
+    """Load spans from either export format (sniffed, not by extension).
+
+    Accepts the spans-JSONL file of :func:`write_spans_jsonl` or the
+    Chrome-trace JSON of :func:`write_chrome_trace`; raises
+    :class:`~repro.errors.SnapshotError` when the file is missing or
+    neither format parses.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise SnapshotError(f"trace file not found: {path}")
+    stripped = path.read_text().lstrip()
+    if not stripped:
+        raise SnapshotError(f"trace file {path} is empty")
+    first_line = stripped.splitlines()[0]
+    try:
+        first = json.loads(first_line)
+    except json.JSONDecodeError:
+        # not line-delimited: try one whole-document parse (Chrome trace)
+        try:
+            doc = json.loads(stripped)
+        except json.JSONDecodeError as exc:
+            raise SnapshotError(f"cannot parse trace file {path}: {exc}") from exc
+        return _spans_from_chrome(doc, path)
+    if isinstance(first, dict) and "traceEvents" in first:
+        return _spans_from_chrome(first, path)
+    return read_spans_jsonl(path)
+
+
 def write_prometheus(registry, path) -> Path:
     """Write a registry's text exposition to ``path``."""
     path = Path(path)
@@ -136,12 +240,11 @@ def parse_prometheus(path) -> dict[str, float]:
         line = line.strip()
         if not line or line.startswith("#"):
             continue
-        parts = line.split()
-        if len(parts) != 2:
+        m = _SAMPLE_RE.match(line)
+        if m is None:
             raise SnapshotError(f"malformed metrics line {lineno} in {path}: {line!r}")
-        name, value = parts
         try:
-            out[name] = float(value)
+            out[m.group("name")] = float(m.group("value"))
         except ValueError as exc:
             raise SnapshotError(
                 f"non-numeric metric value on line {lineno} in {path}"

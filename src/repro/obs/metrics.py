@@ -16,6 +16,7 @@ statically over the source tree).
 from __future__ import annotations
 
 import math
+import re
 
 from ..errors import ConfigurationError
 from .catalogue import METRIC_CATALOGUE, NAME_RE, is_declared
@@ -27,7 +28,36 @@ __all__ = [
     "MetricsRegistry",
     "NullRegistry",
     "NULL_REGISTRY",
+    "escape_help",
+    "escape_label_value",
 ]
+
+
+def escape_help(text: str) -> str:
+    """Escape HELP text per the Prometheus exposition format."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def escape_label_value(value: str) -> str:
+    """Escape one label value per the Prometheus exposition format."""
+    return (
+        str(value).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _label_suffix(labels: dict | None) -> str:
+    """The ``{k="v",...}`` block for a sample line ('' without labels)."""
+    if not labels:
+        return ""
+    parts = []
+    for key in sorted(labels):
+        if not _LABEL_NAME_RE.match(key):
+            raise ConfigurationError(f"bad prometheus label name {key!r}")
+        parts.append(f'{key}="{escape_label_value(labels[key])}"')
+    return "{" + ",".join(parts) + "}"
 
 
 class Counter:
@@ -169,28 +199,35 @@ class MetricsRegistry:
 
     # -- export -----------------------------------------------------------
 
-    def to_prometheus(self) -> str:
-        """Prometheus text exposition (dots mapped to underscores)."""
+    def to_prometheus(self, labels: dict | None = None) -> str:
+        """Prometheus text exposition (dots mapped to underscores).
+
+        ``labels`` (e.g. ``{"run_id": "disk-n256"}``) are rendered on
+        every sample as constant labels; values are escaped per the
+        exposition format (backslash, double quote, newline).  HELP
+        text is escaped likewise (backslash, newline).
+        """
+        suffix = _label_suffix(labels)
         lines: list[str] = []
         for name, m in sorted(self._metrics.items()):
             flat = name.replace(".", "_")
             declared = METRIC_CATALOGUE.get(name)
             help_text = declared[1] if declared else ""
             if help_text:
-                lines.append(f"# HELP {flat} {help_text}")
+                lines.append(f"# HELP {flat} {escape_help(help_text)}")
             if isinstance(m, Counter):
                 lines.append(f"# TYPE {flat} counter")
-                lines.append(f"{flat} {m.value:.17g}")
+                lines.append(f"{flat}{suffix} {m.value:.17g}")
             elif isinstance(m, Gauge):
                 lines.append(f"# TYPE {flat} gauge")
-                lines.append(f"{flat} {m.value:.17g}")
+                lines.append(f"{flat}{suffix} {m.value:.17g}")
             else:  # Histogram -> summary-style exposition
                 lines.append(f"# TYPE {flat} summary")
-                lines.append(f"{flat}_count {m.count}")
-                lines.append(f"{flat}_sum {m.sum:.17g}")
+                lines.append(f"{flat}_count{suffix} {m.count}")
+                lines.append(f"{flat}_sum{suffix} {m.sum:.17g}")
                 if m.count:
-                    lines.append(f"{flat}_min {m.min:.17g}")
-                    lines.append(f"{flat}_max {m.max:.17g}")
+                    lines.append(f"{flat}_min{suffix} {m.min:.17g}")
+                    lines.append(f"{flat}_max{suffix} {m.max:.17g}")
         return "\n".join(lines) + ("\n" if lines else "")
 
     def reset(self) -> None:
@@ -269,7 +306,7 @@ class NullRegistry:
     def snapshot(self) -> dict[str, float]:
         return {}
 
-    def to_prometheus(self) -> str:
+    def to_prometheus(self, labels: dict | None = None) -> str:
         return ""
 
     def reset(self) -> None:

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 
-__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+__all__ = ["Span", "SpanLog", "Tracer", "NullTracer", "NULL_TRACER"]
 
 #: Track identifiers (Chrome-trace thread ids are assigned in this order).
 WALL_TRACK = "wall"
@@ -50,6 +50,36 @@ class Span:
             f"Span({self.name!r}, {self.track}, ts={self.ts_ns}ns, "
             f"dur={self.dur_ns}ns, depth={self.depth})"
         )
+
+
+def _sorted_track(spans, track: str) -> list[Span]:
+    """Spans of one track ordered by start time (ties: outermost first)."""
+    return sorted(
+        (s for s in spans if s.track == track),
+        key=lambda s: (s.ts_ns, -s.dur_ns, s.depth),
+    )
+
+
+class SpanLog:
+    """A read-only collection of finished spans (e.g. loaded from disk).
+
+    Presents the same query surface as :class:`Tracer` (``spans``,
+    ``of_track``, ``total_seconds``) so exporters and the phase profiler
+    accept either a live tracer or spans round-tripped through JSONL.
+    """
+
+    enabled = True
+
+    def __init__(self, spans) -> None:
+        self.spans: list[Span] = list(spans)
+
+    def of_track(self, track: str) -> list[Span]:
+        return _sorted_track(self.spans, track)
+
+    def total_seconds(self, name: str, track: str = WALL_TRACK) -> float:
+        return sum(
+            s.dur_ns for s in self.spans if s.name == name and s.track == track
+        ) / 1e9
 
 
 class _LiveSpan:
@@ -131,10 +161,7 @@ class Tracer:
 
     def of_track(self, track: str) -> list[Span]:
         """Spans on one track, ordered by start time (ties: outermost first)."""
-        return sorted(
-            (s for s in self.spans if s.track == track),
-            key=lambda s: (s.ts_ns, -s.dur_ns, s.depth),
-        )
+        return _sorted_track(self.spans, track)
 
     def total_seconds(self, name: str, track: str = WALL_TRACK) -> float:
         """Summed duration of every span called ``name`` on ``track``."""

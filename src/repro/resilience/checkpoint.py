@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
+from time import perf_counter
 
 from ..core.snapshots import load_snapshot, save_snapshot
 from ..errors import CheckpointError
@@ -43,6 +44,7 @@ class CheckpointManager:
         self.obs = obs or NULL_OBS
         self._c_writes = self.obs.metrics.counter("checkpoint.writes_total")
         self._c_restores = self.obs.metrics.counter("checkpoint.restores_total")
+        self._h_write_s = self.obs.metrics.histogram("checkpoint.write_seconds")
 
     # -- discovery -------------------------------------------------------
 
@@ -71,6 +73,7 @@ class CheckpointManager:
         The snapshot write is atomic; the ``latest`` pointer is flipped
         only after the snapshot is durable, in a second atomic rename.
         """
+        t0 = perf_counter()
         path = self.directory / _CKPT_PATTERN.format(self._next_index())
         written = save_snapshot(path, system, metadata={"checkpoint": state})
         pointer = self.directory / _POINTER
@@ -78,6 +81,7 @@ class CheckpointManager:
         tmp.write_text(written.name + "\n")
         os.replace(tmp, pointer)
         self._c_writes.inc()
+        self._h_write_s.observe(perf_counter() - t0)
         return written
 
     # -- restore ---------------------------------------------------------

@@ -54,6 +54,8 @@ class RunReport:
     #: GRAPE timing totals when the backend exposes them (else None)
     grape_totals: dict | None = None
     checkpoints_written: int = 0
+    #: Health events emitted by the run watchdogs (0 = clean run).
+    health_events: int = 0
 
     def summary(self) -> str:
         lines = [
@@ -70,6 +72,8 @@ class RunReport:
                 f"  GRAPE model: {self.grape_totals['total_s']:.3f} s, "
                 f"{self.grape_totals['achieved_flops'] / 1e12:.2f} Tflops"
             )
+        if self.health_events:
+            lines.append(f"  health events {self.health_events} (see run.jsonl)")
         return "\n".join(lines)
 
 
@@ -312,6 +316,10 @@ class ProductionRun:
 
             watchdog = EnergyWatchdog(self.energy_error_limit, obs=sim.obs)
 
+        from ..obs.health import HealthMonitor, HealthSample
+
+        health = HealthMonitor(obs=sim.obs)
+
         recovery = self._recovery()
         blocks_since_ckpt = 0
         blocks_since_sweep = 0
@@ -359,6 +367,13 @@ class ProductionRun:
                         log.event("watchdog", energy_error=err, t=s.time)
                         if recovery is not None:
                             sweep_and_log(s, log, "watchdog")
+                    sample = HealthSample(
+                        t=float(s.time),
+                        metrics=sim.obs.metrics.snapshot(),
+                        energy_error=err,
+                    )
+                    for ev in health.check(sample):
+                        log.event("health", **ev.to_record())
                     if self.prune_escapers_beyond is not None:
                         removed = s.remove_escapers(
                             r_min=self.prune_escapers_beyond
@@ -400,4 +415,5 @@ class ProductionRun:
             max_energy_error=tracker.max_error,
             grape_totals=self._grape_totals(),
             checkpoints_written=self.checkpoints_written,
+            health_events=health.events_total,
         )

@@ -143,3 +143,195 @@ class TestRunObservability:
         out = capsys.readouterr().out
         assert "GRAPE-6 time breakdown" in out
         assert "t_comm" in out
+
+
+class TestReportErrorContract:
+    def test_missing_metrics_exits_2(self, capsys, tmp_path):
+        code = main(["report", "--metrics", str(tmp_path / "missing.prom")])
+        assert code == 2
+        assert "metrics file not found" in capsys.readouterr().err
+
+    def test_truncated_metrics_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "torn.prom"
+        bad.write_text("grape_pipeline_seconds 1.5\nthis is } not a sample\n")
+        code = main(["report", "--metrics", str(bad)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_trace_exits_2(self, capsys, tmp_path):
+        code = main(["report", "--trace", str(tmp_path / "missing.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_run_log_exits_2(self, capsys, tmp_path):
+        code = main(["report", "--run-log", str(tmp_path)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestProfileAndTrace:
+    def test_run_profile_prints_top_table(self, capsys):
+        assert main(["run", "--n", "32", "--t-end", "2", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Phase profile (wall clock)" in out
+        assert "block_step" in out
+        assert "self_share" in out
+
+    def test_report_trace_renders_profile(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        main(["run", "--n", "32", "--t-end", "2", "--trace-out", str(trace)])
+        capsys.readouterr()
+        assert main([
+            "report", "--trace", str(trace),
+            "--results-dir", str(tmp_path / "none"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Phase profile (wall clock)" in out
+
+    def test_report_run_log_health(self, capsys, tmp_path):
+        run_dir = tmp_path / "mrun"
+        main([
+            "run", "--n", "32", "--t-end", "2", "--run-dir", str(run_dir),
+            "--diagnostics-interval", "0.5",
+        ])
+        capsys.readouterr()
+        assert main([
+            "report", "--run-log", str(run_dir),
+            "--results-dir", str(tmp_path / "none"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "health" in out  # clean-run note or events table
+
+
+class TestTop:
+    def test_top_once_on_finished_run(self, capsys, tmp_path):
+        run_dir = tmp_path / "mrun"
+        main([
+            "run", "--n", "32", "--t-end", "2", "--run-dir", str(run_dir),
+            "--diagnostics-interval", "0.5", "--checkpoint-interval", "2",
+        ])
+        capsys.readouterr()
+        assert main(["top", str(run_dir), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "run disk-n32" in out
+        assert "[run complete]" in out
+        assert "checkpoint=" in out
+
+    def test_top_missing_log_exits_2(self, capsys, tmp_path):
+        assert main(["top", str(tmp_path), "--once"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestPerfHistoryCommands:
+    def _seed_history(self, root, slow_factor=1.0):
+        import copy
+
+        from repro.obs import BenchHistory
+
+        base = {
+            "benchmark": "kernels",
+            "entries": [
+                {
+                    "op": "acc_jerk", "kernel": "tiled",
+                    "n_active": 64, "n_source": 4096,
+                    "best_seconds": 0.5,
+                    "samples_seconds": [0.5, 0.505, 0.51],
+                    "repeats": 3,
+                }
+            ],
+        }
+        current = copy.deepcopy(base)
+        for e in current["entries"]:
+            e["best_seconds"] *= slow_factor
+            e["samples_seconds"] = [s * slow_factor
+                                    for s in e["samples_seconds"]]
+        hist = BenchHistory(root)
+        hist.append(base)
+        hist.append(current)
+        return base
+
+    def test_diff_detects_injected_slowdown(self, capsys, tmp_path):
+        self._seed_history(tmp_path / "h", slow_factor=1.20)
+        code = main(["perf", "diff", "--history", str(tmp_path / "h")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REGRESSION" in out
+
+    def test_diff_identical_passes(self, capsys, tmp_path):
+        self._seed_history(tmp_path / "h", slow_factor=1.0)
+        assert main(["perf", "diff", "--history", str(tmp_path / "h")]) == 0
+        assert "REGRESSION" not in capsys.readouterr().out
+
+    def test_diff_empty_history_is_friendly(self, capsys, tmp_path):
+        assert main(["perf", "diff", "--history", str(tmp_path / "h")]) == 0
+        assert "no benchmark history" in capsys.readouterr().out
+
+    def test_diff_explicit_documents(self, capsys, tmp_path):
+        import json as _json
+
+        base = self._seed_history(tmp_path / "h")
+        slow = {**base, "entries": [
+            {**base["entries"][0],
+             "best_seconds": 0.7, "samples_seconds": [0.7, 0.71, 0.72]}]}
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        a.write_text(_json.dumps(base))
+        b.write_text(_json.dumps(slow))
+        code = main(["perf", "diff", "--baseline", str(a),
+                     "--current", str(b)])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_diff_baseline_without_current_rejected(self, capsys, tmp_path):
+        code = main(["perf", "diff", "--baseline", "x.json"])
+        assert code == 2
+        assert "together" in capsys.readouterr().err
+
+    def test_trend_renders_trajectory(self, capsys, tmp_path):
+        self._seed_history(tmp_path / "h", slow_factor=1.5)
+        assert main(["perf", "trend", "--history", str(tmp_path / "h")]) == 0
+        out = capsys.readouterr().out
+        assert "Benchmark trend: kernels" in out
+        assert "1.500" in out
+
+    def test_gate_fails_on_regression(self, capsys, tmp_path):
+        import json as _json
+
+        base = self._seed_history(tmp_path / "h", slow_factor=1.25)
+        baseline = tmp_path / "BENCH_kernels.json"
+        baseline.write_text(_json.dumps(base))
+        code = main([
+            "perf", "gate", "--history", str(tmp_path / "h"),
+            "--baseline", str(baseline),
+        ])
+        assert code == 1
+        assert "gate FAILED" in capsys.readouterr().out
+
+    def test_gate_passes_identical(self, capsys, tmp_path):
+        import json as _json
+
+        base = self._seed_history(tmp_path / "h", slow_factor=1.0)
+        baseline = tmp_path / "BENCH_kernels.json"
+        baseline.write_text(_json.dumps(base))
+        code = main([
+            "perf", "gate", "--history", str(tmp_path / "h"),
+            "--baseline", str(baseline),
+        ])
+        assert code == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_gate_skips_without_history(self, capsys, tmp_path):
+        import json as _json
+
+        baseline = tmp_path / "BENCH_kernels.json"
+        baseline.write_text(_json.dumps({"benchmark": "kernels",
+                                         "entries": []}))
+        code = main([
+            "perf", "gate", "--history", str(tmp_path / "empty"),
+            "--baseline", str(baseline),
+        ])
+        assert code == 0
+        assert "advisory" in capsys.readouterr().out
+
+    def test_plain_perf_still_works(self, capsys):
+        assert main(["perf", "--block", "3000"]) == 0
+        assert "sustained:" in capsys.readouterr().out

@@ -1,0 +1,264 @@
+"""Tests for the run-health watchdogs (repro.obs.health)."""
+
+import pytest
+
+from repro.obs import (
+    HealthEvent,
+    HealthMonitor,
+    HealthSample,
+    MetricsRegistry,
+    Observability,
+    default_detectors,
+    render_health_events,
+)
+from repro.obs.health import (
+    SEVERITY_LEVEL,
+    BlockCollapseDetector,
+    CheckpointLatencyDetector,
+    EnergyDriftDetector,
+    NeighbourOverflowDetector,
+    ThreadImbalanceDetector,
+)
+
+
+def sample(t=0.0, metrics=None, **kw):
+    return HealthSample(t=t, metrics=metrics or {}, **kw)
+
+
+class TestEnergyDrift:
+    def test_steep_drift_detected(self):
+        det = EnergyDriftDetector(warn_slope=1e-6, critical_slope=1e-3)
+        event = None
+        for i in range(6):
+            event = det.check(sample(t=float(i), energy_error=1e-5 * i))
+        assert event is not None
+        assert event.severity == "warning"
+        assert event.value == pytest.approx(1e-5, rel=0.2)
+
+    def test_critical_on_fast_drift(self):
+        det = EnergyDriftDetector(critical_slope=1e-4)
+        event = None
+        for i in range(6):
+            event = det.check(sample(t=float(i), energy_error=1e-3 * i))
+        assert event is not None and event.severity == "critical"
+
+    def test_flat_error_is_quiet(self):
+        det = EnergyDriftDetector()
+        for i in range(8):
+            assert det.check(sample(t=float(i), energy_error=1e-9)) is None
+
+    def test_reads_metrics_fallback(self):
+        det = EnergyDriftDetector(warn_slope=1e-8)
+        event = None
+        for i in range(6):
+            event = det.check(
+                sample(t=float(i), metrics={"run.energy_error": 1e-4 * i})
+            )
+        assert event is not None
+
+    def test_no_signal_no_event(self):
+        assert EnergyDriftDetector().check(sample(t=1.0)) is None
+
+
+class TestBlockCollapse:
+    def test_collapse_from_metric_deltas(self):
+        det = BlockCollapseDetector(min_blocks=10)
+        first = sample(
+            metrics={"blockstep.total": 0.0, "blockstep.active_particles": 0.0}
+        )
+        assert det.check(first) is None
+        second = sample(
+            metrics={
+                "blockstep.total": 100.0,
+                "blockstep.active_particles": 105.0,  # mean 1.05
+            }
+        )
+        event = det.check(second)
+        assert event is not None and event.severity == "critical"
+
+    def test_healthy_blocks_quiet(self):
+        det = BlockCollapseDetector(min_blocks=10)
+        det.check(sample(metrics={"blockstep.total": 0.0,
+                                  "blockstep.active_particles": 0.0}))
+        ok = sample(metrics={"blockstep.total": 100.0,
+                             "blockstep.active_particles": 5000.0})
+        assert det.check(ok) is None
+
+    def test_too_few_blocks_ignored(self):
+        det = BlockCollapseDetector(min_blocks=16)
+        det.check(sample(metrics={"blockstep.total": 0.0,
+                                  "blockstep.active_particles": 0.0}))
+        few = sample(metrics={"blockstep.total": 4.0,
+                              "blockstep.active_particles": 4.0})
+        assert det.check(few) is None
+
+    def test_driver_mean_fallback(self):
+        det = BlockCollapseDetector()
+        event = det.check(sample(mean_block=1.0))
+        assert event is not None and event.severity == "critical"
+
+
+class TestNeighbourOverflow:
+    def test_overflow_critical(self):
+        det = NeighbourOverflowDetector(capacity=256)
+        event = det.check(sample(metrics={"hybrid.neighbour_count.max": 300.0}))
+        assert event is not None and event.severity == "critical"
+
+    def test_near_capacity_warns(self):
+        det = NeighbourOverflowDetector(capacity=256, warn_fraction=0.8)
+        event = det.check(sample(metrics={"hybrid.neighbour_count.max": 210.0}))
+        assert event is not None and event.severity == "warning"
+
+    def test_small_sphere_quiet(self):
+        det = NeighbourOverflowDetector()
+        assert det.check(sample(metrics={"hybrid.neighbour_count.max": 20.0})) is None
+
+
+class TestThreadImbalance:
+    def test_starved_pool_warns(self):
+        det = ThreadImbalanceDetector(min_efficiency=0.5)
+        event = det.check(
+            sample(metrics={"kernel.threads": 4.0,
+                            "kernel.thread_efficiency": 0.2})
+        )
+        assert event is not None and event.severity == "warning"
+
+    def test_single_thread_quiet(self):
+        det = ThreadImbalanceDetector()
+        assert det.check(
+            sample(metrics={"kernel.threads": 1.0,
+                            "kernel.thread_efficiency": 0.1})
+        ) is None
+
+    def test_unmeasured_efficiency_quiet(self):
+        det = ThreadImbalanceDetector()
+        assert det.check(sample(metrics={"kernel.threads": 4.0})) is None
+
+
+class TestCheckpointLatency:
+    def test_slow_write_warns(self):
+        det = CheckpointLatencyDetector(warn_seconds=1.0, critical_seconds=5.0)
+        event = det.check(
+            sample(metrics={"checkpoint.write_seconds.max": 2.0})
+        )
+        assert event is not None and event.severity == "warning"
+
+    def test_very_slow_write_critical(self):
+        det = CheckpointLatencyDetector(critical_seconds=5.0)
+        event = det.check(
+            sample(metrics={"checkpoint.write_seconds.max": 9.0})
+        )
+        assert event is not None and event.severity == "critical"
+
+    def test_fast_write_quiet(self):
+        det = CheckpointLatencyDetector()
+        assert det.check(
+            sample(metrics={"checkpoint.write_seconds.max": 0.05})
+        ) is None
+
+
+class TestMonitor:
+    def overflow_sample(self):
+        return sample(metrics={"hybrid.neighbour_count.max": 400.0})
+
+    def test_default_detector_set(self):
+        names = {d.name for d in default_detectors()}
+        assert names == {
+            "energy_drift",
+            "block_collapse",
+            "neighbour_overflow",
+            "thread_imbalance",
+            "checkpoint_latency",
+        }
+
+    def test_emits_and_counts(self):
+        obs = Observability(metrics=MetricsRegistry(strict=True))
+        mon = HealthMonitor(obs=obs)
+        events = mon.check(self.overflow_sample())
+        assert len(events) == 1
+        assert events[0].detector == "neighbour_overflow"
+        snap = obs.metrics.snapshot()
+        assert snap["health.events_total"] == 1.0
+        assert snap["health.checks_total"] == 5.0
+        assert snap["health.last_severity"] == float(SEVERITY_LEVEL["critical"])
+        assert snap["health.detector.neighbour_overflow_events_total"] == 1.0
+
+    def test_repeat_suppression(self):
+        mon = HealthMonitor(repeat_every=4)
+        emitted = [len(mon.check(self.overflow_sample())) for _ in range(8)]
+        # first firing emits, the next three are suppressed, then re-emit
+        assert emitted == [1, 0, 0, 0, 1, 0, 0, 0]
+        assert mon.events_total == 2
+
+    def test_recovery_resets_suppression(self):
+        mon = HealthMonitor(repeat_every=100)
+        assert len(mon.check(self.overflow_sample())) == 1
+        assert len(mon.check(sample())) == 0  # anomaly cleared
+        assert len(mon.check(self.overflow_sample())) == 1  # fresh event
+
+    def test_last_severity_drops_when_clean(self):
+        obs = Observability()
+        mon = HealthMonitor(obs=obs)
+        mon.check(self.overflow_sample())
+        mon.check(sample())
+        assert obs.metrics.snapshot()["health.last_severity"] == 0.0
+
+    def test_event_record_roundtrip(self):
+        mon = HealthMonitor()
+        (event,) = mon.check(self.overflow_sample())
+        rec = event.to_record()
+        assert rec["detector"] == "neighbour_overflow"
+        assert rec["severity"] == "critical"
+        assert "threshold" in rec and "value" in rec
+
+
+class TestRendering:
+    def test_renders_events_and_dicts(self):
+        event = HealthEvent("energy_drift", "warning", "slope high",
+                            t=3.0, value=1e-5, threshold=1e-6)
+        as_dict = {"detector": "block_collapse", "severity": "critical",
+                   "message": "collapse", "t": 4.0}
+        text = render_health_events([event, as_dict])
+        assert "WARNING" in text and "CRITICAL" in text
+        assert "energy_drift" in text and "block_collapse" in text
+
+    def test_empty_is_empty(self):
+        assert render_health_events([]) == ""
+
+
+class TestDriverIntegration:
+    def test_production_run_reports_health(self, tmp_path):
+        """A managed run wires the monitor and reports a clean bill."""
+        from repro.core import KeplerField, Simulation, TimestepParams
+        from repro.planetesimal import PlanetesimalDiskConfig, build_disk_system
+        from repro.runio import ProductionRun
+        from repro.runio.runlog import read_run_log
+        from repro.core import HostDirectBackend
+
+        system = build_disk_system(
+            PlanetesimalDiskConfig(n_planetesimals=24, seed=3)
+        )
+        sim = Simulation(
+            system,
+            HostDirectBackend(eps=0.008),
+            external_field=KeplerField(),
+            timestep_params=TimestepParams(eta=0.02, eta_start=0.01, dt_max=1.0),
+        )
+        run = ProductionRun(
+            sim, tmp_path, diagnostics_interval=0.5, run_id="health-test"
+        )
+        report = run.execute(2.0)
+        assert report.health_events == 0  # clean short run
+        records = read_run_log(tmp_path / "run.jsonl")
+        assert all(r.get("kind") != "health" for r in records)
+        assert "health" not in report.summary()
+
+    def test_health_events_surface_in_summary(self):
+        from repro.runio import RunReport
+
+        report = RunReport(
+            t_final=1.0, block_steps=1, particle_steps=1, n_final=2,
+            mergers=0, escapers_removed=0, snapshots_written=0,
+            max_energy_error=0.0, health_events=3,
+        )
+        assert "health events 3" in report.summary()

@@ -281,3 +281,153 @@ class TestBreakdown:
         )
         for needle in ("t_pipe", "t_host", "t_comm", "Tflops", "of peak"):
             assert needle in text
+
+
+class TestPrometheusEscaping:
+    def test_escape_help(self):
+        from repro.obs import escape_help
+
+        assert escape_help("a\\b\nc") == r"a\\b\nc"
+        assert escape_help("plain") == "plain"
+
+    def test_escape_label_value(self):
+        from repro.obs import escape_label_value
+
+        assert escape_label_value('say "hi"\\\n') == r'say \"hi\"\\\n'
+        assert escape_label_value(42) == "42"
+
+    def test_constant_labels_rendered_and_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("blockstep.total").inc(3)
+        reg.histogram("blockstep.size").observe(2.0)
+        text = reg.to_prometheus(labels={"run_id": 'd"isk\\1', "n": 256})
+        # label block on every sample line, keys sorted, values escaped
+        assert 'blockstep_total{n="256",run_id="d\\"isk\\\\1"} 3' in text
+        assert 'blockstep_size_count{n="256",run_id="d\\"isk\\\\1"} 1' in text
+        assert 'blockstep_size_sum{n="256"' in text
+
+    def test_bad_label_name_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("blockstep.total")
+        with pytest.raises(ConfigurationError):
+            reg.to_prometheus(labels={"bad-name": "x"})
+
+    def test_parse_tolerates_label_blocks(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("blockstep.total").inc(7)
+        path = tmp_path / "m.prom"
+        path.write_text(reg.to_prometheus(labels={"run_id": 'tri"cky}\\'}))
+        parsed = parse_prometheus(path)
+        assert parsed["blockstep_total"] == 7.0
+
+    def test_unlabelled_round_trip_unchanged(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.gauge("run.n_particles").set(512)
+        path = tmp_path / "m.prom"
+        path.write_text(reg.to_prometheus())
+        assert parse_prometheus(path)["run_n_particles"] == 512.0
+
+    def test_malformed_line_still_raises(self, tmp_path):
+        path = tmp_path / "m.prom"
+        path.write_text("ok_metric 1\nthis is } not a sample\n")
+        with pytest.raises(SnapshotError):
+            parse_prometheus(path)
+
+
+class TestSpanRoundTrip:
+    def make_tracer(self):
+        tr = Tracer()
+        with tr.span("run"):
+            with tr.span("block_step"):
+                with tr.span("force"):
+                    time.sleep(0.001)
+                with tr.span("correct"):
+                    pass
+        tr.model_span(
+            "grape.block_step", 2e-3,
+            children=[("grape.pipeline", 1.5e-3), ("grape.host_calc", 0.5e-3)],
+        )
+        return tr
+
+    def test_jsonl_round_trip_preserves_spans(self, tmp_path):
+        from repro.obs import read_spans_jsonl
+
+        tr = self.make_tracer()
+        path = write_spans_jsonl(tr, tmp_path / "s.jsonl", run_id="rt")
+        log = read_spans_jsonl(path)
+        original = sorted(
+            (s.name, s.track, s.ts_ns, s.dur_ns, s.depth) for s in tr.spans
+        )
+        loaded = sorted(
+            (s.name, s.track, s.ts_ns, s.dur_ns, s.depth) for s in log.spans
+        )
+        assert loaded == original
+
+    def test_chrome_round_trip_nesting_and_order(self, tmp_path):
+        """JSONL -> SpanLog -> Chrome trace keeps tracks properly nested."""
+        from repro.obs import load_spans
+
+        tr = self.make_tracer()
+        jsonl = write_spans_jsonl(tr, tmp_path / "s.jsonl")
+        log = load_spans(jsonl)
+        chrome = write_chrome_trace(log, tmp_path / "t.json")
+        events = json.loads(chrome.read_text())["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        for tid in (1, 2):
+            _assert_properly_nested([e for e in complete if e["tid"] == tid])
+
+    def test_chrome_reimport_recovers_depth(self, tmp_path):
+        from repro.obs import load_spans
+
+        tr = self.make_tracer()
+        path = write_chrome_trace(tr, tmp_path / "t.json")
+        log = load_spans(path)
+        by_name = {s.name: s for s in log.spans}
+        assert by_name["run"].depth == 0
+        assert by_name["block_step"].depth == 1
+        assert by_name["force"].depth == 2
+        assert by_name["grape.pipeline"].depth == 1
+
+    def test_load_spans_sniffs_formats(self, tmp_path):
+        from repro.obs import load_spans
+
+        tr = self.make_tracer()
+        jsonl = write_spans_jsonl(tr, tmp_path / "a.jsonl")
+        chrome = write_chrome_trace(tr, tmp_path / "b.json")
+        assert len(load_spans(jsonl).spans) == len(tr.spans)
+        assert len(load_spans(chrome).spans) == len(tr.spans)
+
+    def test_load_spans_errors(self, tmp_path):
+        from repro.obs import load_spans
+
+        with pytest.raises(SnapshotError):
+            load_spans(tmp_path / "missing.json")
+        empty = tmp_path / "empty.json"
+        empty.write_text("   \n")
+        with pytest.raises(SnapshotError):
+            load_spans(empty)
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("not json at all {{{")
+        with pytest.raises(SnapshotError):
+            load_spans(garbage)
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        from repro.obs import read_spans_jsonl
+
+        tr = self.make_tracer()
+        path = write_spans_jsonl(tr, tmp_path / "s.jsonl")
+        with open(path, "a") as fh:
+            fh.write('{"kind": "span", "name": "torn')  # crash mid-write
+        log = read_spans_jsonl(path)
+        assert len(log.spans) == len(tr.spans)
+
+    def test_malformed_span_record_raises(self, tmp_path):
+        from repro.obs import read_spans_jsonl
+
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"kind": "header", "run_id": ""}\n'
+            '{"kind": "span", "name": "x"}\n'  # missing required fields
+        )
+        with pytest.raises(SnapshotError):
+            read_spans_jsonl(path)

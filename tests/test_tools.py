@@ -257,3 +257,82 @@ class TestKernelRegistryLint:
         assert any("tests directory not found" in p for p in problems)
         assert any("baseline not found" in p for p in problems)
         assert kernel_main([str(tmp_path / "nope")]) == 1
+
+
+class TestBenchRegressionGate:
+    """tools/check_bench_regression.py — advisory in the suite.
+
+    The gate compares the committed BENCH_*.json baselines against the
+    bench-history store; machines that never ran the benchmarks have no
+    history, so the no-history path must pass (skip with a note) for
+    the suite to stay green everywhere.
+    """
+
+    def _doc(self, factor=1.0):
+        return {
+            "benchmark": "kernels",
+            "entries": [
+                {
+                    "op": "acc_jerk", "kernel": "tiled",
+                    "n_active": 64, "n_source": 4096,
+                    "best_seconds": 0.5 * factor,
+                    "samples_seconds": [0.5 * factor, 0.51 * factor],
+                    "repeats": 2,
+                }
+            ],
+        }
+
+    def test_advisory_no_history(self, tmp_path, capsys):
+        import json
+
+        from check_bench_regression import gate
+        from check_bench_regression import main as gate_main
+
+        baseline = tmp_path / "BENCH_kernels.json"
+        baseline.write_text(json.dumps(self._doc()))
+        checked, failed = gate(
+            baselines=[baseline], history_root=tmp_path / "none"
+        )
+        assert (checked, failed) == (0, 0)
+        assert gate_main([
+            "--baseline", str(baseline),
+            "--history", str(tmp_path / "none"),
+        ]) == 0
+        assert "gate ok" in capsys.readouterr().out
+
+    def test_repo_gate_is_advisory_clean(self, capsys):
+        """Run the real gate over the repo baselines + real history.
+
+        Advisory: with no history it must pass; with history it must
+        complete with a verdict (0/1), never crash — a slower machine
+        re-running the benchmarks is not a test-suite failure.
+        """
+        from check_bench_regression import main as gate_main
+
+        assert gate_main([]) in (0, 1)
+
+    def test_regression_fails_gate(self, tmp_path, capsys):
+        import json
+        import sys as _sys
+        from pathlib import Path
+
+        _sys.path.insert(0, str(Path(__file__).parents[1] / "src"))
+        from check_bench_regression import main as gate_main
+
+        from repro.obs import BenchHistory
+
+        baseline = tmp_path / "BENCH_kernels.json"
+        baseline.write_text(json.dumps(self._doc()))
+        BenchHistory(tmp_path / "h").append(self._doc(factor=1.3))
+        assert gate_main([
+            "--baseline", str(baseline), "--history", str(tmp_path / "h"),
+        ]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_corrupt_baseline_exits_2(self, tmp_path, capsys):
+        from check_bench_regression import main as gate_main
+
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{ torn")
+        assert gate_main(["--baseline", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Gate: fail when the bench history regresses vs the committed baselines.
+
+For every ``BENCH_*.json`` baseline at the repository root, finds the
+newest matching record in the bench-history store
+(``benchmarks/results/history/``) and compares entry by entry with
+:func:`repro.obs.history.compare_documents` — min-of-k plus a
+deterministic bootstrap CI when repeat samples are available, a plain
+threshold on the point ratio otherwise.
+
+The check is **advisory by design**: a benchmark with no history record
+is skipped with a note (fresh clones have no history until the
+benchmarks run), so the test suite can call :func:`gate` unconditionally
+without forcing every CI machine to run the benchmark suite first.
+
+Run::
+
+    python tools/check_bench_regression.py [--threshold 0.10]
+        [--history DIR] [--baseline PATH ...]
+
+Exit code 1 only on a statistically supported slowdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.errors import SnapshotError  # noqa: E402
+from repro.obs.history import (  # noqa: E402
+    BenchHistory,
+    compare_documents,
+    render_comparison,
+)
+
+__all__ = ["gate", "main"]
+
+DEFAULT_HISTORY = REPO_ROOT / "benchmarks" / "results" / "history"
+
+
+def _load(path: Path) -> dict:
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"cannot read benchmark document {path}: {exc}")
+    if not isinstance(doc, dict):
+        raise SnapshotError(f"{path} is not a benchmark document")
+    return doc
+
+
+def gate(baselines=None, history_root=None, threshold: float = 0.10,
+         log=print) -> tuple[int, int]:
+    """Compare each baseline against its newest history record.
+
+    Returns ``(checked, failed)``; benchmarks without history are
+    skipped (advisory mode).
+    """
+    if baselines is None:
+        baselines = sorted(REPO_ROOT.glob("BENCH_*.json"))
+    hist = BenchHistory(history_root or DEFAULT_HISTORY)
+    checked = failed = 0
+    for path in baselines:
+        base = _load(Path(path))
+        name = base.get("benchmark")
+        current = hist.latest(name) if name else None
+        if current is None:
+            log(f"skip: no history record for {name!r} "
+                f"(run the benchmarks to create one)")
+            continue
+        checked += 1
+        result = compare_documents(base, current, threshold=threshold)
+        text = render_comparison(result)
+        if text:
+            log(text)
+        if result.regressions:
+            failed += 1
+    return checked, failed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="fractional slowdown that fails the gate (default 0.10)",
+    )
+    parser.add_argument(
+        "--history", default=None, help="bench-history store root"
+    )
+    parser.add_argument(
+        "--baseline", action="append", default=None,
+        help="baseline document(s); default: repo-root BENCH_*.json",
+    )
+    args = parser.parse_args(argv)
+    try:
+        checked, failed = gate(
+            baselines=args.baseline,
+            history_root=args.history,
+            threshold=args.threshold,
+        )
+    except SnapshotError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if failed:
+        print(f"bench regression gate FAILED "
+              f"({failed} of {checked} benchmark(s) regressed)")
+        return 1
+    print(f"bench regression gate ok ({checked} benchmark(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

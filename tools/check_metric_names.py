@@ -19,7 +19,9 @@ Pure standard library; run::
 
     python tools/check_metric_names.py [paths...]
 
-Defaults to the repository's ``src`` tree.  Exit code 1 on violations.
+Defaults to the repository's ``src`` tree plus ``benchmarks`` and
+``tools`` (everything that registers metrics).  Exit code 1 on
+violations.
 """
 
 from __future__ import annotations
@@ -137,7 +139,11 @@ def check_catalogue(catalogue=None) -> list[str]:
 
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
-    paths = argv or [REPO_ROOT / "src"]
+    paths = argv or [
+        REPO_ROOT / "src",
+        REPO_ROOT / "benchmarks",
+        REPO_ROOT / "tools",
+    ]
     problems = check_catalogue() + check_paths(paths)
     for msg in problems:
         print(msg)
