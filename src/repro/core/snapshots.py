@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import os
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -59,9 +60,31 @@ def save_snapshot(path, system: ParticleSystem, metadata: dict | None = None) ->
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        fsync_directory(path.parent)
     finally:
         tmp.unlink(missing_ok=True)
     return path
+
+
+def fsync_directory(directory) -> None:
+    """Fsync a directory so a rename inside it survives a host crash.
+
+    ``os.replace`` makes the file contents atomic, but the *directory
+    entry* only becomes durable once the directory itself is synced;
+    without this a machine crash can forget the rename and resurrect
+    the old name.  Best-effort: filesystems that refuse directory fds
+    are skipped.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystem
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - exotic filesystem
+        pass
+    finally:
+        os.close(fd)
 
 
 def load_snapshot(path) -> tuple[ParticleSystem, dict]:
@@ -75,6 +98,18 @@ def load_snapshot(path) -> tuple[ParticleSystem, dict]:
     path = Path(path)
     if not path.exists():
         raise SnapshotError(f"snapshot not found: {path}")
+    try:
+        return _load(path)
+    except SnapshotError:
+        raise
+    except (ValueError, OSError, EOFError, KeyError, zipfile.BadZipFile) as exc:
+        # numpy surfaces truncation/corruption as BadZipFile, ValueError
+        # ("pickled data"), EOFError or CRC OSErrors depending on where
+        # the damage sits; callers get one stable contract
+        raise SnapshotError(f"corrupt or truncated snapshot {path}: {exc}") from exc
+
+
+def _load(path: Path) -> tuple[ParticleSystem, dict]:
     with np.load(path, allow_pickle=False) as data:
         missing = [name for name in _ARRAYS if name not in data]
         if missing:

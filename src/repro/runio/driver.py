@@ -207,6 +207,10 @@ class ProductionRun:
             "energy_error_limit": state.get("energy_error_limit"),
             "selftest_every": state.get("selftest_every"),
             "run_id": state.get("run_id", "run"),
+            # keep carrying the backend recipe: without this, checkpoints
+            # written *after* a resume would lose the config and a second
+            # resume could not rebuild the backend
+            "checkpoint_metadata": state.get("config"),
         }
         kwargs.update(overrides)
         run = cls(sim, directory, **kwargs)

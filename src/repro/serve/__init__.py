@@ -1,0 +1,60 @@
+"""Fault-tolerant multi-tenant campaign service.
+
+The production-scale half of the paper's story: the 29.5 Tflops run was
+a long-lived campaign on hardware that loses chips and boards
+mid-flight, and the host's job was to keep the pipeline fed anyway.
+This package is that host-orchestration layer for *many* concurrent
+runs: a journaled job orchestrator that survives worker death, hung
+workers, poison jobs and its own death without losing a job.
+
+The pieces:
+
+* :mod:`~repro.serve.jobs` — the job model and its declared state
+  machine (``queued -> leased -> running -> checkpointed -> done |
+  failed | dead_lettered``), enforced at runtime and linted statically;
+* :mod:`~repro.serve.journal` — crash-safe append-only JSONL journal,
+  the service's write-ahead source of truth;
+* :mod:`~repro.serve.retry` — bounded retries with exponential,
+  deterministically jittered backoff and per-job timeouts;
+* :mod:`~repro.serve.queue` — per-tenant fair queueing + token-based
+  admission control (overload is *rejected*, not queued unboundedly);
+* :mod:`~repro.serve.worker` — the process worker: rebuilds a run from
+  its declarative config, heartbeats, resumes from checkpoints,
+  publishes results idempotently;
+* :mod:`~repro.serve.service` — :class:`CampaignService`, the
+  orchestrator tying it together, with ``serve.*`` metrics through
+  :mod:`repro.obs`.
+
+See ``docs/SERVE.md`` for the architecture and failure-mode table.
+"""
+
+from .config import ScenarioConfig, build_backend, load_campaign_spec
+from .jobs import LEGAL_TRANSITIONS, TERMINAL_STATES, Job, JobState
+from .journal import JobJournal, JournalScan, scan_journal
+from .queue import AdmissionLimiter, FairQueue
+from .retry import RetryPolicy
+from .service import CampaignReport, CampaignService, render_status
+from .worker import execute_job, read_result, state_digest, worker_main
+
+__all__ = [
+    "ScenarioConfig",
+    "build_backend",
+    "load_campaign_spec",
+    "Job",
+    "JobState",
+    "LEGAL_TRANSITIONS",
+    "TERMINAL_STATES",
+    "JobJournal",
+    "JournalScan",
+    "scan_journal",
+    "AdmissionLimiter",
+    "FairQueue",
+    "RetryPolicy",
+    "CampaignService",
+    "CampaignReport",
+    "render_status",
+    "execute_job",
+    "read_result",
+    "state_digest",
+    "worker_main",
+]

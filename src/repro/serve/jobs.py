@@ -1,0 +1,173 @@
+"""Job model and state machine for the campaign service.
+
+A *job* is one simulation request: a tenant, a declarative scenario
+config, and a run directory.  Its lifecycle is an explicit state
+machine::
+
+    queued ──▶ leased ──▶ running ──▶ checkpointed ──▶ done
+      ▲          │           │             │
+      │◀─────────┘           ▼             ▼
+      │                   failed ────▶ dead_lettered
+      └──────────────────────┘
+    (rejected is a submission outcome, not a transition)
+
+Every transition the service performs goes through
+:meth:`Job.transition`, which enforces :data:`LEGAL_TRANSITIONS` at
+runtime; ``tools/check_job_states.py`` verifies statically that the
+service source never requests an undeclared transition.
+
+Design notes:
+
+* ``leased/running/checkpointed → queued`` is the *re-lease* path — a
+  lease returned without burning a retry attempt (orchestrator restart,
+  worker that never started).  A worker *death* or *hang* instead goes
+  through ``failed``, which consumes an attempt and consults the retry
+  policy.
+* ``checkpointed`` means the running job has durable progress on disk;
+  when its worker later dies the next attempt resumes from that
+  checkpoint instead of starting over (bit-identical, see
+  :mod:`repro.resilience.checkpoint`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import ConfigurationError, JobStateError
+
+__all__ = [
+    "JobState",
+    "LEGAL_TRANSITIONS",
+    "TERMINAL_STATES",
+    "Job",
+]
+
+
+class JobState(Enum):
+    """Lifecycle states of a campaign job."""
+
+    QUEUED = "queued"
+    LEASED = "leased"
+    RUNNING = "running"
+    CHECKPOINTED = "checkpointed"
+    DONE = "done"
+    FAILED = "failed"
+    DEAD_LETTERED = "dead_lettered"
+    REJECTED = "rejected"
+
+
+#: The declared legal transition table — single source of truth for the
+#: state machine (``tools/check_job_states.py`` lints the service
+#: source against it).  Initial states are QUEUED (admitted) and
+#: REJECTED (shed by the admission limiter); terminal states have no
+#: outgoing edges.
+LEGAL_TRANSITIONS: dict[JobState, frozenset[JobState]] = {
+    JobState.QUEUED: frozenset({JobState.LEASED}),
+    JobState.LEASED: frozenset(
+        {JobState.RUNNING, JobState.QUEUED, JobState.FAILED}
+    ),
+    JobState.RUNNING: frozenset(
+        {JobState.CHECKPOINTED, JobState.DONE, JobState.FAILED, JobState.QUEUED}
+    ),
+    JobState.CHECKPOINTED: frozenset(
+        {JobState.DONE, JobState.FAILED, JobState.QUEUED}
+    ),
+    JobState.FAILED: frozenset({JobState.QUEUED, JobState.DEAD_LETTERED}),
+    JobState.DONE: frozenset(),
+    JobState.DEAD_LETTERED: frozenset(),
+    JobState.REJECTED: frozenset(),
+}
+
+#: States a job never leaves (exactly one terminal record per job).
+TERMINAL_STATES: frozenset[JobState] = frozenset(
+    {JobState.DONE, JobState.DEAD_LETTERED, JobState.REJECTED}
+)
+
+_JOB_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+@dataclass
+class Job:
+    """One campaign job and its mutable orchestration state."""
+
+    job_id: str
+    tenant: str
+    config: dict
+    state: JobState = JobState.QUEUED
+    #: Retry attempt the next/current execution belongs to (1-based).
+    attempt: int = 1
+    #: Wall-clock time before which the job must not be leased (backoff).
+    not_before: float = 0.0
+    #: Last error string (worker exit, timeout, lease expiry reason).
+    error: str | None = None
+    #: Worker result payload once the job is done.
+    result: dict | None = None
+    #: Submission order, used for deterministic FIFO within a tenant.
+    seq: int = 0
+    checkpoints: int = 0
+    history: list[JobState] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not _JOB_ID_RE.match(self.job_id):
+            raise ConfigurationError(
+                f"job id {self.job_id!r} is not filesystem-safe "
+                "(want [A-Za-z0-9][A-Za-z0-9._-]*)"
+            )
+        if not self.tenant or "/" in self.tenant:
+            raise ConfigurationError(f"bad tenant name {self.tenant!r}")
+
+    # -- state machine ---------------------------------------------------
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def can_transition(self, new: JobState) -> bool:
+        return new in LEGAL_TRANSITIONS[self.state]
+
+    def transition(self, new: JobState, error: str | None = None) -> JobState:
+        """Move to ``new``; raises :class:`JobStateError` when illegal."""
+        if not self.can_transition(new):
+            raise JobStateError(
+                f"job {self.job_id}: illegal transition "
+                f"{self.state.value} -> {new.value}"
+            )
+        self.history.append(self.state)
+        self.state = new
+        if error is not None:
+            self.error = error
+        return new
+
+    # -- journal round-trip ----------------------------------------------
+
+    def to_record(self) -> dict:
+        """The journal payload for the job's *current* state."""
+        rec = {
+            "id": self.job_id,
+            "tenant": self.tenant,
+            "state": self.state.value,
+            "attempt": self.attempt,
+            "seq": self.seq,
+        }
+        if self.error is not None:
+            rec["error"] = self.error
+        if self.result is not None:
+            rec["result"] = self.result
+        return rec
+
+    @classmethod
+    def from_records(cls, submit: dict, latest: dict) -> "Job":
+        """Rebuild a job from its submit record + newest journal record."""
+        job = cls(
+            job_id=submit["id"],
+            tenant=submit["tenant"],
+            config=submit.get("config", {}),
+            state=JobState(latest.get("state", "queued")),
+            attempt=int(latest.get("attempt", 1)),
+            seq=int(submit.get("seq", 0)),
+        )
+        job.error = latest.get("error")
+        job.result = latest.get("result")
+        return job

@@ -1,0 +1,139 @@
+"""Crash-safe, append-only job journal (write-ahead JSONL).
+
+The journal is the service's source of truth: every state transition is
+appended *before* it is applied in memory, so killing the orchestrator
+at any instant loses nothing — a recovery scan replays the file and
+reconstructs every job at its last durable state.
+
+Durability contract:
+
+* records are single ``write()`` calls of one ``\\n``-terminated JSON
+  object on an ``O_APPEND`` file, flushed (and ``fsync``\\ ed when
+  ``fsync=True``, the default) before :meth:`JobJournal.append`
+  returns;
+* the recovery scan tolerates a torn final line (the crash happened
+  mid-append: that transition never took effect) but refuses a corrupt
+  line in the middle of the file, which indicates real damage;
+* the journal is never rewritten in place.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ServeError
+
+__all__ = ["JobJournal", "JournalScan", "scan_journal"]
+
+
+@dataclass
+class JournalScan:
+    """Result of replaying a journal file."""
+
+    #: job id -> submit record (first ``state=queued/rejected`` record).
+    submits: dict[str, dict] = field(default_factory=dict)
+    #: job id -> newest record seen for the job.
+    latest: dict[str, dict] = field(default_factory=dict)
+    #: every record, in file order (fairness audits, ``serve status``).
+    records: list[dict] = field(default_factory=list)
+    #: campaign header record, when present.
+    header: dict | None = None
+    #: whether a torn (truncated) final line was discarded.
+    torn_tail: bool = False
+
+    def states(self) -> dict[str, str]:
+        """job id -> latest state value."""
+        return {jid: rec.get("state", "?") for jid, rec in self.latest.items()}
+
+
+def scan_journal(path) -> JournalScan:
+    """Replay ``path``; raises :class:`ServeError` on mid-file corruption."""
+    path = Path(path)
+    scan = JournalScan()
+    if not path.exists():
+        return scan
+    raw = path.read_bytes()
+    if not raw:
+        return scan
+    lines = raw.split(b"\n")
+    # a well-formed journal ends with a newline -> last element is b""
+    tail_complete = lines[-1] == b""
+    body = lines[:-1]
+    tail = None if tail_complete else lines[-1]
+    for i, line in enumerate(body):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ServeError(
+                f"journal {path} is corrupt at line {i + 1}: {exc}"
+            ) from exc
+        _apply(scan, rec)
+    if tail is not None:
+        try:
+            _apply(scan, json.loads(tail))
+        except json.JSONDecodeError:
+            scan.torn_tail = True  # crash mid-append: drop the tail
+    return scan
+
+
+def _apply(scan: JournalScan, rec: dict) -> None:
+    kind = rec.get("kind")
+    if kind == "campaign":
+        if scan.header is None:
+            scan.header = rec
+        return
+    if kind != "job":
+        return
+    jid = rec.get("id")
+    if jid is None:
+        return
+    scan.records.append(rec)
+    if jid not in scan.submits and rec.get("state") in ("queued", "rejected"):
+        scan.submits.setdefault(jid, rec)
+    scan.latest[jid] = rec
+
+
+class JobJournal:
+    """Appends job records to ``<path>`` with crash-safe semantics."""
+
+    def __init__(self, path, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        # O_APPEND: concurrent-safe single-writer appends, and a reopened
+        # journal (orchestrator restart) continues the same file.
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self.records_written = 0
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (write + flush + optional fsync)."""
+        if self._fh.closed:
+            raise ServeError(f"journal {self.path} is closed")
+        try:
+            line = json.dumps(record, sort_keys=True)
+        except TypeError as exc:
+            raise ServeError(f"non-serialisable journal record: {exc}") from exc
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+        self.records_written += 1
+
+    def scan(self) -> JournalScan:
+        return scan_journal(self.path)
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,126 @@
+"""Per-tenant fair queueing and token-based admission control.
+
+Two cooperating pieces of graceful degradation:
+
+* :class:`AdmissionLimiter` — a token pool consulted at submission.
+  Every admitted job holds one global token (and one per-tenant token
+  when a quota is set) until it reaches a terminal state.  When tokens
+  run out the submission is **rejected** — a clear outcome the client
+  can see and retry later, instead of an unbounded queue that hides the
+  overload until memory or latency gives it away.
+
+* :class:`FairQueue` — one FIFO per tenant, drained round-robin, so a
+  tenant submitting 1000 jobs cannot starve a tenant submitting 10.
+  Jobs carry a ``not_before`` stamp (retry backoff); a tenant whose
+  head-of-line job is still backing off is skipped without blocking the
+  rotation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import ConfigurationError
+from .jobs import Job
+
+__all__ = ["AdmissionLimiter", "FairQueue"]
+
+
+class AdmissionLimiter:
+    """Bounded token pool; submissions beyond capacity are shed."""
+
+    def __init__(self, capacity: int, per_tenant: int | None = None) -> None:
+        if capacity < 1:
+            raise ConfigurationError("admission capacity must be >= 1")
+        if per_tenant is not None and per_tenant < 1:
+            raise ConfigurationError("per-tenant capacity must be >= 1")
+        self.capacity = capacity
+        self.per_tenant = per_tenant
+        self._held = 0
+        self._held_by: dict[str, int] = {}
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._held
+
+    def held_by(self, tenant: str) -> int:
+        return self._held_by.get(tenant, 0)
+
+    def try_acquire(self, tenant: str) -> bool:
+        """Take one admission token for ``tenant``; False = shed load."""
+        if self._held >= self.capacity:
+            return False
+        if (
+            self.per_tenant is not None
+            and self._held_by.get(tenant, 0) >= self.per_tenant
+        ):
+            return False
+        self._held += 1
+        self._held_by[tenant] = self._held_by.get(tenant, 0) + 1
+        return True
+
+    def force_acquire(self, tenant: str) -> None:
+        """Take a token unconditionally (journal recovery re-admission).
+
+        Jobs admitted by a previous orchestrator must keep their seats
+        even if the service was restarted with a smaller capacity.
+        """
+        self._held += 1
+        self._held_by[tenant] = self._held_by.get(tenant, 0) + 1
+
+    def release(self, tenant: str) -> None:
+        """Return the token of a job that reached a terminal state."""
+        if self._held <= 0 or self._held_by.get(tenant, 0) <= 0:
+            raise ConfigurationError(
+                f"admission release without acquire (tenant {tenant!r})"
+            )
+        self._held -= 1
+        self._held_by[tenant] -= 1
+
+
+class FairQueue:
+    """Round-robin-over-tenants FIFO of runnable jobs."""
+
+    def __init__(self) -> None:
+        self._queues: dict[str, deque[Job]] = {}
+        self._rotation: deque[str] = deque()
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def depth_by_tenant(self) -> dict[str, int]:
+        return {t: len(q) for t, q in self._queues.items() if q}
+
+    def push(self, job: Job) -> None:
+        """Enqueue ``job`` at its tenant's tail."""
+        if job.tenant not in self._queues:
+            self._queues[job.tenant] = deque()
+            self._rotation.append(job.tenant)
+        self._queues[job.tenant].append(job)
+
+    def pop(self, now: float) -> Job | None:
+        """Next runnable job in fair rotation, or None.
+
+        Visits each tenant at most once per call; a tenant whose
+        head-of-line job is backing off (``not_before > now``) keeps its
+        queue order but yields its turn.
+        """
+        for _ in range(len(self._rotation)):
+            tenant = self._rotation[0]
+            self._rotation.rotate(-1)
+            queue = self._queues.get(tenant)
+            if not queue:
+                continue
+            if queue[0].not_before > now:
+                continue
+            return queue.popleft()
+        return None
+
+    def soonest_not_before(self, now: float) -> float | None:
+        """Earliest ``not_before`` among currently blocked heads."""
+        stamps = [
+            q[0].not_before
+            for q in self._queues.values()
+            if q and q[0].not_before > now
+        ]
+        return min(stamps) if stamps else None

@@ -1,0 +1,96 @@
+"""Retry policy: bounded attempts, exponential backoff, seeded jitter.
+
+The schedule is **deterministic**: given the policy seed, a job id and
+an attempt number, the backoff delay is a pure function — reproducing a
+campaign reproduces its retry timing decisions.  Jitter is derived from
+SHA-256 (stable across processes and Python versions, unlike ``hash``)
+and decorrelates the retry storms of jobs that failed together.
+
+After ``max_attempts`` failed attempts the decision becomes
+``dead_letter``: the job is parked with its final error instead of
+retrying forever (poison jobs must not wedge the pool).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Decides whether and when a failed job attempt is retried.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total execution attempts a job gets before dead-lettering.
+    base_delay:
+        Backoff before the first retry (seconds).
+    multiplier:
+        Exponential growth factor of successive delays.
+    max_delay:
+        Cap on a single backoff delay (seconds).
+    jitter:
+        Fraction of the delay added as deterministic jitter in
+        ``[0, jitter * delay)``; 0 disables jitter.
+    job_timeout:
+        Wall-clock cap on one attempt (seconds; None = no cap).  A
+        timed-out worker is killed and the attempt counts as a failure.
+    seed:
+        Decorrelation seed for the jitter hash.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.5
+    job_timeout: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigurationError("backoff delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError("jitter must be in [0, 1]")
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ConfigurationError("job_timeout must be positive")
+
+    # -- decisions -------------------------------------------------------
+
+    def exhausted(self, attempt: int) -> bool:
+        """True when ``attempt`` failures mean the job dead-letters."""
+        return attempt >= self.max_attempts
+
+    def delay(self, job_id: str, attempt: int) -> float:
+        """Backoff before retrying after failed attempt ``attempt``."""
+        if attempt < 1:
+            raise ConfigurationError("attempt numbers are 1-based")
+        raw = self.base_delay * self.multiplier ** (attempt - 1)
+        raw = min(raw, self.max_delay)
+        return raw + self._jitter(job_id, attempt) * self.jitter * raw
+
+    def schedule(self, job_id: str) -> list[float]:
+        """All backoff delays the job could see (one per retry)."""
+        return [
+            self.delay(job_id, attempt)
+            for attempt in range(1, self.max_attempts)
+        ]
+
+    def _jitter(self, job_id: str, attempt: int) -> float:
+        """Deterministic uniform [0, 1) from (seed, job_id, attempt)."""
+        digest = hashlib.sha256(
+            f"{self.seed}:{job_id}:{attempt}".encode()
+        ).digest()
+        (value,) = struct.unpack_from("<Q", digest)
+        return value / 2**64

@@ -1,0 +1,532 @@
+"""The fault-tolerant multi-tenant campaign orchestrator.
+
+:class:`CampaignService` accepts declarative job submissions, executes
+them on a bounded pool of process workers, and never loses a job:
+
+* every state transition is journaled (write-ahead, fsync'd) before the
+  service acts on it, so killing the orchestrator at any instant and
+  constructing a new service on the same directory resumes the campaign
+  — completed jobs stay completed, in-flight jobs are re-queued and
+  their next attempt resumes from the last checkpoint;
+* worker death is detected by process exit, hung workers by lease
+  expiry (heartbeat mtime), and both feed the
+  :class:`~repro.serve.retry.RetryPolicy` — bounded retries with
+  exponential, deterministically jittered backoff, then the
+  dead-letter queue;
+* admission control (:class:`~repro.serve.queue.AdmissionLimiter`)
+  sheds load with an explicit ``rejected`` outcome and the
+  :class:`~repro.serve.queue.FairQueue` keeps tenants within a worker
+  of each other instead of first-come-first-starve.
+
+The service is single-threaded and non-blocking: :meth:`step` performs
+one orchestration round (reap, relaunch, account) and returns the
+number of outstanding jobs; :meth:`run` loops it to idleness.  Tests
+drive :meth:`step` directly to interleave seeded worker kills.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import re
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ServeError
+from .config import ScenarioConfig
+from .jobs import TERMINAL_STATES, Job, JobState
+from .journal import JobJournal, JournalScan, scan_journal
+from .queue import AdmissionLimiter, FairQueue
+from .retry import RetryPolicy
+from .worker import ERROR_FILE, HEARTBEAT_FILE, read_result, worker_main
+
+__all__ = ["CampaignService", "CampaignReport", "render_status"]
+
+_TENANT_METRIC_RE = re.compile(r"[^a-z0-9_]")
+
+
+@dataclass
+class _Flight:
+    """One live worker process and its lease bookkeeping."""
+
+    job: Job
+    proc: multiprocessing.Process
+    started: float
+    #: newest heartbeat wall-time the orchestrator has observed
+    last_beat: float
+
+
+@dataclass
+class CampaignReport:
+    """Final accounting of a campaign drained to idleness."""
+
+    submitted: int
+    rejected: int
+    done: int
+    dead_lettered: int
+    retries: int
+    lease_expiries: int
+    lost: int
+    wall_seconds: float
+    done_by_tenant: dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        lines = [
+            f"campaign complete in {self.wall_seconds:.1f} s",
+            f"  jobs: {self.submitted} submitted, {self.done} done, "
+            f"{self.dead_lettered} dead-lettered, {self.rejected} rejected",
+            f"  recovery: {self.retries} retries, "
+            f"{self.lease_expiries} lease expiries, {self.lost} lost",
+        ]
+        if self.done_by_tenant:
+            per = "  ".join(
+                f"{t}={n}" for t, n in sorted(self.done_by_tenant.items())
+            )
+            lines.append(f"  per-tenant done: {per}")
+        return "\n".join(lines)
+
+
+class CampaignService:
+    """Journaled multi-tenant job orchestrator over process workers.
+
+    Parameters
+    ----------
+    directory:
+        Campaign root: ``journal.jsonl`` plus one run directory per job
+        under ``jobs/``.  Constructing a service on a directory with an
+        existing journal **recovers** the campaign: terminal jobs are
+        kept as-is, interrupted jobs are re-queued (their retry budget
+        intact) and resume from their checkpoints.
+    workers:
+        Bounded worker-pool size (concurrent worker processes).
+    retry:
+        :class:`RetryPolicy` applied to failed attempts.
+    capacity / per_tenant_capacity:
+        Admission-limiter tokens: jobs admitted but not yet terminal.
+        Submissions beyond either bound are *rejected*, not queued.
+        ``capacity`` defaults to ``64 * workers``.
+    lease_seconds:
+        A running job whose heartbeat is older than this is considered
+        hung; its worker is killed and the attempt fails.
+    poll_interval:
+        Sleep between :meth:`run` orchestration rounds.
+    fsync:
+        Fsync journal appends (disable only in tests that don't crash).
+    """
+
+    def __init__(
+        self,
+        directory,
+        workers: int = 4,
+        retry: RetryPolicy | None = None,
+        capacity: int | None = None,
+        per_tenant_capacity: int | None = None,
+        lease_seconds: float = 10.0,
+        poll_interval: float = 0.05,
+        obs=None,
+        fsync: bool = True,
+        name: str = "campaign",
+    ) -> None:
+        from ..obs import NULL_OBS
+
+        if workers < 1:
+            raise ServeError("campaign service needs at least one worker")
+        if lease_seconds <= 0:
+            raise ServeError("lease_seconds must be positive")
+        self.directory = Path(directory)
+        self.jobs_dir = self.directory / "jobs"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.workers = workers
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.lease_seconds = lease_seconds
+        self.poll_interval = poll_interval
+        self.obs = obs or NULL_OBS
+        self.name = name
+
+        self.limiter = AdmissionLimiter(
+            capacity if capacity is not None else 64 * workers,
+            per_tenant=per_tenant_capacity,
+        )
+        self.queue = FairQueue()
+        self.jobs: dict[str, Job] = {}
+        self._flights: dict[str, _Flight] = {}
+        self._seq = 0
+        self._started = time.time()
+        self.retries = 0
+        self.lease_expiries = 0
+
+        if "fork" in multiprocessing.get_all_start_methods():
+            self._ctx = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - non-posix fallback
+            self._ctx = multiprocessing.get_context()
+
+        m = self.obs.metrics
+        self._c_submitted = m.counter("serve.jobs_submitted_total")
+        self._c_rejected = m.counter("serve.jobs_rejected_total")
+        self._c_done = m.counter("serve.jobs_done_total")
+        self._c_failed = m.counter("serve.attempts_failed_total")
+        self._c_dead = m.counter("serve.jobs_dead_lettered_total")
+        self._c_lost = m.counter("serve.jobs_lost_total")
+        self._c_retries = m.counter("serve.retries_total")
+        self._c_leases = m.counter("serve.leases_total")
+        self._c_expiries = m.counter("serve.lease_expiries_total")
+        self._c_deaths = m.counter("serve.worker_deaths_total")
+        self._g_depth = m.gauge("serve.queue_depth")
+        self._g_busy = m.gauge("serve.workers_busy")
+        self._h_job_s = m.histogram("serve.job_seconds")
+
+        fresh = not (self.directory / "journal.jsonl").exists()
+        self.journal = JobJournal(self.directory / "journal.jsonl", fsync=fsync)
+        if fresh:
+            self.journal.append(
+                {"kind": "campaign", "name": name, "workers": workers,
+                 "ts": time.time()}
+            )
+        else:
+            self._recover()
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, tenant: str, scenario: ScenarioConfig | dict,
+               job_id: str | None = None) -> Job:
+        """Admit (or reject) one job; returns it with its outcome state."""
+        config = (
+            scenario.to_dict()
+            if isinstance(scenario, ScenarioConfig)
+            else ScenarioConfig.from_dict(dict(scenario)).to_dict()
+        )
+        self._seq += 1
+        if job_id is None:
+            job_id = f"{tenant}-{self._seq:05d}"
+        if job_id in self.jobs:
+            raise ServeError(f"duplicate job id {job_id!r}")
+        job = Job(job_id=job_id, tenant=tenant, config=config, seq=self._seq)
+        if not self.limiter.try_acquire(tenant):
+            job.state = JobState.REJECTED
+            job.error = "admission limit reached"
+            self._journal_job(job, reason="admission limit reached")
+            self.jobs[job_id] = job
+            self._c_rejected.inc()
+            return job
+        self.jobs[job_id] = job
+        self._journal_job(job)  # the submit record (state=queued + config)
+        self.queue.push(job)
+        self._c_submitted.inc()
+        self._g_depth.set(len(self.queue))
+        return job
+
+    # -- recovery --------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Replay the journal and re-queue every interrupted job."""
+        scan = self.journal.scan()
+        for jid, submit in scan.submits.items():
+            job = Job.from_records(submit, scan.latest[jid])
+            self.jobs[jid] = job
+            self._seq = max(self._seq, job.seq)
+            if job.state is JobState.REJECTED:
+                continue
+            if job.state in TERMINAL_STATES:
+                continue
+            self.limiter.force_acquire(job.tenant)
+            if job.state is JobState.FAILED:
+                # crashed between journaling the failure and deciding:
+                # apply the retry decision now
+                self._decide_retry(job, now=time.time())
+                continue
+            if job.state is not JobState.QUEUED:
+                # leased / running / checkpointed: the old orchestrator's
+                # worker is gone; re-lease without burning an attempt
+                job.transition(JobState.QUEUED)
+                self._journal_job(job, reason="orchestrator restart")
+            self.queue.push(job)
+        self._g_depth.set(len(self.queue))
+
+    # -- orchestration ---------------------------------------------------
+
+    def step(self, now: float | None = None) -> int:
+        """One orchestration round; returns outstanding job count."""
+        now = time.time() if now is None else now
+        self._reap(now)
+        self._launch(now)
+        self._g_depth.set(len(self.queue))
+        self._g_busy.set(len(self._flights))
+        return len(self.queue) + len(self._flights)
+
+    def run(self, max_seconds: float | None = None) -> CampaignReport:
+        """Drive :meth:`step` until the campaign is idle; blocking."""
+        deadline = None if max_seconds is None else time.time() + max_seconds
+        while True:
+            outstanding = self.step()
+            if outstanding == 0:
+                break
+            if deadline is not None and time.time() > deadline:
+                raise ServeError(
+                    f"campaign did not drain within {max_seconds} s "
+                    f"({outstanding} jobs outstanding)"
+                )
+            time.sleep(self.poll_interval)
+        return self.report()
+
+    def _launch(self, now: float) -> None:
+        while len(self._flights) < self.workers:
+            job = self.queue.pop(now)
+            if job is None:
+                return
+            job.transition(JobState.LEASED)
+            self._journal_job(job)
+            self._c_leases.inc()
+            payload = {
+                "job_id": job.job_id,
+                "tenant": job.tenant,
+                "attempt": job.attempt,
+                "run_dir": str(self.run_dir(job.job_id)),
+                "config": job.config,
+            }
+            try:
+                proc = self._ctx.Process(
+                    target=worker_main, args=(payload,), daemon=True
+                )
+                proc.start()
+            except OSError as exc:  # pragma: no cover - resource exhaustion
+                job.transition(JobState.FAILED, error=f"spawn failed: {exc}")
+                self._journal_job(job)
+                self._c_failed.inc()
+                self._decide_retry(job, now)
+                continue
+            job.transition(JobState.RUNNING)
+            self._journal_job(job)
+            self._flights[job.job_id] = _Flight(
+                job=job, proc=proc, started=now, last_beat=now
+            )
+
+    def _reap(self, now: float) -> None:
+        for jid in list(self._flights):
+            flight = self._flights[jid]
+            job = flight.job
+            if not flight.proc.is_alive():
+                code = flight.proc.exitcode
+                flight.proc.join()
+                del self._flights[jid]
+                if code == 0:
+                    self._complete(job, now, flight)
+                else:
+                    if code is not None and code < 0:
+                        self._c_deaths.inc()
+                        reason = f"worker killed by signal {-code}"
+                    else:
+                        reason = self._worker_error(jid) or f"worker exit {code}"
+                    self._fail_attempt(job, reason, now)
+                continue
+            self._observe_heartbeat(flight, job, now)
+            deadline = max(flight.started, flight.last_beat) + self.lease_seconds
+            timeout = self.retry.job_timeout
+            if timeout is not None and now - flight.started > timeout:
+                self._kill_flight(flight)
+                del self._flights[jid]
+                self._fail_attempt(
+                    job, f"job timeout after {timeout:g} s", now
+                )
+            elif now > deadline:
+                self.lease_expiries += 1
+                self._c_expiries.inc()
+                self._kill_flight(flight)
+                del self._flights[jid]
+                self._fail_attempt(job, "lease expired (hung worker)", now)
+
+    def _observe_heartbeat(self, flight: _Flight, job: Job, now: float) -> None:
+        hb = self.run_dir(job.job_id) / HEARTBEAT_FILE
+        try:
+            stat = hb.stat()
+        except OSError:
+            return
+        if stat.st_mtime > flight.last_beat:
+            flight.last_beat = stat.st_mtime
+        if job.state is JobState.RUNNING:
+            import json
+
+            try:
+                beat = json.loads(hb.read_text())
+            except (OSError, ValueError):
+                return
+            if int(beat.get("checkpoints", 0)) > 0:
+                job.checkpoints = int(beat["checkpoints"])
+                job.transition(JobState.CHECKPOINTED)
+                self._journal_job(job)
+
+    def _complete(self, job: Job, now: float, flight: _Flight) -> None:
+        result = read_result(self.run_dir(job.job_id))
+        if result is None:
+            self._fail_attempt(
+                job, "worker exited cleanly without publishing a result", now
+            )
+            return
+        job.result = result
+        job.transition(JobState.DONE)
+        self._journal_job(job)
+        self.limiter.release(job.tenant)
+        self._c_done.inc()
+        self._h_job_s.observe(now - flight.started)
+        tenant = _TENANT_METRIC_RE.sub("_", job.tenant.lower()) or "unknown"
+        self.obs.metrics.counter(f"serve.tenant.{tenant}_done_total").inc()
+
+    def _fail_attempt(self, job: Job, reason: str, now: float) -> None:
+        job.transition(JobState.FAILED, error=reason)
+        self._journal_job(job, reason=reason)
+        self._c_failed.inc()
+        self._decide_retry(job, now)
+
+    def _decide_retry(self, job: Job, now: float) -> None:
+        if self.retry.exhausted(job.attempt):
+            job.transition(JobState.DEAD_LETTERED)
+            self._journal_job(job, reason=f"retries exhausted: {job.error}")
+            self.limiter.release(job.tenant)
+            self._c_dead.inc()
+            return
+        delay = self.retry.delay(job.job_id, job.attempt)
+        job.attempt += 1
+        job.not_before = now + delay
+        job.transition(JobState.QUEUED)
+        self._journal_job(job, reason=f"retry in {delay:.3f} s")
+        self.queue.push(job)
+        self.retries += 1
+        self._c_retries.inc()
+
+    def _worker_error(self, job_id: str) -> str | None:
+        """The failure message a worker published, if any."""
+        path = self.run_dir(job_id) / ERROR_FILE
+        try:
+            text = path.read_text().strip()
+        except OSError:
+            return None
+        return text or None
+
+    def _kill_flight(self, flight: _Flight) -> None:
+        proc = flight.proc
+        if proc.pid is not None and proc.is_alive():
+            try:
+                os.kill(proc.pid, signal.SIGKILL)
+            except ProcessLookupError:  # pragma: no cover - raced exit
+                pass
+        proc.join()
+
+    # -- introspection ---------------------------------------------------
+
+    def run_dir(self, job_id: str) -> Path:
+        return self.jobs_dir / job_id
+
+    def worker_pids(self) -> dict[str, int]:
+        """job id -> live worker pid (fault-injection hooks in tests)."""
+        return {
+            jid: f.proc.pid
+            for jid, f in self._flights.items()
+            if f.proc.pid is not None and f.proc.is_alive()
+        }
+
+    def outstanding(self) -> int:
+        return sum(1 for j in self.jobs.values() if not j.terminal)
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for job in self.jobs.values():
+            out[job.state.value] = out.get(job.state.value, 0) + 1
+        return out
+
+    def report(self) -> CampaignReport:
+        """Final accounting; counts any non-terminal survivor as *lost*."""
+        done_by_tenant: dict[str, int] = {}
+        counts = {"done": 0, "dead_lettered": 0, "rejected": 0}
+        lost = 0
+        for job in self.jobs.values():
+            if job.state is JobState.DONE:
+                counts["done"] += 1
+                done_by_tenant[job.tenant] = done_by_tenant.get(job.tenant, 0) + 1
+            elif job.state is JobState.DEAD_LETTERED:
+                counts["dead_lettered"] += 1
+            elif job.state is JobState.REJECTED:
+                counts["rejected"] += 1
+            else:
+                lost += 1
+        if lost:
+            self._c_lost.inc(lost)
+        return CampaignReport(
+            submitted=len(self.jobs) - counts["rejected"],
+            rejected=counts["rejected"],
+            done=counts["done"],
+            dead_lettered=counts["dead_lettered"],
+            retries=self.retries,
+            lease_expiries=self.lease_expiries,
+            lost=lost,
+            wall_seconds=time.time() - self._started,
+            done_by_tenant=done_by_tenant,
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    def shutdown(self, kill_workers: bool = True) -> None:
+        """Stop orchestrating; optionally SIGKILL live workers.
+
+        The journal keeps every in-flight job at its last journaled
+        state, so a later service on the same directory resumes them.
+        """
+        if kill_workers:
+            for flight in self._flights.values():
+                self._kill_flight(flight)
+            self._flights.clear()
+        self.journal.close()
+
+    def __enter__(self) -> "CampaignService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- journal ---------------------------------------------------------
+
+    def _journal_job(self, job: Job, reason: str | None = None) -> None:
+        rec = {"kind": "job", "ts": time.time(), **job.to_record()}
+        if job.state is JobState.QUEUED and len(job.history) == 0:
+            # submit record: carries everything recovery needs
+            rec["config"] = job.config
+            rec["run_dir"] = str(self.run_dir(job.job_id))
+        if reason is not None:
+            rec["reason"] = reason
+        self.journal.append(rec)
+
+
+def render_status(scan: JournalScan, directory="") -> str:
+    """Human status table from a journal scan (``repro serve status``)."""
+    if not scan.latest:
+        return f"no jobs journaled under {directory}"
+    by_state: dict[str, int] = {}
+    by_tenant: dict[str, dict[str, int]] = {}
+    for rec in scan.latest.values():
+        state = rec.get("state", "?")
+        tenant = rec.get("tenant", "?")
+        by_state[state] = by_state.get(state, 0) + 1
+        per = by_tenant.setdefault(tenant, {})
+        per[state] = per.get(state, 0) + 1
+    name = (scan.header or {}).get("name", "campaign")
+    lines = [f"campaign {name!r}: {len(scan.latest)} job(s)"]
+    lines.append(
+        "  states: "
+        + "  ".join(f"{k}={v}" for k, v in sorted(by_state.items()))
+    )
+    for tenant in sorted(by_tenant):
+        states = "  ".join(
+            f"{k}={v}" for k, v in sorted(by_tenant[tenant].items())
+        )
+        lines.append(f"  {tenant:<12} {states}")
+    dead = [
+        rec for rec in scan.latest.values()
+        if rec.get("state") == "dead_lettered"
+    ]
+    for rec in sorted(dead, key=lambda r: r.get("id", "")):
+        lines.append(
+            f"  dead-letter {rec.get('id')}: {rec.get('error', 'unknown')}"
+        )
+    if scan.torn_tail:
+        lines.append("  (journal had a torn tail line — crash mid-append)")
+    return "\n".join(lines)

@@ -1,0 +1,238 @@
+"""The process-based campaign worker.
+
+One worker process executes one job attempt: rebuild the simulation
+from the declarative :class:`~repro.serve.config.ScenarioConfig`,
+run it under :class:`~repro.runio.driver.ProductionRun` with
+checkpointing, and publish ``result.json`` atomically on completion.
+
+Fault-tolerance contract with the orchestrator:
+
+* **Heartbeat** — every block the worker rewrites ``heartbeat.json``
+  in its run directory; the file's mtime renews the job lease.  A
+  worker that dies (SIGKILL, OOM) stops heartbeating and its process
+  exit is observed; a worker that *hangs* keeps the process alive but
+  lets the lease expire, and is killed by the orchestrator.
+* **Resume** — if the run directory already holds checkpoints the
+  worker resumes from the newest valid one, so a retried attempt
+  continues (bit-identically) instead of starting over.
+* **Idempotence** — if ``result.json`` already exists the attempt
+  reports success immediately.  This closes the window where a job
+  finished but the orchestrator died before journaling ``done``: the
+  re-leased attempt is a no-op.
+
+Chaos hooks (``ScenarioConfig.chaos``, used by the fault-injection
+tests in the spirit of :mod:`repro.resilience.faults`):
+
+* ``fail_at_block`` / ``fail_attempts`` — raise at the given block
+  while ``attempt <= fail_attempts`` (transient or poison failures);
+* ``hang_at_block`` / ``hang_attempts`` — stop heartbeating and sleep
+  (exercises lease expiry).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from ..errors import ReproError, ServeError
+from .config import ScenarioConfig
+
+__all__ = [
+    "HEARTBEAT_FILE",
+    "RESULT_FILE",
+    "ERROR_FILE",
+    "EXIT_DONE",
+    "EXIT_FAILED",
+    "execute_job",
+    "worker_main",
+    "state_digest",
+    "read_result",
+]
+
+HEARTBEAT_FILE = "heartbeat.json"
+RESULT_FILE = "result.json"
+ERROR_FILE = "error.txt"
+
+EXIT_DONE = 0
+EXIT_FAILED = 3
+
+
+def state_digest(system, t_final: float, block_steps: int) -> str:
+    """SHA-256 fingerprint of a run's final dynamical state.
+
+    Bit-identical runs — uninterrupted, or killed and resumed any
+    number of times — produce the same digest.
+    """
+    h = hashlib.sha256()
+    for name in ("mass", "pos", "vel", "t"):
+        h.update(getattr(system, name).tobytes())
+    h.update(f"{t_final!r}:{block_steps}".encode())
+    return h.hexdigest()
+
+
+def read_result(run_dir) -> dict | None:
+    """The published result of a completed job, or None."""
+    path = Path(run_dir) / RESULT_FILE
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError:
+        return None  # torn write can't happen (atomic publish); be safe
+
+
+def _publish(path: Path, payload: dict) -> None:
+    """Atomic JSON write: tmp + fsync + rename."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, sort_keys=True)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+class _Heartbeat:
+    """Per-block heartbeat + chaos hook evaluation."""
+
+    def __init__(self, run_dir: Path, attempt: int, chaos: dict) -> None:
+        self.run_dir = run_dir
+        self.attempt = attempt
+        self.chaos = chaos or {}
+        self.blocks = 0
+        self.run = None  # set after ProductionRun construction
+
+    def __call__(self, sim) -> None:
+        self.blocks += 1
+        fail_at = self.chaos.get("fail_at_block")
+        if fail_at is not None and self.blocks == int(fail_at):
+            if self.attempt <= int(self.chaos.get("fail_attempts", 0)):
+                raise ServeError(
+                    f"chaos: injected failure at block {self.blocks} "
+                    f"(attempt {self.attempt})"
+                )
+        hang_at = self.chaos.get("hang_at_block")
+        if hang_at is not None and self.blocks == int(hang_at):
+            if self.attempt <= int(self.chaos.get("hang_attempts", 0)):
+                # stop heartbeating; the orchestrator's lease expires
+                time.sleep(float(self.chaos.get("hang_seconds", 3600.0)))
+        self.write(sim)
+
+    def write(self, sim) -> None:
+        payload = {
+            "pid": os.getpid(),
+            "attempt": self.attempt,
+            "blocks": self.blocks,
+            "checkpoints": (
+                self.run.checkpoints_written if self.run is not None else 0
+            ),
+            "t": float(sim.time) if sim is not None else None,
+        }
+        tmp = self.run_dir / (HEARTBEAT_FILE + ".tmp")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, self.run_dir / HEARTBEAT_FILE)
+
+
+def execute_job(payload: dict) -> dict:
+    """Run one job attempt to completion; returns the result payload.
+
+    ``payload`` carries ``job_id``, ``tenant``, ``attempt``,
+    ``run_dir`` and the scenario ``config`` dict.  Raises
+    :class:`ReproError` subclasses on failure.
+    """
+    from ..runio import ProductionRun
+
+    run_dir = Path(payload["run_dir"])
+    run_dir.mkdir(parents=True, exist_ok=True)
+    attempt = int(payload.get("attempt", 1))
+    config = ScenarioConfig.from_dict(payload["config"])
+
+    existing = read_result(run_dir)
+    if existing is not None:
+        return existing  # a previous attempt finished; idempotent success
+    (run_dir / ERROR_FILE).unlink(missing_ok=True)  # stale from last attempt
+
+    heartbeat = _Heartbeat(run_dir, attempt, config.chaos)
+
+    ckpt_dir = run_dir / "checkpoints"
+    has_checkpoint = any(ckpt_dir.glob("ckpt_*.npz")) if ckpt_dir.is_dir() else False
+    if has_checkpoint:
+        run = ProductionRun.resume(
+            run_dir,
+            config.build_backend(),
+            external_field=_kepler(),
+            timestep_params=_timesteps(config),
+            on_block=heartbeat,
+        )
+    else:
+        run = ProductionRun(
+            config.build_simulation(),
+            run_dir,
+            snapshot_interval=config.snapshot_interval,
+            diagnostics_interval=config.diagnostics_interval,
+            checkpoint_interval=config.checkpoint_interval,
+            checkpoint_metadata={"job_id": payload["job_id"],
+                                 **payload["config"]},
+            run_id=payload["job_id"],
+            on_block=heartbeat,
+        )
+    heartbeat.run = run
+    heartbeat.write(run.sim)
+
+    report = run.execute(None if has_checkpoint else config.t_end)
+    result = {
+        "job_id": payload["job_id"],
+        "tenant": payload["tenant"],
+        "attempt": attempt,
+        "t_final": report.t_final,
+        "block_steps": report.block_steps,
+        "particle_steps": report.particle_steps,
+        "n_final": report.n_final,
+        "max_energy_error": report.max_energy_error,
+        "checkpoints_written": report.checkpoints_written,
+        "state_sha256": state_digest(
+            run.sim.system, report.t_final, report.block_steps
+        ),
+    }
+    _publish(run_dir / RESULT_FILE, result)
+    return result
+
+
+def _kepler():
+    from ..core import KeplerField
+
+    return KeplerField()
+
+
+def _timesteps(config: ScenarioConfig):
+    from ..core import TimestepParams
+
+    return TimestepParams(
+        eta=config.eta, eta_start=config.eta / 2.0, dt_max=config.dt_max
+    )
+
+
+def worker_main(payload: dict) -> None:
+    """Process entry point: run the attempt, exit with a status code.
+
+    The error message of a failed attempt is published to
+    ``error.txt`` in the run directory so the orchestrator can journal
+    a meaningful failure reason.
+    """
+    # many workers share the host: keep each one's kernel engine serial
+    os.environ.setdefault("REPRO_KERNEL_THREADS", "1")
+    run_dir = Path(payload["run_dir"])
+    try:
+        execute_job(payload)
+    except ReproError as exc:
+        run_dir.mkdir(parents=True, exist_ok=True)
+        (run_dir / ERROR_FILE).write_text(f"{type(exc).__name__}: {exc}\n")
+        sys.exit(EXIT_FAILED)
+    except Exception as exc:  # noqa: BLE001 - worker boundary
+        run_dir.mkdir(parents=True, exist_ok=True)
+        (run_dir / ERROR_FILE).write_text(f"{type(exc).__name__}: {exc}\n")
+        sys.exit(EXIT_FAILED)
+    sys.exit(EXIT_DONE)

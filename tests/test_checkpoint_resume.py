@@ -68,6 +68,62 @@ class TestCheckpointManager:
             CheckpointManager(tmp_path).load_latest()
 
 
+class TestCorruptCheckpointFallback:
+    """A damaged newest checkpoint must cost one interval, not the run."""
+
+    def _write_two(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        s = make_random_cluster(4)
+        p1 = mgr.write(s, {"time": 1.0})
+        p2 = mgr.write(s, {"time": 2.0})
+        return mgr, p1, p2
+
+    def test_truncated_newest_falls_back(self, tmp_path):
+        obs = Observability()
+        _, p1, p2 = self._write_two(tmp_path)
+        p2.write_bytes(p2.read_bytes()[:100])  # torn by a host crash
+        mgr = CheckpointManager(tmp_path, obs=obs)
+        _, state = mgr.load_latest()
+        assert state["time"] == 1.0
+        assert mgr.loaded_path == p1
+        assert obs.metrics.counter("checkpoint.skipped_total").value == 1
+
+    def test_garbage_newest_falls_back(self, tmp_path):
+        _, p1, p2 = self._write_two(tmp_path)
+        p2.write_bytes(b"\x00" * 512)
+        mgr = CheckpointManager(tmp_path)
+        _, state = mgr.load_latest()
+        assert state["time"] == 1.0
+        assert mgr.loaded_path == p1
+
+    def test_all_corrupt_raises_with_details(self, tmp_path):
+        _, p1, p2 = self._write_two(tmp_path)
+        p1.write_bytes(b"junk")
+        p2.write_bytes(b"junk")
+        with pytest.raises(CheckpointError, match="2 candidate"):
+            CheckpointManager(tmp_path).load_latest()
+
+    def test_candidates_order_pointer_first(self, tmp_path):
+        mgr, p1, p2 = self._write_two(tmp_path)
+        # a stale pointer must still lead the candidate list
+        (tmp_path / "latest").write_text(p1.name + "\n")
+        assert mgr.candidates() == [p1, p2]
+
+    def test_intact_load_records_path_and_skips_nothing(self, tmp_path):
+        obs = Observability()
+        _, _, p2 = self._write_two(tmp_path)
+        mgr = CheckpointManager(tmp_path, obs=obs)
+        mgr.load_latest()
+        assert mgr.loaded_path == p2
+        assert obs.metrics.counter("checkpoint.skipped_total").value == 0
+
+    def test_file_as_directory_raises_checkpoint_error(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("x")
+        with pytest.raises(CheckpointError, match="not a directory"):
+            CheckpointManager(blocker / "ck")
+
+
 def make_managed_run(tmp_path, name, on_block=None):
     """A small managed disk run with checkpoints every 5 blocks."""
     sim = make_disk_sim(n=24, seed=5, dt_max=0.5)
@@ -204,3 +260,65 @@ class TestCLICheckpointWorkflow:
         err = capsys.readouterr().err
         assert err.startswith("error: no checkpoint found")
         assert "--checkpoint-interval" in err  # tells the user what to do
+
+    def test_resume_with_all_corrupt_checkpoints_exits_2(self, capsys, tmp_path):
+        from repro.cli import main
+
+        d = tmp_path / "rundir"
+        assert main(self.RUN + ["--run-dir", str(d)]) == 0
+        capsys.readouterr()
+        for p in (d / "checkpoints").glob("ckpt_*.npz"):
+            p.write_bytes(b"\x00" * 64)
+        assert main(["run", "--resume", str(d)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: no valid checkpoint")
+        assert "rejected" in err
+
+    def test_resume_falls_back_over_corrupt_newest(self, capsys, tmp_path):
+        from repro.cli import main
+
+        d = tmp_path / "rundir"
+        assert main(self.RUN + ["--run-dir", str(d)]) == 0
+        capsys.readouterr()
+        ckpts = sorted((d / "checkpoints").glob("ckpt_*.npz"))
+        assert len(ckpts) >= 2
+        ckpts[-1].write_bytes(ckpts[-1].read_bytes()[:80])  # torn newest
+        assert main(["run", "--resume", str(d)]) == 0
+        out = capsys.readouterr().out
+        assert f"resuming from {ckpts[-2].name}" in out
+        assert "production run complete" in out
+
+    def test_second_resume_keeps_backend_config(self, capsys, tmp_path):
+        """Checkpoints written *after* a resume keep the config metadata,
+        so a chain of resumes can always rebuild the backend."""
+        from repro.cli import main
+
+        d = tmp_path / "rundir"
+        blocks = [0]
+
+        def killer(s):
+            blocks[0] += 1
+            if blocks[0] == 6:
+                raise SimulationKilled("power cut")
+
+        sim = make_disk_sim(n=16, seed=5, dt_max=0.25)
+        run = ProductionRun(
+            sim, d, checkpoint_interval=4, run_id="chain",
+            checkpoint_metadata={"backend": "host", "eta": 0.02,
+                                 "dt_max": 0.25, "eps": 0.008},
+            on_block=killer,
+        )
+        with pytest.raises(SimulationKilled):
+            run.execute(t_end=3.0)
+
+        # first resume finishes the run and writes further checkpoints
+        assert main(["run", "--resume", str(d)]) == 0
+        capsys.readouterr()
+        mgr = CheckpointManager(d / "checkpoints")
+        _, state = mgr.load_latest()
+        assert state["block_steps"] > 6  # written after the resume
+        assert state.get("config", {}).get("backend") == "host"
+
+        # so a second resume can still rebuild the backend from disk
+        assert main(["run", "--resume", str(d)]) == 0
+        assert "production run complete" in capsys.readouterr().out

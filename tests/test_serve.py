@@ -1,0 +1,579 @@
+"""Tests for the fault-tolerant campaign service (repro.serve).
+
+Unit coverage of the state machine, retry policy, journal, admission
+limiter and fair queue, plus small end-to-end campaigns with injected
+chaos: transient worker failures, poison jobs, hung workers (lease
+expiry), SIGKILLed workers, and orchestrator restarts.  The large
+kill-and-recover stress campaign lives in ``test_serve_stress.py``.
+"""
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError, JobStateError, ServeError
+from repro.obs import Observability
+from repro.serve import (
+    LEGAL_TRANSITIONS,
+    TERMINAL_STATES,
+    AdmissionLimiter,
+    CampaignService,
+    FairQueue,
+    Job,
+    JobState,
+    RetryPolicy,
+    ScenarioConfig,
+    execute_job,
+    load_campaign_spec,
+    read_result,
+    render_status,
+    scan_journal,
+)
+from repro.serve.journal import JobJournal
+
+# small, fast scenario: 2 planetesimal blocks, checkpoint every block
+FAST = {"n": 8, "t_end": 1.0, "dt_max": 0.25, "checkpoint_interval": 2}
+
+
+def fast_scenario(seed=0, **over):
+    merged = {**FAST, "seed": seed, **over}
+    return ScenarioConfig.from_dict(merged)
+
+
+def service(tmp_path, **over):
+    kwargs = {
+        "workers": 2,
+        "retry": RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0),
+        "poll_interval": 0.01,
+        "fsync": False,
+    }
+    kwargs.update(over)
+    return CampaignService(tmp_path / "camp", **kwargs)
+
+
+def terminal_records(directory):
+    """job id -> list of terminal journal records (want length 1)."""
+    scan = scan_journal(directory / "journal.jsonl")
+    terminal = {s.value for s in TERMINAL_STATES}
+    out = {}
+    for rec in scan.records:
+        if rec.get("state") in terminal:
+            out.setdefault(rec["id"], []).append(rec)
+    return out
+
+
+class TestJobStateMachine:
+    def test_happy_path(self):
+        job = Job("j1", "t", {})
+        for state in (JobState.LEASED, JobState.RUNNING,
+                      JobState.CHECKPOINTED, JobState.DONE):
+            job.transition(state)
+        assert job.terminal
+        assert job.history[0] is JobState.QUEUED
+
+    def test_illegal_transition_raises(self):
+        job = Job("j1", "t", {})
+        with pytest.raises(JobStateError, match="queued -> done"):
+            job.transition(JobState.DONE)
+
+    def test_terminal_states_are_final(self):
+        for state in TERMINAL_STATES:
+            assert LEGAL_TRANSITIONS[state] == frozenset()
+
+    def test_every_state_has_a_row(self):
+        assert set(LEGAL_TRANSITIONS) == set(JobState)
+
+    def test_failed_retry_and_dead_letter_paths(self):
+        job = Job("j1", "t", {}, state=JobState.FAILED)
+        job.transition(JobState.QUEUED)  # retry
+        job.state = JobState.FAILED
+        job.transition(JobState.DEAD_LETTERED)
+        assert job.terminal
+
+    def test_bad_job_id_rejected(self):
+        with pytest.raises(ConfigurationError, match="filesystem-safe"):
+            Job("../escape", "t", {})
+
+    def test_bad_tenant_rejected(self):
+        with pytest.raises(ConfigurationError, match="tenant"):
+            Job("j1", "a/b", {})
+
+    def test_record_roundtrip(self):
+        job = Job("j1", "alice", {"n": 8}, seq=7)
+        submit = {**job.to_record(), "config": {"n": 8}}
+        job.transition(JobState.LEASED)
+        job.attempt = 2
+        job.error = "boom"
+        latest = job.to_record()
+        back = Job.from_records(submit, latest)
+        assert back.state is JobState.LEASED
+        assert back.attempt == 2
+        assert back.error == "boom"
+        assert back.config == {"n": 8}
+        assert back.seq == 7
+
+
+class TestRetryPolicy:
+    def test_deterministic_across_instances(self):
+        a = RetryPolicy(seed=3).delay("job-1", 2)
+        b = RetryPolicy(seed=3).delay("job-1", 2)
+        assert a == b
+
+    def test_jitter_decorrelates_jobs(self):
+        p = RetryPolicy()
+        assert p.delay("job-1", 1) != p.delay("job-2", 1)
+
+    def test_exponential_growth_and_cap(self):
+        p = RetryPolicy(base_delay=1.0, multiplier=2.0, max_delay=3.0,
+                        jitter=0.0, max_attempts=5)
+        assert p.schedule("j") == [1.0, 2.0, 3.0, 3.0]
+
+    def test_jitter_bounds(self):
+        p = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.5)
+        for attempt in range(1, 20):
+            d = p.delay("j", attempt)
+            assert 1.0 <= d < 1.5
+
+    def test_exhausted(self):
+        p = RetryPolicy(max_attempts=3)
+        assert not p.exhausted(2)
+        assert p.exhausted(3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(job_timeout=0.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy().delay("j", 0)
+
+
+class TestJournal:
+    def test_append_scan_roundtrip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JobJournal(path) as j:
+            j.append({"kind": "campaign", "name": "c"})
+            j.append({"kind": "job", "id": "a", "state": "queued"})
+            j.append({"kind": "job", "id": "a", "state": "leased"})
+        scan = scan_journal(path)
+        assert scan.header["name"] == "c"
+        assert scan.states() == {"a": "leased"}
+        assert scan.submits["a"]["state"] == "queued"
+        assert not scan.torn_tail
+
+    def test_torn_tail_dropped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JobJournal(path) as j:
+            j.append({"kind": "job", "id": "a", "state": "queued"})
+        with open(path, "ab") as fh:
+            fh.write(b'{"kind": "job", "id": "a", "sta')  # crash mid-append
+        scan = scan_journal(path)
+        assert scan.torn_tail
+        assert scan.states() == {"a": "queued"}
+
+    def test_midfile_corruption_refused(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_bytes(b'garbage not json\n{"kind": "job", "id": "a"}\n')
+        with pytest.raises(ServeError, match="corrupt at line 1"):
+            scan_journal(path)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        scan = scan_journal(tmp_path / "none.jsonl")
+        assert scan.latest == {}
+
+    def test_closed_journal_refuses_appends(self, tmp_path):
+        j = JobJournal(tmp_path / "j.jsonl")
+        j.close()
+        with pytest.raises(ServeError, match="closed"):
+            j.append({"kind": "job", "id": "a"})
+
+    def test_non_serialisable_record_refused(self, tmp_path):
+        with JobJournal(tmp_path / "j.jsonl") as j:
+            with pytest.raises(ServeError, match="non-serialisable"):
+                j.append({"bad": object()})
+
+
+class TestAdmissionLimiter:
+    def test_global_capacity_shed(self):
+        lim = AdmissionLimiter(2)
+        assert lim.try_acquire("a")
+        assert lim.try_acquire("b")
+        assert not lim.try_acquire("c")
+        lim.release("a")
+        assert lim.try_acquire("c")
+
+    def test_per_tenant_quota(self):
+        lim = AdmissionLimiter(10, per_tenant=1)
+        assert lim.try_acquire("a")
+        assert not lim.try_acquire("a")
+        assert lim.try_acquire("b")
+        assert lim.held_by("a") == 1
+
+    def test_release_underflow_raises(self):
+        with pytest.raises(ConfigurationError, match="without acquire"):
+            AdmissionLimiter(2).release("a")
+
+    def test_force_acquire_exceeds_capacity(self):
+        lim = AdmissionLimiter(1)
+        lim.force_acquire("a")
+        lim.force_acquire("a")  # recovery must never shed admitted jobs
+        assert lim.available == -1
+
+
+class TestFairQueue:
+    def _job(self, jid, tenant, not_before=0.0):
+        job = Job(jid, tenant, {})
+        job.not_before = not_before
+        return job
+
+    def test_round_robin_between_tenants(self):
+        q = FairQueue()
+        for i in range(3):
+            q.push(self._job(f"a{i}", "alice"))
+        q.push(self._job("b0", "bob"))
+        order = [q.pop(now=0.0).job_id for _ in range(4)]
+        # bob's single job is served before alice's queue drains
+        assert order.index("b0") <= 1
+        assert len(q) == 0
+
+    def test_backoff_head_skipped_not_blocking(self):
+        q = FairQueue()
+        q.push(self._job("a0", "alice", not_before=100.0))
+        q.push(self._job("b0", "bob"))
+        assert q.pop(now=0.0).job_id == "b0"
+        assert q.pop(now=0.0) is None  # alice still backing off
+        assert q.pop(now=101.0).job_id == "a0"
+
+    def test_soonest_not_before(self):
+        q = FairQueue()
+        q.push(self._job("a0", "alice", not_before=50.0))
+        q.push(self._job("b0", "bob", not_before=20.0))
+        assert q.soonest_not_before(0.0) == 20.0
+        assert q.depth_by_tenant() == {"alice": 1, "bob": 1}
+
+
+class TestScenarioConfig:
+    def test_roundtrip(self):
+        cfg = fast_scenario(seed=4)
+        assert ScenarioConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            ScenarioConfig.from_dict({"nn": 8})
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(n=0)
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(backend="fpga")
+
+    def test_load_campaign_spec_merges_defaults(self, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "defaults": {"n": 16, "t_end": 2.0},
+            "jobs": [{"tenant": "alice", "seed": 1},
+                     {"tenant": "bob", "seed": 2, "n": 32}],
+        }))
+        jobs = load_campaign_spec(spec)
+        assert [t for t, _ in jobs] == ["alice", "bob"]
+        assert jobs[0][1].n == 16
+        assert jobs[1][1].n == 32
+
+    def test_bad_specs_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not found"):
+            load_campaign_spec(tmp_path / "none.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{ torn")
+        with pytest.raises(ConfigurationError, match="corrupt"):
+            load_campaign_spec(bad)
+        nolist = tmp_path / "nolist.json"
+        nolist.write_text('{"jobs": 3}')
+        with pytest.raises(ConfigurationError, match="'jobs' list"):
+            load_campaign_spec(nolist)
+        notenant = tmp_path / "notenant.json"
+        notenant.write_text('{"jobs": [{"seed": 1}]}')
+        with pytest.raises(ConfigurationError, match="tenant"):
+            load_campaign_spec(notenant)
+
+
+class TestWorker:
+    def test_existing_result_short_circuits(self, tmp_path):
+        run_dir = tmp_path / "job"
+        run_dir.mkdir()
+        sentinel = {"job_id": "j1", "state_sha256": "cafe"}
+        (run_dir / "result.json").write_text(json.dumps(sentinel))
+        # n=10**9 would take forever — idempotence must win first
+        out = execute_job({
+            "job_id": "j1", "tenant": "t", "attempt": 2,
+            "run_dir": str(run_dir),
+            "config": {"n": 10**9, "t_end": 1.0},
+        })
+        assert out == sentinel
+
+    def test_read_result_absent(self, tmp_path):
+        assert read_result(tmp_path) is None
+
+
+class TestCampaignService:
+    def test_small_campaign_completes(self, tmp_path):
+        obs = Observability()
+        with service(tmp_path, obs=obs) as svc:
+            for seed in range(3):
+                svc.submit("alice" if seed % 2 else "bob",
+                           fast_scenario(seed=seed))
+            report = svc.run(max_seconds=60)
+        assert report.done == 3
+        assert report.lost == 0
+        assert report.dead_lettered == 0
+        assert report.done_by_tenant == {"alice": 1, "bob": 2}
+        assert obs.metrics.counter("serve.jobs_done_total").value == 3
+        assert obs.metrics.counter("serve.jobs_lost_total").value == 0
+        # every job has exactly one terminal journal record
+        terms = terminal_records(tmp_path / "camp")
+        assert sorted(terms) == sorted(svc.jobs)
+        assert all(len(v) == 1 for v in terms.values())
+        # results are published and fingerprinted
+        for job in svc.jobs.values():
+            assert job.result["state_sha256"]
+            assert read_result(svc.run_dir(job.job_id)) == job.result
+
+    def test_transient_failure_retried_to_done(self, tmp_path):
+        with service(tmp_path) as svc:
+            job = svc.submit("alice", fast_scenario(
+                chaos={"fail_at_block": 1, "fail_attempts": 1}))
+            report = svc.run(max_seconds=60)
+        assert report.done == 1
+        assert report.retries >= 1
+        assert job.state is JobState.DONE
+        assert job.attempt == 2
+        # the attempt-1 failure is journaled with the chaos reason
+        scan = scan_journal(tmp_path / "camp" / "journal.jsonl")
+        failed = [r for r in scan.records
+                  if r["id"] == job.job_id and r["state"] == "failed"]
+        assert failed and "chaos" in failed[0]["error"]
+
+    def test_poison_job_dead_letters(self, tmp_path):
+        with service(tmp_path) as svc:
+            good = svc.submit("bob", fast_scenario(seed=1))
+            poison = svc.submit("alice", fast_scenario(
+                chaos={"fail_at_block": 1, "fail_attempts": 99}))
+            report = svc.run(max_seconds=60)
+        assert report.done == 1
+        assert report.dead_lettered == 1
+        assert good.state is JobState.DONE
+        assert poison.state is JobState.DEAD_LETTERED
+        assert poison.attempt == svc.retry.max_attempts
+        terms = terminal_records(tmp_path / "camp")
+        assert all(len(v) == 1 for v in terms.values())
+
+    def test_hung_worker_lease_expires_and_job_recovers(self, tmp_path):
+        with service(tmp_path, lease_seconds=0.6) as svc:
+            job = svc.submit("alice", fast_scenario(
+                chaos={"hang_at_block": 1, "hang_attempts": 1}))
+            report = svc.run(max_seconds=60)
+        assert report.done == 1
+        assert report.lease_expiries >= 1
+        assert job.state is JobState.DONE
+        scan = scan_journal(tmp_path / "camp" / "journal.jsonl")
+        reasons = [r.get("error", "") for r in scan.records
+                   if r.get("state") == "failed"]
+        assert any("lease expired" in r for r in reasons)
+
+    def test_sigkilled_worker_resumes_bit_identical(self, tmp_path):
+        # reference: the same scenario run uninterrupted
+        with service(tmp_path / "ref") as svc:
+            ref = svc.submit("alice", fast_scenario(seed=9))
+            svc.run(max_seconds=60)
+        assert ref.state is JobState.DONE
+
+        with service(tmp_path, workers=1) as svc:
+            job = svc.submit("alice", fast_scenario(seed=9))
+            killed = False
+            deadline = time.time() + 60
+            while svc.step() and time.time() < deadline:
+                if not killed:
+                    for jid, pid in svc.worker_pids().items():
+                        # let it checkpoint once, then kill it
+                        if (svc.run_dir(jid) / "checkpoints").is_dir():
+                            os.kill(pid, signal.SIGKILL)
+                            killed = True
+                time.sleep(0.01)
+            report = svc.report()
+        assert killed
+        assert report.done == 1
+        assert job.result["state_sha256"] == ref.result["state_sha256"]
+        assert job.result["t_final"] == ref.result["t_final"]
+        assert job.result["block_steps"] == ref.result["block_steps"]
+
+    def test_orchestrator_restart_recovers_campaign(self, tmp_path):
+        svc = service(tmp_path, workers=2)
+        for seed in range(4):
+            svc.submit("alice" if seed % 2 else "bob", fast_scenario(seed=seed))
+        # run a few rounds, then die with workers in flight
+        deadline = time.time() + 30
+        while not svc.worker_pids() and time.time() < deadline:
+            svc.step()
+            time.sleep(0.01)
+        svc.shutdown(kill_workers=True)
+
+        svc2 = service(tmp_path, workers=2)
+        assert len(svc2.jobs) == 4  # recovered from the journal
+        with svc2:
+            report = svc2.run(max_seconds=60)
+        assert report.done == 4
+        assert report.lost == 0
+        terms = terminal_records(tmp_path / "camp")
+        assert sorted(terms) == sorted(svc2.jobs)
+        assert all(len(v) == 1 for v in terms.values())
+        # the restart is journaled as a re-lease, not a burnt attempt
+        scan = scan_journal(tmp_path / "camp" / "journal.jsonl")
+        assert any(r.get("reason") == "orchestrator restart"
+                   for r in scan.records)
+
+    def test_admission_rejection_is_explicit(self, tmp_path):
+        obs = Observability()
+        with service(tmp_path, capacity=2, obs=obs) as svc:
+            svc.submit("alice", fast_scenario(seed=0))
+            svc.submit("alice", fast_scenario(seed=1))
+            shed = svc.submit("bob", fast_scenario(seed=2))
+            assert shed.state is JobState.REJECTED
+            report = svc.run(max_seconds=60)
+        assert report.done == 2
+        assert report.rejected == 1
+        assert obs.metrics.counter("serve.jobs_rejected_total").value == 1
+        scan = scan_journal(tmp_path / "camp" / "journal.jsonl")
+        assert scan.states()[shed.job_id] == "rejected"
+
+    def test_per_tenant_quota_rejects(self, tmp_path):
+        with service(tmp_path, per_tenant_capacity=1) as svc:
+            svc.submit("alice", fast_scenario(seed=0))
+            shed = svc.submit("alice", fast_scenario(seed=1))
+            ok = svc.submit("bob", fast_scenario(seed=2))
+            assert shed.state is JobState.REJECTED
+            assert ok.state is JobState.QUEUED
+            svc.run(max_seconds=60)
+
+    def test_job_timeout_kills_and_fails(self, tmp_path):
+        retry = RetryPolicy(max_attempts=1, job_timeout=0.5)
+        with service(tmp_path, retry=retry, lease_seconds=30.0) as svc:
+            job = svc.submit("alice", fast_scenario(
+                chaos={"hang_at_block": 1, "hang_attempts": 1}))
+            report = svc.run(max_seconds=60)
+        assert report.dead_lettered == 1
+        assert job.state is JobState.DEAD_LETTERED
+        assert "timeout" in job.error
+
+    def test_duplicate_job_id_refused(self, tmp_path):
+        with service(tmp_path) as svc:
+            svc.submit("alice", fast_scenario(), job_id="same")
+            with pytest.raises(ServeError, match="duplicate"):
+                svc.submit("alice", fast_scenario(), job_id="same")
+            svc.run(max_seconds=60)
+
+    def test_drain_deadline_raises(self, tmp_path):
+        retry = RetryPolicy(max_attempts=1, base_delay=0.01)
+        svc = service(tmp_path, retry=retry, lease_seconds=30.0)
+        try:
+            svc.submit("alice", fast_scenario(
+                chaos={"hang_at_block": 1, "hang_attempts": 1}))
+            with pytest.raises(ServeError, match="did not drain"):
+                svc.run(max_seconds=0.3)
+        finally:
+            svc.shutdown(kill_workers=True)
+
+    def test_bad_construction_rejected(self, tmp_path):
+        with pytest.raises(ServeError, match="worker"):
+            CampaignService(tmp_path / "x", workers=0)
+        with pytest.raises(ServeError, match="lease"):
+            CampaignService(tmp_path / "y", lease_seconds=0.0)
+
+
+class TestRenderStatus:
+    def test_status_table(self, tmp_path):
+        with service(tmp_path, capacity=1) as svc:
+            svc.submit("alice", fast_scenario(seed=0))
+            shed = svc.submit("bob", fast_scenario(seed=1))
+            svc.run(max_seconds=60)
+        scan = scan_journal(tmp_path / "camp" / "journal.jsonl")
+        text = render_status(scan, directory="camp")
+        assert "2 job(s)" in text
+        assert "done=1" in text
+        assert "rejected=1" in text
+        assert "alice" in text and "bob" in text
+        assert shed.job_id in text or "rejected" in text
+
+    def test_empty_journal(self, tmp_path):
+        scan = scan_journal(tmp_path / "none.jsonl")
+        assert "no jobs" in render_status(scan, directory="x")
+
+
+class TestServeCLI:
+    def _spec(self, tmp_path, jobs=None):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "defaults": FAST,
+            "jobs": jobs or [{"tenant": "alice", "seed": 1},
+                             {"tenant": "bob", "seed": 2}],
+        }))
+        return spec
+
+    def test_run_campaign_then_status(self, capsys, tmp_path):
+        from repro.cli import main
+
+        spec = self._spec(tmp_path)
+        d = tmp_path / "camp"
+        code = main([
+            "serve", "run-campaign", "--spec", str(spec), "--dir", str(d),
+            "--workers", "2", "--metrics-out", str(tmp_path / "m.prom"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "campaign complete" in out
+        assert "2 submitted, 2 done" in out
+        assert "serve_jobs_done_total 2" in (tmp_path / "m.prom").read_text()
+
+        assert main(["serve", "status", str(d)]) == 0
+        out = capsys.readouterr().out
+        assert "done=2" in out
+
+    def test_missing_spec_exits_2(self, capsys, tmp_path):
+        from repro.cli import main
+
+        code = main([
+            "serve", "run-campaign", "--spec", str(tmp_path / "none.json"),
+            "--dir", str(tmp_path / "camp"),
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_dead_letter_campaign_exits_1(self, capsys, tmp_path):
+        from repro.cli import main
+
+        spec = self._spec(tmp_path, jobs=[{
+            "tenant": "alice", "seed": 1,
+            "chaos": {"fail_at_block": 1, "fail_attempts": 99},
+        }])
+        code = main([
+            "serve", "run-campaign", "--spec", str(spec),
+            "--dir", str(tmp_path / "camp"),
+            "--workers", "1", "--max-attempts", "2",
+            "--retry-base-delay", "0.01",
+        ])
+        assert code == 1
+        assert "1 dead-lettered" in capsys.readouterr().out
+
+    def test_corrupt_journal_status_exits_2(self, capsys, tmp_path):
+        from repro.cli import main
+
+        d = tmp_path / "camp"
+        d.mkdir()
+        (d / "journal.jsonl").write_text("garbage\n{}\n")
+        assert main(["serve", "status", str(d)]) == 2
+        assert "corrupt" in capsys.readouterr().err

@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Lint: the campaign-service state machine must stay closed and tested.
+
+The legal-transition table in :mod:`repro.serve.jobs` is the declared
+contract of the job lifecycle.  This check enforces, statically:
+
+1. **table completeness** — every :class:`JobState` member appears as a
+   key of ``LEGAL_TRANSITIONS`` and every transition target is a
+   declared member (a dangling state would make ``can_transition``
+   raise ``KeyError`` at runtime);
+2. **terminal soundness** — every ``TERMINAL_STATES`` member has no
+   outgoing edges, and every non-terminal state has at least one (a
+   non-terminal dead end would strand jobs forever);
+3. **reachability** — every state except the two entry states
+   (``QUEUED``, ``REJECTED``) is reachable from ``QUEUED`` through the
+   table;
+4. **source honesty** — every ``.transition(JobState.X, ...)`` call in
+   ``src/repro/serve/`` (found by AST walk, so comments and strings
+   cannot fool it) names a state that some legal transition actually
+   targets, and every *targetable* state is requested by at least one
+   call (an unexercised edge is either dead code or a missing
+   implementation);
+5. **test coverage** — every state is referenced by at least one test
+   (``JobState.<NAME>`` or the string value ``"<value>"``).
+
+Pure standard library; run::
+
+    python tools/check_job_states.py [tests_dir]
+
+Defaults to the repository's ``tests`` tree.  Exit code 1 on gaps.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve.jobs import (  # noqa: E402
+    LEGAL_TRANSITIONS,
+    TERMINAL_STATES,
+    JobState,
+)
+
+SERVE_DIR = REPO_ROOT / "src" / "repro" / "serve"
+
+#: Entry states: jobs are *created* in these, never transitioned into
+#: from nowhere.
+ENTRY_STATES = frozenset({JobState.QUEUED, JobState.REJECTED})
+
+__all__ = [
+    "table_problems",
+    "transition_calls",
+    "source_problems",
+    "untested_states",
+    "check",
+    "main",
+]
+
+
+def table_problems() -> list[str]:
+    """Structural defects of the declared transition table itself."""
+    problems = []
+    members = set(JobState)
+    for state in sorted(members - set(LEGAL_TRANSITIONS), key=lambda s: s.value):
+        problems.append(
+            f"JobState.{state.name} has no row in LEGAL_TRANSITIONS"
+        )
+    for state, targets in LEGAL_TRANSITIONS.items():
+        for target in targets:
+            if target not in members:  # pragma: no cover - needs a bad enum
+                problems.append(
+                    f"LEGAL_TRANSITIONS[{state!r}] targets undeclared {target!r}"
+                )
+        if state in TERMINAL_STATES and targets:
+            problems.append(
+                f"terminal JobState.{state.name} has outgoing edges: "
+                f"{sorted(t.value for t in targets)}"
+            )
+        if state not in TERMINAL_STATES and not targets:
+            problems.append(
+                f"non-terminal JobState.{state.name} is a dead end "
+                "(no outgoing edges)"
+            )
+    # reachability from the QUEUED entry state
+    seen = {JobState.QUEUED}
+    frontier = [JobState.QUEUED]
+    while frontier:
+        for target in LEGAL_TRANSITIONS.get(frontier.pop(), ()):  # noqa: B909
+            if target not in seen:
+                seen.add(target)
+                frontier.append(target)
+    for state in sorted(set(JobState) - seen - ENTRY_STATES,
+                        key=lambda s: s.value):
+        problems.append(
+            f"JobState.{state.name} is unreachable from QUEUED via "
+            "LEGAL_TRANSITIONS"
+        )
+    return problems
+
+
+def transition_calls(root: Path = SERVE_DIR) -> list[tuple[str, int, str]]:
+    """Every ``.transition(JobState.X, ...)`` call under ``root``.
+
+    Returns ``(relative_path, line, state_name)`` tuples.  Calls whose
+    first argument is not a literal ``JobState.X`` attribute are
+    reported with state name ``"?"`` so the lint can flag them — the
+    static check is only sound when transition targets are literal.
+    """
+    calls: list[tuple[str, int, str]] = []
+    for path in sorted(root.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        try:
+            rel = str(path.relative_to(REPO_ROOT))
+        except ValueError:  # linting a tree outside the repo (tests)
+            rel = str(path)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr == "transition"):
+                continue
+            arg = node.args[0] if node.args else None
+            if (isinstance(arg, ast.Attribute)
+                    and isinstance(arg.value, ast.Name)
+                    and arg.value.id == "JobState"):
+                calls.append((rel, node.lineno, arg.attr))
+            else:
+                calls.append((rel, node.lineno, "?"))
+    return calls
+
+
+def source_problems(root: Path = SERVE_DIR) -> list[str]:
+    """Transition calls that disagree with the declared table."""
+    problems = []
+    legal_targets = {t for targets in LEGAL_TRANSITIONS.values() for t in targets}
+    requested: set[JobState] = set()
+    for rel, line, name in transition_calls(root):
+        if name == "?":
+            problems.append(
+                f"{rel}:{line}: .transition() without a literal JobState "
+                "target — the state-machine lint cannot verify it"
+            )
+            continue
+        try:
+            state = JobState[name]
+        except KeyError:
+            problems.append(
+                f"{rel}:{line}: .transition(JobState.{name}) names an "
+                "undeclared state"
+            )
+            continue
+        requested.add(state)
+        if state not in legal_targets:
+            problems.append(
+                f"{rel}:{line}: .transition(JobState.{name}) targets a state "
+                "no LEGAL_TRANSITIONS row allows"
+            )
+    try:
+        where = root.relative_to(REPO_ROOT)
+    except ValueError:
+        where = root
+    for state in sorted(legal_targets - requested, key=lambda s: s.value):
+        problems.append(
+            f"JobState.{state.name} is a declared transition target but "
+            f"no .transition() call under {where} requests it"
+        )
+    return problems
+
+
+def untested_states(tests_dir: Path) -> list[str]:
+    """States no test file mentions (by enum name or string value)."""
+    corpus = "\n".join(
+        p.read_text() for p in sorted(tests_dir.rglob("*.py"))
+    )
+    out = []
+    for state in JobState:
+        if f"JobState.{state.name}" in corpus or f'"{state.value}"' in corpus:
+            continue
+        out.append(state.value)
+    return out
+
+
+def check(tests_dir: Path) -> list[str]:
+    """Human-readable gap messages."""
+    problems = table_problems() + source_problems()
+    if tests_dir.is_dir():
+        for value in untested_states(tests_dir):
+            problems.append(
+                f"JobState {value!r} is never referenced by a test under "
+                f"{tests_dir}"
+            )
+    else:
+        problems.append(f"tests directory not found: {tests_dir}")
+    return problems
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    tests_dir = Path(argv[0]) if argv else REPO_ROOT / "tests"
+    problems = check(tests_dir)
+    for msg in problems:
+        print(msg)
+    if problems:
+        print(f"{len(problems)} job-state gap(s)")
+        return 1
+    n_edges = sum(len(t) for t in LEGAL_TRANSITIONS.values())
+    print(
+        f"job state machine ok ({len(list(JobState))} states, "
+        f"{n_edges} legal edges, {len(transition_calls())} transition calls)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
