@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import threading
 
-from .engine import EngineConfig, KernelEngine
+from .engine import EngineConfig, KernelEngine, fixed_order_reduce
 from .kernels import predict_sources
 from .registry import (
     REGISTRY,
@@ -52,6 +52,7 @@ __all__ = [
     "shape_bucket",
     "bucket_size",
     "predict_sources",
+    "fixed_order_reduce",
     "get_engine",
     "set_engine",
 ]

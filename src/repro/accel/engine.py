@@ -49,7 +49,26 @@ from . import kernels as tk
 from . import registry as reg
 from .workspace import KernelWorkspace
 
-__all__ = ["EngineConfig", "KernelEngine"]
+__all__ = ["EngineConfig", "KernelEngine", "fixed_order_reduce"]
+
+
+def fixed_order_reduce(partials):
+    """Left-fold per-chunk partial arrays in ascending chunk order.
+
+    ``partials`` is a sequence (indexed by chunk) of equally-shaped
+    ndarrays; the result is ``(((0 + p0) + p1) + ...)`` — the exact
+    summation order of :meth:`KernelEngine._sweep` in both its serial
+    and threaded modes, which is what makes a distributed fold of
+    :meth:`KernelEngine.acc_jerk_active_chunk` partials bit-identical
+    to a single-process call.
+    """
+    partials = list(partials)
+    if not partials:
+        raise ValueError("nothing to reduce")
+    out = np.zeros_like(partials[0])
+    for part in partials:
+        out += part
+    return out
 
 
 def _env_int(name: str, default: int, minimum: int = 1) -> int:
@@ -402,6 +421,78 @@ class KernelEngine:
         return self.dispatch(
             "acc_jerk_active", n_i, n_j, (system, active, float(t_now), eps), {},
         )
+
+    # -- distributable chunk entry points ----------------------------------
+
+    def jplan(self, n_j: int) -> list[tuple[int, int]]:
+        """The public fixed j-chunk plan — the unit of distribution.
+
+        A pure function of ``(n_j, j_chunk, max_chunks)``: any process
+        with the same config computes the same bounds, so a rank gang
+        can partition the plan, evaluate chunks independently with
+        :meth:`acc_jerk_active_chunk`, and fold the partials with
+        :func:`fixed_order_reduce` to reproduce the single-process
+        result bit for bit.
+        """
+        return self._jplan(n_j)
+
+    def acc_jerk_active_chunk(self, system, active, t_now, eps, j0, j1,
+                              counter=None):
+        """One j-chunk's partial of :meth:`acc_jerk_active`.
+
+        Computes the fused predict-and-accumulate contribution of
+        sources ``[j0, j1)`` on the active block — exactly the chunk
+        body of :meth:`_fused_acc_jerk_active`, into freshly zeroed
+        outputs.  Summing these partials in ascending ``jplan`` order
+        (``fixed_order_reduce``) reproduces the serial and threaded
+        sweeps bit-identically, because both are the same left fold
+        ``(((0 + c0) + c1) + ...)`` over the same chunk bounds.
+
+        ``system`` may be a full ``ParticleSystem`` or any object with
+        ``mass``/``pos``/``vel``/``acc``/``jerk``/``t`` arrays (e.g. a
+        shared-memory :class:`repro.parallel.programs.ArrayView`).
+        """
+        active = np.asarray(active)
+        n_i = active.size
+        acc = np.zeros((n_i, 3))
+        jerk = np.zeros((n_i, 3))
+        j0, j1 = int(j0), int(j1)
+        if n_i == 0 or j1 <= j0:
+            return acc, jerk
+        width = j1 - j0
+        if counter is not None:
+            counter.add(n_i, width, with_jerk=True)
+        self._c_calls.inc()
+        self._c_tile_bytes.inc(n_i * width * 8 * 11)
+        eps2 = float(eps) ** 2
+        dt_i = t_now - system.t[active]
+        pos_i = predict_positions(
+            system.pos[active], system.vel[active],
+            system.acc[active], system.jerk[active], dt_i,
+        )
+        vel_i = predict_velocities(
+            system.vel[active], system.acc[active], system.jerk[active], dt_i,
+        )
+        ws = self._ws()
+        pj, vj = tk.predict_sources(
+            ws.vec(width, 3, slot=4), ws.vec(width, 3, slot=5),
+            ws.vec(width, 3, slot=6), ws.vec(width, 0, slot=7),
+            ws.vec(width, 0, slot=8),
+            system.pos[j0:j1], system.vel[j0:j1],
+            system.acc[j0:j1], system.jerk[j0:j1],
+            system.t[j0:j1], t_now,
+        )
+        mj = system.mass[j0:j1]
+        rows = self._rows(n_i, width)
+        for i0 in range(0, n_i, rows):
+            i1 = min(i0 + rows, n_i)
+            tv = ws.tile(i1 - i0, width)
+            mask = tk.tile_mask(active, i0, i1, j0, j1)
+            tk.acc_jerk_tile(
+                tv, pos_i[i0:i1], vel_i[i0:i1], pj, vj, mj, eps2,
+                acc[i0:i1], jerk[i0:i1], mask,
+            )
+        return acc, jerk
 
     # -- collision sweep ---------------------------------------------------
 

@@ -51,10 +51,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--eta", type=float, default=0.02, help="Aarseth accuracy parameter")
     p_run.add_argument("--dt-max", type=float, default=1.0, help="largest block step")
     p_run.add_argument(
-        "--backend", choices=("host", "grape", "tree", "hybrid"), default="host",
-        help="force engine",
+        "--backend", choices=("host", "grape", "tree", "hybrid", "spmd"),
+        default="host", help="force engine",
     )
     p_run.add_argument("--eps", type=float, default=0.008, help="softening [AU]")
+    p_run.add_argument(
+        "--ranks", type=int, default=2,
+        help="SPMD gang size (spmd backend)",
+    )
+    p_run.add_argument(
+        "--spmd-mode", choices=("proc", "vm", "serial"), default="proc",
+        help="spmd execution mode: worker processes, in-process "
+        "scheduler, or single-process baseline",
+    )
     p_run.add_argument(
         "--theta", type=float, default=0.5,
         help="tree opening angle (tree and hybrid backends)",
@@ -264,7 +273,8 @@ def _config_for(name: str):
 
 
 def _build_backend(name: str, eps: float, theta: float = 0.5,
-                   r_neighbour: float = 0.05):
+                   r_neighbour: float = 0.05, ranks: int = 2,
+                   spmd_mode: str = "proc"):
     """Construct a force backend; returns ``(backend, machine_or_None)``."""
     from .baselines import TreeBackend
     from .core import HostDirectBackend
@@ -278,6 +288,10 @@ def _build_backend(name: str, eps: float, theta: float = 0.5,
         from .hybrid import HybridBackend
 
         return HybridBackend(eps=eps, theta=theta, r_neighbour=r_neighbour), None
+    if name == "spmd":
+        from .parallel import SpmdBackend
+
+        return SpmdBackend(eps=eps, n_ranks=ranks, mode=spmd_mode), None
     machine = Grape6Machine(Grape6Config.paper_full_system(), eps=eps)
     return Grape6Backend(machine), machine
 
@@ -288,7 +302,9 @@ def _cmd_run_managed(args) -> int:
     from .runio import ProductionRun
 
     backend, _ = _build_backend(
-        args.backend, args.eps, theta=args.theta, r_neighbour=args.r_neighbour
+        args.backend, args.eps, theta=args.theta,
+        r_neighbour=args.r_neighbour, ranks=args.ranks,
+        spmd_mode=args.spmd_mode,
     )
     system = build_disk_system(
         PlanetesimalDiskConfig(n_planetesimals=args.n, seed=args.seed)
@@ -322,6 +338,8 @@ def _cmd_run_managed(args) -> int:
             "eps": args.eps,
             "theta": args.theta,
             "r_neighbour": args.r_neighbour,
+            "ranks": args.ranks,
+            "spmd_mode": args.spmd_mode,
         },
         run_id=f"disk-n{args.n}",
     )
@@ -354,6 +372,8 @@ def _cmd_run_resume(args) -> int:
         cfg.get("backend", args.backend), cfg.get("eps", args.eps),
         theta=cfg.get("theta", args.theta),
         r_neighbour=cfg.get("r_neighbour", args.r_neighbour),
+        ranks=cfg.get("ranks", args.ranks),
+        spmd_mode=cfg.get("spmd_mode", args.spmd_mode),
     )
     eta = cfg.get("eta", args.eta)
     run = ProductionRun.resume(
@@ -408,7 +428,9 @@ def _cmd_run(args) -> int:
         return _cmd_run_managed(args)
 
     backend, machine = _build_backend(
-        args.backend, args.eps, theta=args.theta, r_neighbour=args.r_neighbour
+        args.backend, args.eps, theta=args.theta,
+        r_neighbour=args.r_neighbour, ranks=args.ranks,
+        spmd_mode=args.spmd_mode,
     )
 
     obs = None

@@ -18,6 +18,9 @@ __all__ = [
     "GrapeLinkError",
     "HardwareFaultError",
     "CommError",
+    "SpmdError",
+    "SpmdProtocolError",
+    "SpmdTimeoutError",
     "TopologyError",
     "SnapshotError",
     "CheckpointError",
@@ -66,6 +69,40 @@ class HardwareFaultError(GrapeError):
 
 class CommError(ReproError, RuntimeError):
     """Simulated message-passing failure (bad rank, mismatched collective)."""
+
+
+class SpmdError(CommError):
+    """Base class for SPMD-runtime failures (in-process VM and the
+    multiprocess :mod:`repro.parallel.proc` engine)."""
+
+
+class SpmdProtocolError(SpmdError):
+    """Ranks disagreed about the communication schedule.
+
+    Raised when collectives carrying different superstep tags (or
+    different kinds at the same superstep) are posted, or when a rank
+    returns while peers still wait on a collective it never joined —
+    the failure modes that would otherwise deadlock a real MPI job.
+    The message lists each rank's blocked operation and superstep.
+    """
+
+    def __init__(self, message: str, blocked: dict | None = None) -> None:
+        super().__init__(message)
+        #: ``rank -> human-readable blocked-op description``
+        self.blocked = dict(blocked or {})
+
+
+class SpmdTimeoutError(SpmdError):
+    """A barrier or receive exceeded its bounded wait.
+
+    Distinct from :class:`SpmdProtocolError`: the schedule may be
+    consistent, but a peer is a straggler, hung, or dead.  Carries the
+    same per-rank blocked-op summary for diagnosis.
+    """
+
+    def __init__(self, message: str, blocked: dict | None = None) -> None:
+        super().__init__(message)
+        self.blocked = dict(blocked or {})
 
 
 class TopologyError(ReproError, ValueError):

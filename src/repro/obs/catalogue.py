@@ -228,6 +228,51 @@ METRIC_CATALOGUE: dict[str, tuple[str, str]] = {
         "histogram",
         "Wall seconds per successful job attempt (lease to result)",
     ),
+    # -- multiprocess SPMD engine ----------------------------------------
+    "spmd.runs_total": ("counter", "SPMD programs executed by the process engine"),
+    "spmd.supersteps_total": (
+        "counter",
+        "Collective supersteps completed across the gang",
+    ),
+    "spmd.messages_total": ("counter", "Messages routed by the SPMD supervisor"),
+    "spmd.bytes_total": ("counter", "Payload bytes routed by the SPMD supervisor"),
+    "spmd.rank_deaths_total": (
+        "counter",
+        "Worker ranks observed dead (signal exit) or hung (lease expiry)",
+    ),
+    "spmd.rank_restarts_total": (
+        "counter",
+        "Worker ranks restarted with journal replay",
+    ),
+    "spmd.heartbeat_expiries_total": (
+        "counter",
+        "Rank heartbeat leases that expired (hung-rank detection)",
+    ),
+    "spmd.degrades_total": (
+        "counter",
+        "Runs degraded from processes to the in-process scheduler",
+    ),
+    "spmd.protocol_errors_total": (
+        "counter",
+        "Structured SPMD protocol errors (mismatched collective ordering)",
+    ),
+    "spmd.replayed_ops_total": (
+        "counter",
+        "Operations served from the replay journal after a rank restart",
+    ),
+    "spmd.recovery_seconds": (
+        "counter",
+        "Wall seconds spent restarting ranks or degrading (honest overhead)",
+    ),
+    "spmd.op_wait_seconds": (
+        "histogram",
+        "Blocked wait per completed SPMD operation (straggler profile)",
+    ),
+    "spmd.ranks": ("gauge", "Gang size of the active SPMD process engine"),
+    "spmd.shm_bytes": (
+        "gauge",
+        "Bytes held in the engine's shared-memory particle segments",
+    ),
     # -- whole-run measurements ------------------------------------------
     "run.wall_seconds": ("gauge", "Python wall-clock time of the measured run"),
     "run.energy_error": ("gauge", "Relative energy error at the end of the run"),

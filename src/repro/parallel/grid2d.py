@@ -22,14 +22,12 @@ COMM-STRAT benchmark shows analytically, here with actual data moving.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.forces import acc_jerk
 from ..errors import CommError
-from .ring import _partition
+from .programs import ProgramContext, grid_force_program, partition_bounds
 from .spmd import SpmdResult, VirtualMachine
 
 __all__ = ["GridForceResult", "grid_forces"]
@@ -68,44 +66,20 @@ def grid_forces(
     vm = vm or VirtualMachine(n_ranks=q * q)
     if vm.n_ranks != q * q:
         raise CommError("virtual machine size must be q*q")
-    blocks = _partition(n, q)
+    ctx = ProgramContext(
+        arrays={"pos": pos, "vel": vel, "mass": mass},
+        params={"eps": eps, "q": q, "bounds": partition_bounds(n, q)},
+    )
 
-    def program(comm):
-        row, col = divmod(comm.rank, q)
-        i_idx = blocks[row]
-        j_idx = blocks[col]
-
-        if row == col:
-            a, j = acc_jerk(
-                pos[i_idx], vel[i_idx], pos[j_idx], vel[j_idx], mass[j_idx],
-                eps, self_indices=np.arange(i_idx.size),
-            )
-        else:
-            a, j = acc_jerk(
-                pos[i_idx], vel[i_idx], pos[j_idx], vel[j_idx], mass[j_idx], eps
-            )
-
-        root = row * q
-        if col != 0:
-            yield comm.send(root, (a, j))
-            gathered = yield comm.allgather(None)
-            return gathered
-        for src_col in range(1, q):
-            pa, pj = yield comm.recv(row * q + src_col)
-            a = a + pa
-            j = j + pj
-        gathered = yield comm.allgather((i_idx, a, j))
-        return gathered
-
-    result: SpmdResult = vm.run(program)
+    result: SpmdResult = vm.run(grid_force_program, ctx)
     acc = np.zeros((n, 3))
     jerk = np.zeros((n, 3))
     for item in result.returns[0]:
         if item is None:
             continue
-        idx, a, j = item
-        acc[idx] = a
-        jerk[idx] = j
+        lo, hi, a, j = item
+        acc[lo:hi] = a
+        jerk[lo:hi] = j
     return GridForceResult(
         acc=acc,
         jerk=jerk,

@@ -1,0 +1,242 @@
+"""Engine-portable SPMD rank programs.
+
+The same generator programs run on two schedulers:
+
+* :class:`~repro.parallel.spmd.VirtualMachine` — deterministic
+  in-process execution with a LogP-style *predicted* cost model;
+* :class:`~repro.parallel.proc.ProcEngine` — real worker processes
+  over pipes and shared memory, with *measured* wall-clock costs.
+
+To be portable a program must be a module-level callable taking
+``(comm, ctx)`` where ``ctx`` is a :class:`ProgramContext`: named
+arrays (plain ndarrays on the VM, shared-memory views in workers) plus
+a picklable parameter dict.  Programs treat ``ctx.arrays`` as
+read-only input and move everything else through ``comm``.
+
+Three programs live here:
+
+* :func:`ring_force_program` — the systolic travelling-block ring of
+  :mod:`repro.parallel.ring`;
+* :func:`grid_force_program` — the Figure-6 q x q host matrix of
+  :mod:`repro.parallel.grid2d`;
+* :func:`chunk_force_program` — the block-step force evaluation used
+  by :class:`repro.parallel.backend.SpmdBackend`: ranks compute
+  per-j-chunk partials with the accel engine's chunk kernel and the
+  root folds them in ascending global chunk order, which is what keeps
+  multiprocess results bit-identical to the serial and threaded
+  single-process paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.forces import acc_jerk
+
+__all__ = [
+    "ProgramContext",
+    "ArrayView",
+    "partition_bounds",
+    "ring_force_program",
+    "grid_force_program",
+    "chunk_force_program",
+]
+
+
+class ProgramContext:
+    """Inputs of one SPMD program: named arrays + picklable params."""
+
+    def __init__(self, arrays: dict | None = None, params: dict | None = None):
+        self.arrays = dict(arrays or {})
+        self.params = dict(params or {})
+
+
+class ArrayView:
+    """Duck-typed stand-in for a ``ParticleSystem`` built from bare arrays.
+
+    Exposes exactly the attributes the accel engine's
+    ``acc_jerk_active_chunk`` touches (``mass``/``pos``/``vel``/
+    ``acc``/``jerk``/``t``/``n``), so workers can run force kernels
+    against shared-memory segments without constructing a full system.
+    """
+
+    def __init__(self, mass, pos, vel, acc, jerk, t) -> None:
+        self.mass = mass
+        self.pos = pos
+        self.vel = vel
+        self.acc = acc
+        self.jerk = jerk
+        self.t = t
+
+    @property
+    def n(self) -> int:
+        return self.mass.shape[0]
+
+    @classmethod
+    def from_arrays(cls, arrays: dict) -> "ArrayView":
+        return cls(arrays["mass"], arrays["pos"], arrays["vel"],
+                   arrays["acc"], arrays["jerk"], arrays["t"])
+
+
+def partition_bounds(n: int, p: int) -> list[int]:
+    """Bounds of contiguous ~n/p slices (picklable ints, length p+1)."""
+    return [int(b) for b in np.linspace(0, n, p + 1).astype(int)]
+
+
+# -- the systolic ring (paper Figures 4-5, in software) ----------------------
+
+
+def ring_force_program(comm, ctx):
+    """Travelling-block all-pairs forces on a ring of ranks.
+
+    ``ctx.arrays``: ``pos``/``vel``/``mass`` of the whole system;
+    ``ctx.params``: ``eps`` and the partition ``bounds``.  Returns the
+    per-rank ``(lo, hi, acc, jerk)`` gathered on every rank.
+    """
+    pos, vel, mass = ctx.arrays["pos"], ctx.arrays["vel"], ctx.arrays["mass"]
+    eps = float(ctx.params["eps"])
+    bounds = ctx.params["bounds"]
+    lo, hi = bounds[comm.rank], bounds[comm.rank + 1]
+    mine = np.arange(lo, hi)
+    my_pos, my_vel = pos[lo:hi], vel[lo:hi]
+    # travelling block starts as my own slice
+    blk_idx, blk_pos, blk_vel, blk_mass = mine, pos[lo:hi], vel[lo:hi], mass[lo:hi]
+
+    acc = np.zeros((mine.size, 3))
+    jerk = np.zeros((mine.size, 3))
+    left = (comm.rank - 1) % comm.size
+    right = (comm.rank + 1) % comm.size
+
+    for hop in range(comm.size):
+        if np.array_equal(blk_idx, mine):
+            # self block: exclude the diagonal
+            a, j = acc_jerk(
+                my_pos, my_vel, blk_pos, blk_vel, blk_mass, eps,
+                self_indices=np.arange(mine.size),
+            )
+        else:
+            a, j = acc_jerk(my_pos, my_vel, blk_pos, blk_vel, blk_mass, eps)
+        acc += a
+        jerk += j
+        if hop < comm.size - 1 and comm.size > 1:
+            payload = (blk_idx, blk_pos, blk_vel, blk_mass)
+            # even ranks send first to break the cycle deterministically
+            if comm.rank % 2 == 0:
+                yield comm.send(right, payload)
+                incoming = yield comm.recv(left)
+            else:
+                incoming = yield comm.recv(left)
+                yield comm.send(right, payload)
+            blk_idx, blk_pos, blk_vel, blk_mass = incoming
+
+    gathered = yield comm.allgather((lo, hi, acc, jerk))
+    return gathered
+
+
+# -- the Figure-6 2-D host matrix --------------------------------------------
+
+
+def grid_force_program(comm, ctx):
+    """All-pairs forces on a ``q x q`` rank matrix.
+
+    Rank ``(r, c)`` computes its j-block's partial force on its row's
+    i-block; partials reduce along each row to the row root (column 0,
+    the "real host"), in ascending source-column order; row roots
+    allgather.  ``ctx.params``: ``eps``, ``q``, ``bounds``.
+    """
+    pos, vel, mass = ctx.arrays["pos"], ctx.arrays["vel"], ctx.arrays["mass"]
+    eps = float(ctx.params["eps"])
+    q = int(ctx.params["q"])
+    bounds = ctx.params["bounds"]
+    row, col = divmod(comm.rank, q)
+    ilo, ihi = bounds[row], bounds[row + 1]
+    jlo, jhi = bounds[col], bounds[col + 1]
+
+    if row == col:
+        a, j = acc_jerk(
+            pos[ilo:ihi], vel[ilo:ihi], pos[jlo:jhi], vel[jlo:jhi],
+            mass[jlo:jhi], eps, self_indices=np.arange(ihi - ilo),
+        )
+    else:
+        a, j = acc_jerk(
+            pos[ilo:ihi], vel[ilo:ihi], pos[jlo:jhi], vel[jlo:jhi],
+            mass[jlo:jhi], eps,
+        )
+
+    root = row * q
+    if col != 0:
+        yield comm.send(root, (a, j))
+        gathered = yield comm.allgather(None)
+        return gathered
+    for src_col in range(1, q):
+        pa, pj = yield comm.recv(row * q + src_col)
+        a = a + pa
+        j = j + pj
+    gathered = yield comm.allgather((ilo, ihi, a, j))
+    return gathered
+
+
+# -- the block-step chunk program (SpmdBackend) ------------------------------
+
+
+def chunk_force_program(comm, ctx):
+    """One block-step force evaluation, decomposed over j-chunks.
+
+    The global chunk plan (``ctx.params["chunks"]``, the accel
+    engine's ``jplan``) is dealt round-robin across ranks; each rank
+    computes its chunks' ``(acc, jerk)`` partials with
+    ``acc_jerk_active_chunk`` and routes them to rank 0, which folds
+    them **in ascending global chunk index** — the exact summation
+    order of the engine's serial and threaded sweeps, so the result is
+    bit-identical to a single-process run.
+
+    ``ctx.params["route"]`` selects the exchange pattern: ``"gather"``
+    (every rank sends straight to the root) or ``"ring"`` (partials
+    drain hop-by-hop toward rank 0 — the systolic pattern, exercising
+    p2p chains).  A closing ``barrier`` marks the superstep boundary.
+    Returns ``(acc, jerk)`` on rank 0, ``None`` elsewhere.
+    """
+    from ..accel import get_engine
+
+    engine = get_engine()
+    sysv = ArrayView.from_arrays(ctx.arrays)
+    active = np.asarray(ctx.arrays["active"], dtype=np.intp)
+    chunks = [tuple(c) for c in ctx.params["chunks"]]
+    t_now = float(ctx.params["t_now"])
+    eps = float(ctx.params["eps"])
+    route = ctx.params.get("route", "gather")
+
+    parts = {
+        k: engine.acc_jerk_active_chunk(sysv, active, t_now, eps, j0, j1)
+        for k, (j0, j1) in enumerate(chunks)
+        if k % comm.size == comm.rank
+    }
+
+    if comm.size > 1:
+        if route == "ring":
+            # systolic drain: rank r collects from r+1, forwards to r-1
+            if comm.rank < comm.size - 1:
+                incoming = yield comm.recv(comm.rank + 1)
+                parts.update(incoming)
+            if comm.rank > 0:
+                yield comm.send(comm.rank - 1, parts)
+        else:
+            if comm.rank == 0:
+                for src in range(1, comm.size):
+                    incoming = yield comm.recv(src)
+                    parts.update(incoming)
+            else:
+                yield comm.send(0, parts)
+    yield comm.barrier()
+
+    if comm.rank != 0:
+        return None
+    acc = np.zeros((active.size, 3))
+    jerk = np.zeros((active.size, 3))
+    # Fixed-order reduction: ascending global chunk index, matching
+    # the engine's serial accumulation and threaded slab fold.
+    for k in range(len(chunks)):
+        pa, pj = parts[k]
+        acc += pa
+        jerk += pj
+    return acc, jerk

@@ -21,8 +21,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.forces import acc_jerk
 from ..errors import CommError
+from .programs import ProgramContext, partition_bounds, ring_force_program
 from .spmd import SpmdResult, VirtualMachine
 
 __all__ = ["RingForceResult", "ring_forces"]
@@ -75,52 +75,18 @@ def ring_forces(
     if n_ranks > n:
         raise CommError("more ranks than particles")
     vm = vm or VirtualMachine(n_ranks=n_ranks)
-    slices = _partition(n, n_ranks)
-
-    def program(comm):
-        mine = slices[comm.rank]
-        my_pos = pos[mine]
-        my_vel = vel[mine]
-        # travelling block starts as my own slice
-        blk_idx, blk_pos, blk_vel, blk_mass = mine, pos[mine], vel[mine], mass[mine]
-
-        acc = np.zeros((mine.size, 3))
-        jerk = np.zeros((mine.size, 3))
-        left = (comm.rank - 1) % comm.size
-        right = (comm.rank + 1) % comm.size
-
-        for hop in range(comm.size):
-            if np.array_equal(blk_idx, mine):
-                # self block: exclude the diagonal
-                a, j = acc_jerk(
-                    my_pos, my_vel, blk_pos, blk_vel, blk_mass, eps,
-                    self_indices=np.arange(mine.size),
-                )
-            else:
-                a, j = acc_jerk(my_pos, my_vel, blk_pos, blk_vel, blk_mass, eps)
-            acc += a
-            jerk += j
-            if hop < comm.size - 1 and comm.size > 1:
-                payload = (blk_idx, blk_pos, blk_vel, blk_mass)
-                # even ranks send first to break the cycle deterministically
-                if comm.rank % 2 == 0:
-                    yield comm.send(right, payload)
-                    incoming = yield comm.recv(left)
-                else:
-                    incoming = yield comm.recv(left)
-                    yield comm.send(right, payload)
-                blk_idx, blk_pos, blk_vel, blk_mass = incoming
-
-        gathered = yield comm.allgather((mine, acc, jerk))
-        return gathered
+    ctx = ProgramContext(
+        arrays={"pos": pos, "vel": vel, "mass": mass},
+        params={"eps": eps, "bounds": partition_bounds(n, n_ranks)},
+    )
 
     with obs.tracer.span("ring.forces", n=n, ranks=n_ranks):
-        result: SpmdResult = vm.run(program)
+        result: SpmdResult = vm.run(ring_force_program, ctx)
     acc = np.zeros((n, 3))
     jerk = np.zeros((n, 3))
-    for idx, a, j in result.returns[0]:
-        acc[idx] = a
-        jerk[idx] = j
+    for lo, hi, a, j in result.returns[0]:
+        acc[lo:hi] = a
+        jerk[lo:hi] = j
     m = obs.metrics
     m.counter("comm.bytes_sent").inc(result.total_bytes)
     m.counter("comm.messages_total").inc(result.messages)

@@ -35,7 +35,15 @@ Semantics:
   plus the slowest member transfer;
 * determinism: the scheduler polls ranks in rank order — no threads,
   no races; a cycle with no runnable rank raises :class:`CommError`
-  (deadlock) with the blocked-op summary.
+  (deadlock) with the blocked-op summary;
+* protocol checking: every operation carries a **superstep tag** (the
+  rank's collective counter).  Two ranks blocked on collectives with
+  different kinds or different superstep tags — one in ``barrier``,
+  another in ``allreduce`` — is a schedule bug that would hang a real
+  MPI job; here it raises :class:`~repro.errors.SpmdProtocolError`
+  immediately, with the per-rank blocked-op summary.  The multiprocess
+  engine (:mod:`repro.parallel.proc`) applies the same check across
+  real processes.
 """
 
 from __future__ import annotations
@@ -44,9 +52,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import CommError
+from ..errors import CommError, SpmdProtocolError
 
-__all__ = ["VirtualMachine", "SpmdResult", "RankComm"]
+__all__ = ["VirtualMachine", "SpmdResult", "RankComm", "describe_op"]
 
 
 def _payload_bytes(data) -> int:
@@ -72,11 +80,13 @@ class _Send:
     dst: int
     data: object
     nbytes: int
+    superstep: int = -1
 
 
 @dataclass
 class _Recv:
     src: int
+    superstep: int = -1
 
 
 @dataclass
@@ -85,16 +95,36 @@ class _Collective:
     root: int | None
     data: object
     op: object
-    seq: int = -1  # collective sequence number, assigned at post time
+    #: superstep tag == the poster's collective counter.  In a legal
+    #: BSP program every rank posts the same collective sequence, so
+    #: simultaneously-blocked collectives must agree on (kind, tag).
+    superstep: int = -1
+
+
+def describe_op(op) -> str:
+    """Human-readable ``kind@superstep`` label for a blocked operation."""
+    if isinstance(op, _Collective):
+        return f"{op.kind}@s{op.superstep}"
+    if isinstance(op, _Send):
+        return f"send(dst={op.dst})@s{op.superstep}"
+    if isinstance(op, _Recv):
+        return f"recv(src={op.src})@s{op.superstep}"
+    return type(op).__name__
 
 
 class RankComm:
-    """Communicator handed to each rank program."""
+    """Communicator handed to each rank program.
+
+    ``superstep`` counts the collectives this rank has posted; every
+    operation descriptor is stamped with it, which is what lets both
+    schedulers turn a mismatched schedule into a structured error
+    instead of a hang.
+    """
 
     def __init__(self, rank: int, size: int) -> None:
         self.rank = rank
         self.size = size
-        self._collective_seq = 0
+        self.superstep = 0
 
     # Factory methods produce descriptors for the scheduler; programs
     # must ``yield`` them.
@@ -104,18 +134,19 @@ class RankComm:
         if not (0 <= dst < self.size) or dst == self.rank:
             raise CommError(f"invalid send destination {dst}")
         return _Send(dst=dst, data=data,
-                     nbytes=_payload_bytes(data) if nbytes is None else int(nbytes))
+                     nbytes=_payload_bytes(data) if nbytes is None else int(nbytes),
+                     superstep=self.superstep)
 
     def recv(self, src: int) -> _Recv:
         """Receive from ``src``; yields the payload."""
         if not (0 <= src < self.size) or src == self.rank:
             raise CommError(f"invalid recv source {src}")
-        return _Recv(src=src)
+        return _Recv(src=src, superstep=self.superstep)
 
     def _collective(self, kind, root=None, data=None, op=None) -> _Collective:
         c = _Collective(kind=kind, root=root, data=data, op=op,
-                        seq=self._collective_seq)
-        self._collective_seq += 1
+                        superstep=self.superstep)
+        self.superstep += 1
         return c
 
     def barrier(self) -> _Collective:
@@ -258,17 +289,37 @@ class VirtualMachine:
                         progressed = True
 
             # 2) collectives: complete when all ranks block on the same
-            #    (kind, seq) descriptor
-            colls = [
-                blocked[r] for r in range(self.n_ranks)
+            #    (kind, superstep) descriptor
+            coll_ranks = [
+                r for r in range(self.n_ranks)
                 if isinstance(blocked[r], _Collective)
             ]
-            if len(colls) == self.n_ranks and not any(done):
-                kinds = {(c.kind, c.seq) for c in colls}
-                if len(kinds) > 1:
-                    raise CommError(
-                        f"collective mismatch across ranks: {sorted(kinds)}"
+            if coll_ranks:
+                # Superstep-tag check: two simultaneously-blocked
+                # collectives must agree on (kind, superstep) — in a
+                # legal program a rank cannot pass collective k until
+                # every rank has posted it.  Disagreement (or a rank
+                # that returned without posting it) can never resolve;
+                # fail fast instead of deadlocking.
+                tags = {
+                    (blocked[r].kind, blocked[r].superstep) for r in coll_ranks
+                }
+                if len(tags) > 1:
+                    raise SpmdProtocolError(
+                        f"collective mismatch across ranks: {sorted(tags)}",
+                        blocked=self._blocked_summary(blocked, done),
                     )
+                if any(done):
+                    kind, step = next(iter(tags))
+                    finished = [r for r in range(self.n_ranks) if done[r]]
+                    raise SpmdProtocolError(
+                        f"collective mismatch: ranks {coll_ranks} wait on "
+                        f"{kind}@s{step} but ranks {finished} already "
+                        "returned without posting it",
+                        blocked=self._blocked_summary(blocked, done),
+                    )
+            if len(coll_ranks) == self.n_ranks:
+                colls = [blocked[r] for r in coll_ranks]
                 self._complete_collective(colls, clock, inbox)
                 nbytes = sum(_payload_bytes(c.data) for c in colls)
                 total_bytes += nbytes
@@ -280,11 +331,22 @@ class VirtualMachine:
             if not progressed:
                 if all(done):
                     break
-                waiting = {
-                    r: type(blocked[r]).__name__
-                    for r in range(self.n_ranks)
-                    if not done[r]
-                }
+                waiting = self._blocked_summary(blocked, done)
+                # a recv whose source has returned (and left no mail)
+                # is a schedule bug, not a transient stall
+                for r in range(self.n_ranks):
+                    op = blocked[r]
+                    if (
+                        isinstance(op, _Recv)
+                        and done[op.src]
+                        and not mail.get((op.src, r))
+                    ):
+                        raise SpmdProtocolError(
+                            f"rank {r} waits on recv(src={op.src}) but rank "
+                            f"{op.src} returned without sending (superstep "
+                            f"mismatch at s{op.superstep})",
+                            blocked=waiting,
+                        )
                 raise CommError(f"deadlock: ranks blocked on {waiting}")
         else:  # pragma: no cover - loop cap
             raise CommError("program exceeded the scheduler's step budget")
@@ -292,6 +354,14 @@ class VirtualMachine:
         return SpmdResult(
             returns=returns, clock=clock, total_bytes=total_bytes, messages=messages
         )
+
+    def _blocked_summary(self, blocked, done) -> dict:
+        """``rank -> blocked-op label`` for error messages."""
+        return {
+            r: describe_op(blocked[r])
+            for r in range(self.n_ranks)
+            if not done[r] and blocked[r] is not None
+        }
 
     def _complete_collective(self, colls, clock, inbox) -> None:
         """Resolve one collective across all ranks; update clocks/inboxes."""

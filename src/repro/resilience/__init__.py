@@ -22,7 +22,14 @@ reports through :mod:`repro.obs` (``faults.*``, ``recovery.*``,
 
 from .checkpoint import CheckpointManager
 from .detect import EnergyWatchdog, force_guard, scan_jmem
-from .faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from .faults import (
+    FAULT_DOMAINS,
+    RANK_KINDS,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+)
 from .recover import RecoveryManager
 
 __all__ = [
@@ -30,6 +37,8 @@ __all__ = [
     "FaultSpec",
     "FaultPlan",
     "FaultInjector",
+    "FAULT_DOMAINS",
+    "RANK_KINDS",
     "force_guard",
     "scan_jmem",
     "EnergyWatchdog",

@@ -25,7 +25,14 @@ import numpy as np
 
 from ..errors import ConfigurationError, SimulationKilled
 
-__all__ = ["FaultKind", "FaultSpec", "FaultPlan", "FaultInjector"]
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "FAULT_DOMAINS",
+    "RANK_KINDS",
+]
 
 
 class FaultKind(str, Enum):
@@ -34,7 +41,9 @@ class FaultKind(str, Enum):
     Hardware faults (chip/pipeline/board/j-memory) require a
     hierarchy-mode machine — in flat mode there is no per-chip state to
     damage, so they are skipped.  Link, comm and host faults apply in
-    both modes.
+    both modes.  Rank faults target the multiprocess SPMD gang of
+    :class:`~repro.parallel.proc.ProcEngine` — ``at_block`` is a
+    *superstep* index there, not a machine block index.
     """
 
     CHIP_KILL = "chip_kill"          #: mask every pipeline of one chip
@@ -45,6 +54,9 @@ class FaultKind(str, Enum):
     LINK_DELAY = "link_delay"        #: one-shot bandwidth degradation
     COMM_DROP = "comm_drop"          #: drop a software-comm transfer
     HOST_KILL = "host_kill"          #: kill the run (checkpoint restart)
+    RANK_KILL = "rank_kill"          #: SIGKILL one SPMD worker process
+    RANK_STALL = "rank_stall"        #: wedge a worker (heartbeat stops)
+    MSG_DELAY = "msg_delay"          #: hold one rank's deliveries briefly
 
 
 #: Kinds that need a hierarchy-mode machine to have any effect.
@@ -56,6 +68,31 @@ HARDWARE_KINDS = frozenset(
         FaultKind.JMEM_CORRUPT,
     }
 )
+
+#: Kinds that target SPMD worker ranks (superstep-indexed).
+RANK_KINDS = frozenset(
+    {FaultKind.RANK_KILL, FaultKind.RANK_STALL, FaultKind.MSG_DELAY}
+)
+
+#: Which scheduling domain drives each kind.  ``machine`` kinds fire
+#: from :meth:`FaultInjector.apply_due` at block indices, ``comm`` kinds
+#: from :meth:`FaultInjector.comm_overhead` at comm-phase indices, and
+#: ``rank`` kinds from :meth:`FaultInjector.rank_actions` at SPMD
+#: superstep boundaries.  ``tools/check_fault_matrix.py`` fails the
+#: build if a kind has no domain or a domain has no live driver.
+FAULT_DOMAINS: dict[FaultKind, str] = {
+    FaultKind.CHIP_KILL: "machine",
+    FaultKind.PIPELINE_MASK: "machine",
+    FaultKind.BOARD_KILL: "machine",
+    FaultKind.JMEM_CORRUPT: "machine",
+    FaultKind.LINK_DROP: "machine",
+    FaultKind.LINK_DELAY: "machine",
+    FaultKind.COMM_DROP: "comm",
+    FaultKind.HOST_KILL: "machine",
+    FaultKind.RANK_KILL: "rank",
+    FaultKind.RANK_STALL: "rank",
+    FaultKind.MSG_DELAY: "rank",
+}
 
 
 @dataclass(frozen=True)
@@ -105,14 +142,22 @@ class FaultPlan:
     def __len__(self) -> int:
         return len(self.specs)
 
-    def due(self, index: int, comm: bool = False) -> list[FaultSpec]:
-        """Specs that fire at ``index`` in the requested domain."""
+    def due(
+        self, index: int, comm: bool = False, domain: str | None = None
+    ) -> list[FaultSpec]:
+        """Specs that fire at ``index`` in the requested domain.
+
+        ``domain`` is ``"machine"``, ``"comm"`` or ``"rank"`` (see
+        :data:`FAULT_DOMAINS`); the legacy ``comm=True`` flag is
+        shorthand for ``domain="comm"``.
+        """
+        if domain is None:
+            domain = "comm" if comm else "machine"
         out = []
         for i, spec in enumerate(self.specs):
             if i in self._fired:
                 continue
-            is_comm = spec.kind is FaultKind.COMM_DROP
-            if is_comm is not comm:
+            if FAULT_DOMAINS[spec.kind] != domain:
                 continue
             if index >= spec.at_block:
                 self._fired.add(i)
@@ -166,6 +211,8 @@ class FaultInjector:
         self._pending_link: list[tuple] = []
         #: armed comm drops drained by :meth:`comm_overhead`
         self._pending_comm: list[FaultSpec] = []
+        #: armed rank faults drained by :meth:`rank_actions`
+        self._pending_rank: list[FaultSpec] = []
         self.injected = 0
         self.observe(obs)
 
@@ -331,6 +378,35 @@ class FaultInjector:
         raise SimulationKilled(
             f"fault injector: host killed at block {spec.at_block}"
         )
+
+    def _inject_rank_kill(self, spec: FaultSpec) -> None:
+        self._pending_rank.append(spec)
+        self._count()
+
+    def _inject_rank_stall(self, spec: FaultSpec) -> None:
+        self._pending_rank.append(spec)
+        self._count()
+
+    def _inject_msg_delay(self, spec: FaultSpec) -> None:
+        self._pending_rank.append(spec)
+        self._count()
+
+    def rank_actions(self, superstep: int) -> list[FaultSpec]:
+        """Rank-domain faults due at ``superstep``, armed and drained.
+
+        :class:`~repro.parallel.proc.ProcEngine` calls this at every
+        superstep boundary (and once at run start) and applies the
+        returned specs itself — SIGKILLing the target worker, setting
+        its stall flag, or delaying its message deliveries.  The target
+        rank is ``spec.target`` (or ``spec.params["rank"]``), defaulting
+        to ``at_block % n_ranks`` so seeded random plans spread kills
+        across the gang deterministically.
+        """
+        if self.plan is not None:
+            for spec in self.plan.due(superstep, domain="rank"):
+                getattr(self, f"_inject_{spec.kind.value}")(spec)
+        out, self._pending_rank = self._pending_rank, []
+        return out
 
     # -- overhead accounting ---------------------------------------------
 

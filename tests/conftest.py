@@ -1,6 +1,8 @@
-"""Shared fixtures and factories for the test suite."""
+"""Shared fixtures, factories, and the per-test watchdog alarm."""
 
 from __future__ import annotations
+
+import signal
 
 import numpy as np
 import pytest
@@ -12,6 +14,47 @@ from repro.core import (
     Simulation,
     TimestepParams,
 )
+
+# -- per-test watchdog alarm -------------------------------------------------
+#
+# The multiprocess SPMD suite exercises real deadlock/hang scenarios;
+# if supervision ever regresses, a test must fail loudly instead of
+# wedging the whole run.  SIGALRM-based so it needs no third-party
+# plugin; per-test override via ``@pytest.mark.timeout(seconds)``.
+
+DEFAULT_TEST_TIMEOUT = 120
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): override the per-test watchdog alarm "
+        f"(default {DEFAULT_TEST_TIMEOUT}s, SIGALRM-based)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _test_watchdog(request):
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - non-POSIX
+        yield
+        return
+    marker = request.node.get_closest_marker("timeout")
+    seconds = int(marker.args[0]) if marker and marker.args else DEFAULT_TEST_TIMEOUT
+
+    def on_alarm(signum, frame):
+        pytest.fail(
+            f"test exceeded the {seconds}s watchdog alarm "
+            "(likely a hung SPMD rank or deadlocked collective)",
+            pytrace=False,
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def make_two_body(m1: float = 1.0, m2: float = 1e-3, a: float = 1.0, e: float = 0.0):

@@ -1,0 +1,315 @@
+"""Tests for the supervised multiprocess SPMD engine.
+
+Covers the robustness contract of :mod:`repro.parallel.proc`: VM/process
+parity on the shared rank programs, superstep-tagged protocol checking
+across real processes, bounded op timeouts, seeded rank kills with
+journal-replay restart, heartbeat-stall lease expiry, message delays,
+and graceful degrade to the in-process scheduler.
+"""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.errors import SpmdError, SpmdProtocolError, SpmdTimeoutError
+from repro.parallel import (
+    ProcConfig,
+    ProcEngine,
+    ProgramContext,
+    VirtualMachine,
+    partition_bounds,
+    ring_force_program,
+)
+from repro.parallel.programs import grid_force_program
+from repro.resilience import FaultInjector, FaultKind, FaultPlan, FaultSpec
+
+
+def _cluster(n=60, seed=7):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.normal(size=(n, 3)),
+        rng.normal(size=(n, 3)),
+        rng.uniform(0.5, 1.5, n),
+    )
+
+
+def _engine(n_ranks, cfg=None, injector=None, arrays=()):
+    eng = ProcEngine(n_ranks, cfg, injector=injector)
+    for name, arr in arrays:
+        eng.share(name, arr)
+    return eng
+
+
+def _allreduce_gather(comm, ctx):
+    total = yield comm.allreduce(float(comm.rank + 1))
+    gathered = yield comm.allgather(comm.rank * 10)
+    yield comm.barrier()
+    return (total, gathered)
+
+
+def _mismatched(comm, ctx):
+    if comm.rank == 0:
+        yield comm.barrier()
+    else:
+        yield comm.allreduce(1.0)
+    return None
+
+
+def _stuck_recv(comm, ctx):
+    if comm.rank == 0:
+        yield comm.recv(1)
+    yield comm.barrier()
+    return None
+
+
+def _die_once(comm, ctx):
+    # rank 1 SIGKILLs itself the first time through; the shared flag
+    # makes the restarted incarnation take the live path, so the ops
+    # before the kill must be served from the replay journal
+    flag = ctx.arrays["flag"]
+    total = yield comm.allreduce(float(comm.rank + 1))
+    if comm.rank == 1 and flag[0] == 0:
+        flag[0] = 1
+        os.kill(os.getpid(), signal.SIGKILL)
+    if comm.rank == 0:
+        yield comm.send(1, total * 2)
+    elif comm.rank == 1:
+        got = yield comm.recv(0)
+        total = total + got
+    gathered = yield comm.allgather(total)
+    return gathered
+
+
+def _die_repeatedly(comm, ctx):
+    total = yield comm.allreduce(float(comm.rank + 1))
+    if comm.rank == 1 and ctx.arrays["flag"][0] < 2:
+        ctx.arrays["flag"][0] += 1
+        os.kill(os.getpid(), signal.SIGKILL)
+    out = yield comm.allgather(total)
+    return out
+
+
+class TestProcBasics:
+    def test_collectives_match_vm_semantics(self):
+        with _engine(3, ProcConfig(op_timeout=20.0)) as eng:
+            res = eng.run(_allreduce_gather)
+        assert res.returns == [(6.0, [0, 10, 20])] * 3
+        assert res.supersteps == 3
+        assert res.wall_seconds > 0
+        assert not res.degraded
+
+    def test_single_rank(self):
+        with _engine(1) as eng:
+            res = eng.run(_allreduce_gather)
+        assert res.returns == [(1.0, [0])]
+
+    def test_engine_reusable_and_superstep_cumulative(self):
+        with _engine(2) as eng:
+            eng.run(_allreduce_gather)
+            eng.run(_allreduce_gather)
+            assert eng.supersteps == 6
+
+    def test_closed_engine_rejects_runs(self):
+        eng = _engine(2)
+        eng.close()
+        with pytest.raises(SpmdError, match="closed"):
+            eng.run(_allreduce_gather)
+
+    def test_shared_array_refresh(self):
+        a = np.arange(6, dtype=float)
+        eng = _engine(2, arrays=[("x", a)])
+
+        def reader(comm, ctx):
+            yield comm.barrier()
+            return float(ctx.arrays["x"].sum())
+
+        try:
+            assert eng.run(reader).returns == [15.0, 15.0]
+            eng.share("x", a * 10)  # refresh in place
+            assert eng.run(reader).returns == [150.0, 150.0]
+        finally:
+            eng.close()
+
+
+class TestProcParity:
+    """The same program yields the same bits on VM and processes."""
+
+    def test_ring_program_bit_identical(self):
+        pos, vel, mass = _cluster()
+        params = {"eps": 0.01, "bounds": partition_bounds(len(pos), 3)}
+        ctx = ProgramContext(
+            arrays={"pos": pos, "vel": vel, "mass": mass}, params=params
+        )
+        vm_res = VirtualMachine(n_ranks=3).run(ring_force_program, ctx)
+        with _engine(
+            3, arrays=[("pos", pos), ("vel", vel), ("mass", mass)]
+        ) as eng:
+            proc_res = eng.run(ring_force_program, params)
+        for (lo, hi, a, j), (plo, phi, pa, pj) in zip(
+            vm_res.returns[0], proc_res.returns[0]
+        ):
+            assert (lo, hi) == (plo, phi)
+            assert np.array_equal(a, pa)
+            assert np.array_equal(j, pj)
+
+    def test_grid_program_bit_identical(self):
+        pos, vel, mass = _cluster(n=40)
+        q = 2
+        params = {
+            "eps": 0.01,
+            "q": q,
+            "bounds": partition_bounds(len(pos), q),
+        }
+        ctx = ProgramContext(
+            arrays={"pos": pos, "vel": vel, "mass": mass}, params=params
+        )
+        vm_res = VirtualMachine(n_ranks=q * q).run(grid_force_program, ctx)
+        with _engine(
+            q * q, arrays=[("pos", pos), ("vel", vel), ("mass", mass)]
+        ) as eng:
+            proc_res = eng.run(grid_force_program, params)
+        for vm_item, proc_item in zip(vm_res.returns[0], proc_res.returns[0]):
+            if vm_item is None:
+                assert proc_item is None
+                continue
+            assert (vm_item[0], vm_item[1]) == (proc_item[0], proc_item[1])
+            assert np.array_equal(vm_item[2], proc_item[2])
+            assert np.array_equal(vm_item[3], proc_item[3])
+
+
+class TestProcProtocol:
+    def test_collective_mismatch_is_structured(self):
+        with _engine(2, ProcConfig(op_timeout=20.0)) as eng:
+            with pytest.raises(SpmdProtocolError, match="mismatch") as exc:
+                eng.run(_mismatched)
+        assert set(exc.value.blocked) == {0, 1}
+        assert "barrier@s0" in exc.value.blocked.values()
+
+    def test_recv_from_returned_peer_times_out_with_context(self):
+        with _engine(2, ProcConfig(op_timeout=0.5)) as eng:
+            with pytest.raises(SpmdTimeoutError, match="recv"):
+                eng.run(_stuck_recv)
+
+    def test_worker_exception_propagates(self):
+        def boom(comm, ctx):
+            yield comm.barrier()
+            raise ValueError("worker-side failure")
+
+        with _engine(2) as eng:
+            with pytest.raises(SpmdError, match="worker-side failure"):
+                eng.run(boom)
+
+
+class TestRankDeathRecovery:
+    def test_sigkill_restart_replays_journal(self):
+        with _engine(
+            3,
+            ProcConfig(op_timeout=20.0, lease_seconds=3.0, max_restarts=2),
+            arrays=[("flag", np.zeros(1))],
+        ) as eng:
+            res = eng.run(_die_once)
+        assert res.returns == [[6.0, 18.0, 6.0]] * 3
+        assert res.deaths == 1
+        assert res.restarts == 1
+        assert res.replayed_ops >= 1
+        assert not res.degraded
+        assert res.recovery_seconds > 0
+
+    def test_restart_budget_exhaustion_degrades_bit_identically(self):
+        with _engine(
+            3,
+            ProcConfig(op_timeout=20.0, lease_seconds=3.0, max_restarts=1),
+            arrays=[("flag", np.zeros(1))],
+        ) as eng:
+            res = eng.run(_die_repeatedly)
+        assert res.degraded
+        assert res.deaths == 2
+        # the degraded rerun still produces the correct (identical) data
+        assert res.returns == [[6.0, 6.0, 6.0]] * 3
+
+    def test_on_failure_raise(self):
+        with _engine(
+            2,
+            ProcConfig(
+                op_timeout=20.0, max_restarts=0, on_failure="raise"
+            ),
+            arrays=[("flag", np.zeros(1))],
+        ) as eng:
+            with pytest.raises(SpmdError, match="restart budget"):
+                eng.run(_die_repeatedly)
+
+
+class TestSeededRankFaults:
+    def _forces_with_plan(self, plan, cfg):
+        pos, vel, mass = _cluster(n=80, seed=11)
+        params = {"eps": 0.01, "bounds": partition_bounds(len(pos), 4)}
+        ctx = ProgramContext(
+            arrays={"pos": pos, "vel": vel, "mass": mass}, params=params
+        )
+        ref = VirtualMachine(n_ranks=4).run(ring_force_program, ctx).returns
+        with _engine(
+            4,
+            cfg,
+            injector=FaultInjector(plan),
+            arrays=[("pos", pos), ("vel", vel), ("mass", mass)],
+        ) as eng:
+            res = eng.run(ring_force_program, params)
+        for (lo, hi, a, j), (plo, phi, pa, pj) in zip(
+            ref[0], res.returns[0]
+        ):
+            assert (lo, hi) == (plo, phi)
+            assert np.array_equal(a, pa)
+            assert np.array_equal(j, pj)
+        return res
+
+    def test_rank_kill_recovers_bit_identically(self):
+        plan = FaultPlan(
+            [FaultSpec(FaultKind.RANK_KILL, at_block=0, target=1)], seed=3
+        )
+        res = self._forces_with_plan(
+            plan, ProcConfig(op_timeout=20.0, lease_seconds=3.0)
+        )
+        assert res.deaths >= 1
+        assert res.restarts >= 1
+
+    def test_rank_stall_expires_lease_and_recovers(self):
+        plan = FaultPlan(
+            [FaultSpec(FaultKind.RANK_STALL, at_block=0, target=2)], seed=3
+        )
+        res = self._forces_with_plan(
+            plan,
+            ProcConfig(
+                op_timeout=30.0, lease_seconds=0.5, heartbeat_interval=0.02
+            ),
+        )
+        assert res.heartbeat_expiries >= 1
+        assert res.restarts >= 1
+
+    def test_msg_delay_is_transparent(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    FaultKind.MSG_DELAY,
+                    at_block=0,
+                    target=0,
+                    params={"seconds": 0.1},
+                )
+            ],
+            seed=3,
+        )
+        res = self._forces_with_plan(plan, ProcConfig(op_timeout=20.0))
+        assert res.deaths == 0
+
+    def test_rank_kinds_not_fired_in_machine_domain(self):
+        # a rank fault in the plan must not leak into apply_due()
+        plan = FaultPlan(
+            [FaultSpec(FaultKind.RANK_KILL, at_block=0, target=0)], seed=0
+        )
+        inj = FaultInjector(plan)
+        inj.apply_due(100)  # machine domain: nothing should fire
+        assert plan.n_pending == 1
+        fired = inj.rank_actions(0)
+        assert [s.kind for s in fired] == [FaultKind.RANK_KILL]
+        assert plan.n_pending == 0

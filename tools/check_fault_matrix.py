@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Lint: every fault kind must be implemented and tested.
+"""Lint: every fault kind must be implemented, injectable, and tested.
 
 For each member of :class:`repro.resilience.FaultKind` this check
 requires:
@@ -8,7 +8,14 @@ requires:
    :class:`repro.resilience.FaultInjector` (injection dispatches by
    name, so a missing method is a runtime AttributeError waiting for
    the first plan that schedules that kind);
-2. at least one test referencing the kind — ``FaultKind.<NAME>`` or the
+2. an injection *site* — the kind must belong to a scheduling domain in
+   :data:`repro.resilience.FAULT_DOMAINS`, and that domain's driver
+   method (``apply_due`` for ``machine``, ``comm_overhead`` for
+   ``comm``, ``rank_actions`` for ``rank``) must both exist on the
+   injector and be called somewhere in ``src/repro`` outside
+   ``faults.py`` itself — a fault kind whose domain no subsystem drives
+   can never fire;
+3. at least one test referencing the kind — ``FaultKind.<NAME>`` or the
    string value ``"<kind.value>"`` somewhere under ``tests/``.
 
 Pure standard library; run::
@@ -26,9 +33,24 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.resilience import FaultInjector, FaultKind  # noqa: E402
+from repro.resilience import FAULT_DOMAINS, FaultInjector, FaultKind  # noqa: E402
 
-__all__ = ["missing_injectors", "untested_kinds", "check", "main"]
+__all__ = [
+    "DOMAIN_DRIVERS",
+    "missing_injectors",
+    "missing_domains",
+    "undriven_domains",
+    "untested_kinds",
+    "check",
+    "main",
+]
+
+#: domain -> the injector method a subsystem must call to drive it
+DOMAIN_DRIVERS = {
+    "machine": "apply_due",
+    "comm": "comm_overhead",
+    "rank": "rank_actions",
+}
 
 
 def missing_injectors() -> list[str]:
@@ -38,6 +60,36 @@ def missing_injectors() -> list[str]:
         for kind in FaultKind
         if not callable(getattr(FaultInjector, f"_inject_{kind.value}", None))
     ]
+
+
+def missing_domains() -> list[str]:
+    """Fault kinds not mapped to a scheduling domain."""
+    return [
+        kind.value
+        for kind in FaultKind
+        if FAULT_DOMAINS.get(kind) not in DOMAIN_DRIVERS
+    ]
+
+
+def undriven_domains(src_dir: Path | None = None) -> list[str]:
+    """Domains whose driver method nothing in ``src/repro`` calls.
+
+    ``faults.py`` itself is excluded — the driver being *defined* there
+    is not an injection site; some other subsystem must invoke it.
+    """
+    src_dir = src_dir or (REPO_ROOT / "src" / "repro")
+    corpus = "\n".join(
+        p.read_text()
+        for p in sorted(src_dir.rglob("*.py"))
+        if p.name != "faults.py"
+    )
+    out = []
+    for domain, driver in sorted(DOMAIN_DRIVERS.items()):
+        if not callable(getattr(FaultInjector, driver, None)):
+            out.append(f"{domain} (driver {driver} not on FaultInjector)")
+        elif f".{driver}(" not in corpus:
+            out.append(f"{domain} (no call site of {driver}() in {src_dir})")
+    return out
 
 
 def untested_kinds(tests_dir: Path) -> list[str]:
@@ -53,7 +105,7 @@ def untested_kinds(tests_dir: Path) -> list[str]:
     return out
 
 
-def check(tests_dir: Path) -> list[str]:
+def check(tests_dir: Path, src_dir: Path | None = None) -> list[str]:
     """Human-readable gap messages."""
     problems = []
     for kind in missing_injectors():
@@ -61,6 +113,13 @@ def check(tests_dir: Path) -> list[str]:
             f"FaultKind {kind!r} has no FaultInjector._inject_{kind} "
             "implementation"
         )
+    for kind in missing_domains():
+        problems.append(
+            f"FaultKind {kind!r} has no scheduling domain in FAULT_DOMAINS "
+            "— nothing will ever fire it"
+        )
+    for msg in undriven_domains(src_dir):
+        problems.append(f"fault domain {msg} has no injection site")
     if tests_dir.is_dir():
         for kind in untested_kinds(tests_dir):
             problems.append(
@@ -81,7 +140,10 @@ def main(argv=None) -> int:
     if problems:
         print(f"{len(problems)} fault-matrix gap(s)")
         return 1
-    print(f"fault matrix ok ({len(list(FaultKind))} kinds covered)")
+    print(
+        f"fault matrix ok ({len(list(FaultKind))} kinds, "
+        f"{len(DOMAIN_DRIVERS)} driven domains)"
+    )
     return 0
 
 
