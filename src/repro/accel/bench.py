@@ -95,6 +95,18 @@ def _op_args(op: str, system, active, t_now: float):
         include = rng.random((active.size, system.n)) < 0.01
         include[np.arange(active.size), active] = False
         return (pos_i, vel_i, system.pos, system.vel, system.mass, _EPS, include), {}
+    if op == "node_force":
+        # tree-node-like sources: reuse particle COM/vel, add symmetric
+        # traceless quadrupole moments scaled to node size
+        rng = np.random.default_rng(5)
+        a = rng.normal(size=(system.n, 3, 3))
+        sym = a + np.swapaxes(a, 1, 2)
+        tr = np.trace(sym, axis1=1, axis2=2)
+        sym -= tr[:, None, None] * np.eye(3) / 3.0
+        quad = sym * system.mass[:, None, None] * 1e-4
+        return (pos_i, vel_i, system.pos, system.vel, system.mass, _EPS), {
+            "quad_j": quad
+        }
     raise ValueError(f"unknown op {op!r}")
 
 

@@ -281,9 +281,31 @@ class KernelEngine:
 
     # -- dispatch ----------------------------------------------------------
 
-    def dispatch(self, op: str, n_i: int, n_j: int, args: tuple, kwargs: dict):
-        """Select a kernel for ``op`` at shape ``(n_i, n_j)`` and run it."""
+    def dispatch(self, op: str, n_i: int, n_j: int, args: tuple, kwargs: dict,
+                 kernel: str | None = None):
+        """Select a kernel for ``op`` at shape ``(n_i, n_j)`` and run it.
+
+        ``kernel`` pins a specific registered implementation, bypassing
+        the size heuristic, the autotuner *and* the per-bucket cache.
+        Callers that promise bit-stable results across call shapes (the
+        grouped tree walk evaluates the same physics in group-sized
+        slices, where the heuristic could flip small groups onto the
+        ``reference`` kernels and change low-order bits) pin the
+        ``accel`` family this way.
+        """
         self._c_calls.inc()
+        if kernel is not None:
+            spec = reg.REGISTRY.get((op, kernel))
+            if spec is None:
+                raise ValueError(
+                    f"no kernel {kernel!r} registered for op {op!r}"
+                )
+            if not self._tracer.enabled:
+                return spec.runner(self, *args, **kwargs)
+            with self._tracer.span(
+                "kernel." + op, kernel=spec.name, n_i=n_i, n_j=n_j
+            ):
+                return spec.runner(self, *args, **kwargs)
         key = (op, reg.shape_bucket(n_i), reg.shape_bucket(n_j))
         spec = self._pick_cache.get(key)
         if spec is None:
@@ -318,9 +340,16 @@ class KernelEngine:
     # -- public ops (normalise, count, dispatch) ---------------------------
 
     def acc_jerk(self, pos_i, vel_i, pos_j, vel_j, mass_j, eps,
-                 self_indices=None, counter=None):
+                 self_indices=None, counter=None, kernel=None):
         """Softened acceleration and jerk; mirrors
-        :func:`repro.core.forces.acc_jerk`."""
+        :func:`repro.core.forces.acc_jerk`.
+
+        On the ``accel`` kernel a ``self_indices`` entry of ``-1`` means
+        "no self column in this source list" (no pair excluded for that
+        sink row — it can never land inside a j-chunk); the ``reference``
+        kernel requires valid indices.  ``kernel`` pins a registered
+        implementation (see :meth:`dispatch`).
+        """
         pos_i, vel_i, pos_j, vel_j = _norm(pos_i, vel_i, pos_j, vel_j)
         mass_j = _mass(mass_j)
         n_i, n_j = pos_i.shape[0], pos_j.shape[0]
@@ -331,6 +360,7 @@ class KernelEngine:
             "acc_jerk", n_i, n_j,
             (pos_i, vel_i, pos_j, vel_j, mass_j, eps),
             {"self_indices": _idx(self_indices)},
+            kernel=kernel,
         )
 
     def acc_only(self, pos_i, pos_j, mass_j, eps, self_indices=None, counter=None):
@@ -377,7 +407,7 @@ class KernelEngine:
         )
 
     def acc_jerk_masked(self, pos_i, vel_i, pos_j, vel_j, mass_j, eps,
-                        include, counter=None):
+                        include, counter=None, kernel=None):
         """Softened acceleration and jerk over an explicit pair mask.
 
         ``include`` is a boolean ``(n_i, n_j)`` matrix selecting which
@@ -403,6 +433,40 @@ class KernelEngine:
         return self.dispatch(
             "acc_jerk_masked", n_i, n_j,
             (pos_i, vel_i, pos_j, vel_j, mass_j, eps, include), {},
+            kernel=kernel,
+        )
+
+    def node_force(self, pos_i, vel_i, com_j, vel_j, mass_j, eps,
+                   quad_j=None, counter=None, kernel=None):
+        """Multipole list kernel: monopole(+quadrupole) acc, monopole jerk.
+
+        The grouped tree walk's bulk-evaluation op: sinks against a
+        *list of accepted tree nodes* — ``com_j`` / ``vel_j`` /
+        ``mass_j`` are the nodes' centres of mass, COM velocities
+        (``mom / mass``) and total masses, ``quad_j`` the optional
+        ``(n_j, 3, 3)`` traceless quadrupole moments (mass included).
+        No self-pairs or masks: accepted nodes never contain a sink.
+        The acceleration gains the quadrupole term when ``quad_j`` is
+        given; the jerk stays monopole (the classical compromise of
+        tree+Hermite hybrids, matching ``Octree.accelerations``).
+        """
+        pos_i, vel_i, com_j, vel_j = _norm(pos_i, vel_i, com_j, vel_j)
+        mass_j = _mass(mass_j)
+        n_i, n_j = pos_i.shape[0], com_j.shape[0]
+        if quad_j is not None:
+            quad_j = np.asarray(quad_j, dtype=np.float64)
+            if quad_j.shape != (n_j, 3, 3):
+                raise ValueError(
+                    f"quad_j shape {quad_j.shape} != ({n_j}, 3, 3)"
+                )
+        if counter is not None:
+            counter.add(n_i, n_j, with_jerk=True)
+        self._c_tile_bytes.inc(n_i * n_j * 8 * (11 if quad_j is None else 14))
+        return self.dispatch(
+            "node_force", n_i, n_j,
+            (pos_i, vel_i, com_j, vel_j, mass_j, eps),
+            {"quad_j": quad_j},
+            kernel=kernel,
         )
 
     def acc_jerk_active(self, system, active, t_now, eps, counter=None):
@@ -656,6 +720,47 @@ class KernelEngine:
         self._sweep(n_i, n_j, [acc, jerk], body)
         return acc, jerk
 
+    def _accel_node_force(self, pos_i, vel_i, com_j, vel_j, mass_j, eps,
+                          quad_j=None):
+        n_i, n_j = pos_i.shape[0], com_j.shape[0]
+        acc = np.zeros((n_i, 3))
+        jerk = np.zeros((n_i, 3))
+        if n_i == 0 or n_j == 0:
+            return acc, jerk
+        eps2 = float(eps) ** 2
+
+        def body(ws, j0, j1, outs):
+            acc_o, jerk_o = outs
+            width = j1 - j0
+            rows = self._rows(n_i, width)
+            pj, vj, mj = com_j[j0:j1], vel_j[j0:j1], mass_j[j0:j1]
+            qj = None if quad_j is None else quad_j[j0:j1]
+            for i0 in range(0, n_i, rows):
+                i1 = min(i0 + rows, n_i)
+                tv = ws.tile(i1 - i0, width)
+                if qj is None:
+                    tk.acc_jerk_tile(
+                        tv, pos_i[i0:i1], vel_i[i0:i1], pj, vj, mj, eps2,
+                        acc_o[i0:i1], jerk_o[i0:i1], None,
+                    )
+                    continue
+                # Exactly one += into acc_o per tile (like every other
+                # tile kernel): monopole and quadrupole accumulate into
+                # a scratch row vector first, otherwise the serial and
+                # threaded reductions associate the partial sums
+                # differently and the bits drift.
+                tmp = ws.vec(i1 - i0, 3, slot=9)
+                tmp[...] = 0.0
+                tk.acc_jerk_tile(
+                    tv, pos_i[i0:i1], vel_i[i0:i1], pj, vj, mj, eps2,
+                    tmp, jerk_o[i0:i1], None,
+                )
+                tk.quad_tile(tv, qj, tmp)
+                acc_o[i0:i1] += tmp
+
+        self._sweep(n_i, n_j, [acc, jerk], body)
+        return acc, jerk
+
     def _fused_acc_jerk_active(self, system, active, t_now, eps):
         """Fused predict-and-accumulate: sources predicted per j-chunk.
 
@@ -767,6 +872,26 @@ def _reference_acc_jerk_masked(engine, pos_i, vel_i, pos_j, vel_j, mass_j, eps,
     return acc, jerk
 
 
+def _reference_node_force(engine, pos_i, vel_i, com_j, vel_j, mass_j, eps,
+                          quad_j=None):
+    dr = com_j[None, :, :] - pos_i[:, None, :]
+    dv = vel_j[None, :, :] - vel_i[:, None, :]
+    r2 = np.einsum("ijk,ijk->ij", dr, dr) + float(eps) ** 2
+    rv = np.einsum("ijk,ijk->ij", dr, dv)
+    r3 = r2 * np.sqrt(r2)
+    mr3 = mass_j[None, :] / r3
+    acc = np.einsum("ij,ijk->ik", mr3, dr)
+    w = 3.0 * mr3 * rv / r2
+    jerk = np.einsum("ij,ijk->ik", mr3, dv) - np.einsum("ij,ijk->ik", w, dr)
+    if quad_j is not None:
+        qdr = np.einsum("jkl,ijl->ijk", quad_j, dr)
+        drqdr = np.einsum("ijk,ijk->ij", dr, qdr)
+        r5 = r3 * r2
+        acc -= np.einsum("ij,ijk->ik", 1.0 / r5, qdr)
+        acc += np.einsum("ij,ijk->ik", 2.5 * drqdr / (r5 * r2), dr)
+    return acc, jerk
+
+
 def _reference_acc_jerk_active(engine, system, active, t_now, eps):
     from ..core import forces
 
@@ -804,6 +929,11 @@ def _register_builtins() -> None:
          doc="Single-shot broadcasting sum over an explicit pair mask")
     spec("acc_jerk_masked", "accel", KernelEngine._accel_acc_jerk_masked,
          doc="Workspace tiles with per-tile mask slices, fixed-order reduction")
+    spec("node_force", "reference", _reference_node_force,
+         doc="Single-shot broadcasting multipole (monopole+quad) list sum")
+    spec("node_force", "accel", KernelEngine._accel_node_force,
+         doc="Monopole+jerk tiles with a fused quadrupole pass, fixed-order "
+             "reduction")
 
 
 _register_builtins()

@@ -30,6 +30,7 @@ __all__ = [
     "acc_tile",
     "potential_tile",
     "spline_tile",
+    "quad_tile",
     "predict_sources",
 ]
 
@@ -157,6 +158,35 @@ def spline_tile(
     g *= mass_j[None, :]
     np.einsum("ij,ijk->ik", g, tv.dr, out=tv.vec1)
     acc_out += tv.vec1
+
+
+def quad_tile(tv, quad_j, acc_out) -> None:
+    """Add one tile's traceless-quadrupole acceleration into ``acc_out``.
+
+    ``quad_j`` holds the per-node moments ``Q = sum m (3 y y^T - |y|^2 I)``
+    (mass included, so no extra mass factor appears here).  The term is
+
+        ``a_quad = Q s / r^5 - 2.5 (s^T Q s) s / r^7``,  ``s = sink - com``,
+
+    evaluated with ``s = -dr`` as ``-(Q dr)/r^5 + 2.5 (dr^T Q dr) dr / r^7``
+    (negating before or after the contractions carries the same bits).
+
+    Must run *directly after* :func:`acc_jerk_tile` on the same view: it
+    reuses ``tv.dr`` (separations), ``tv.r2`` (softened ``r^2``) and
+    ``tv.s`` (``r^3``) left behind by the monopole pass, and clobbers
+    ``tv.dv`` / ``tv.rv`` / ``tv.w`` / ``tv.vec1`` / ``tv.vec2``.
+    """
+    np.einsum("jkl,ijl->ijk", quad_j, tv.dr, out=tv.dv)  # Q dr
+    np.einsum("ijk,ijk->ij", tv.dr, tv.dv, out=tv.rv)  # dr^T Q dr
+    np.multiply(tv.s, tv.r2, out=tv.w)  # r^5
+    np.divide(1.0, tv.w, out=tv.w)
+    np.einsum("ij,ijk->ik", tv.w, tv.dv, out=tv.vec1)  # (Q dr) / r^5
+    acc_out -= tv.vec1
+    tv.w /= tv.r2  # 1 / r^7
+    tv.w *= tv.rv
+    tv.w *= 2.5
+    np.einsum("ij,ijk->ik", tv.w, tv.dr, out=tv.vec2)
+    acc_out += tv.vec2
 
 
 def predict_sources(jpos, jvel, jsc, jdt, jdt6, pos, vel, acc, jerk, t, t_now: float):

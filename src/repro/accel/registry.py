@@ -38,6 +38,7 @@ PREFERRED = {
     "spline": "accel",
     "acc_jerk_active": "fused",
     "acc_jerk_masked": "accel",
+    "node_force": "accel",
 }
 
 #: Fallback pair-count threshold when no engine config is at hand.

@@ -6,12 +6,23 @@ efficiency with these algorithms when the timesteps of particles vary
 widely".  To *quantify* that claim (the TREE-VS-DIRECT benchmark) this
 module provides a complete monopole Barnes–Hut implementation:
 
-* octree construction over a particle set (bucket leaves),
+* **vectorised level-by-level construction** (no per-node Python
+  recursion): each level splits all of its over-full cells at once with
+  a stable octant sort, and the mass/COM/velocity-moment/quadrupole
+  aggregates roll up bottom-up with ``np.add.reduceat`` over the
+  contiguous child ranges the build leaves behind,
+* CSR adjacency (``child_ptr``/``child_idx``) and contiguous leaf
+  membership (``leaf_perm`` + per-node start/count), so tree walks are
+  pure ``np.repeat``/fancy-index frontier expansion,
 * multipole acceptance criterion ``s / d < theta``,
-* a **vectorised frontier walk** that evaluates forces for a whole
-  block of sink particles at once (NumPy-friendly: the classic
-  per-particle recursive walk is replaced by an (i, node) pair frontier
-  that expands rejected nodes level by level),
+* two walk strategies behind :func:`resolve_walk_mode` (knob
+  ``walk=``, env ``REPRO_TREE_WALK``): the legacy **per-sink frontier**
+  (``"persink"``) that expands an (i, node) pair frontier level by
+  level, and the **grouped walk** (``"grouped"``, default) of
+  :mod:`repro.hybrid.walk` that shares one interaction list per
+  spatially coherent sink group and evaluates it in bulk through the
+  :mod:`repro.accel` kernel engine (Fukushige & Kawai's GRAPE tree
+  scheme),
 * optional jerk estimates from node centre-of-mass velocities, allowing
   the tree to stand in as a :class:`~repro.core.backends.ForceBackend`
   under the block-timestep Hermite integrator — exactly the hybrid
@@ -20,13 +31,55 @@ module provides a complete monopole Barnes–Hut implementation:
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from ..errors import ConfigurationError
 
-__all__ = ["Octree", "OctreeStats"]
+__all__ = [
+    "Octree",
+    "OctreeStats",
+    "WALK_MODES",
+    "resolve_walk_mode",
+    "concat_ranges",
+]
 
 _SQRT3 = float(np.sqrt(3.0))  # circumscribed-sphere factor of a cube
+
+#: Known tree-walk strategies (``grouped`` is the vectorised default).
+WALK_MODES = ("grouped", "persink")
+
+#: Per-byte popcounts, for octant-mask child ranking during descent.
+_POPCOUNT = np.array([bin(i).count("1") for i in range(256)], dtype=np.int64)
+
+
+def resolve_walk_mode(walk: str | None = None) -> str:
+    """The tree-walk strategy to use.
+
+    Explicit ``walk=`` wins, then the ``REPRO_TREE_WALK`` environment
+    variable, then ``"grouped"``.
+    """
+    mode = walk if walk is not None else os.environ.get("REPRO_TREE_WALK", "grouped")
+    if mode not in WALK_MODES:
+        raise ConfigurationError(
+            f"unknown tree walk {mode!r} (choose from {WALK_MODES})"
+        )
+    return mode
+
+
+def concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """``concatenate([arange(s, s+l) for s, l in zip(starts, lengths)])``
+    without the Python loop (the classic cumsum trick)."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out = np.ones(total, dtype=np.int64)
+    ends = np.cumsum(lengths)
+    out[0] = starts[0]
+    out[ends[:-1]] = starts[1:] - (starts[:-1] + lengths[:-1] - 1)
+    return np.cumsum(out)
 
 
 class OctreeStats:
@@ -64,6 +117,12 @@ class Octree:
         ``Q = sum m (3 y y^T - |y|^2 I)`` per node; accepted-node
         accelerations then include the quadrupole term (jerks stay
         monopole — the classical compromise of tree+Hermite hybrids).
+
+    Nodes are numbered in breadth-first level order (root is 0);
+    every internal node's children occupy the contiguous id range
+    ``[first_child, first_child + n_children)`` sorted by octant, and
+    each node's particles occupy the contiguous ``leaf_perm`` slice
+    ``[leaf_start, leaf_start + leaf_count)`` (leaves only).
     """
 
     def __init__(
@@ -85,123 +144,245 @@ class Octree:
         self.leaf_size = int(leaf_size)
         self.quadrupole = bool(quadrupole)
         self.stats = OctreeStats()
+        self.walk_stats = None
+        self._oct_masks = None
         self._build()
 
     # -- construction ------------------------------------------------------
 
     def _build(self) -> None:
-        n_guess = max(16, 4 * self.n)
-        self.node_center = np.zeros((n_guess, 3))
-        self.node_half = np.zeros(n_guess)
-        self.node_mass = np.zeros(n_guess)
-        self.node_com = np.zeros((n_guess, 3))
-        self.node_mom = np.zeros((n_guess, 3))  # mass-weighted velocity
-        self.node_quad = np.zeros((n_guess, 3, 3)) if self.quadrupole else None
-        self.node_first_child = np.full(n_guess, -1, dtype=np.int64)
-        self.node_n_children = np.zeros(n_guess, dtype=np.int64)
-        self.node_leaf_start = np.full(n_guess, -1, dtype=np.int64)
-        self.node_leaf_count = np.zeros(n_guess, dtype=np.int64)
-        #: permutation of particle indices so leaves are contiguous
+        """Level-synchronous vectorised build.
+
+        Each pass splits every over-full cell of the current level at
+        once: octant labels come from three coordinate compares, a
+        stable ``argsort`` on ``parent*8 + octant`` groups particles by
+        child cell while keeping ascending particle order inside each
+        cell, and ``np.unique`` materialises exactly the non-empty
+        children — sorted by (parent, octant), so every parent's
+        children are contiguous ids.  Aggregates then roll up bottom-up
+        over those contiguous ranges with ``np.add.reduceat``.
+        """
+        pos = self.pos
+        center0 = 0.5 * (pos.min(axis=0) + pos.max(axis=0))
+        half0 = 0.5 * float((pos.max(axis=0) - pos.min(axis=0)).max())
+        half0 = max(half0, 1e-12) * 1.0000001  # avoid particles exactly on faces
+
+        # per-level node arrays (concatenated at the end; BFS numbering)
+        centers_lv = [center0[None, :].copy()]
+        halves_lv = [np.array([half0])]
+        parents_lv = [np.array([-1], dtype=np.int64)]
+        octants_lv = [np.zeros(1, dtype=np.int64)]
+        fc_lv: list[np.ndarray] = []
+        nc_lv: list[np.ndarray] = []
+        ls_lv: list[np.ndarray] = []
+        lc_lv: list[np.ndarray] = []
+        offsets = [0]  # global id of each level's first node
+
         self.leaf_perm = np.empty(self.n, dtype=np.int64)
-        self._n_nodes = 0
-        self._leaf_cursor = 0
+        cursor = 0
+        n_leaves = 0
+        # particles still descending: indices + local node id within the
+        # level, always sorted by node with ascending index inside a node
+        idx = np.arange(self.n, dtype=np.int64)
+        node_of = np.zeros(self.n, dtype=np.int64)
+        level = 0
+        while True:
+            n_lv = halves_lv[level].shape[0]
+            offsets.append(offsets[level] + n_lv)
+            counts = np.bincount(node_of, minlength=n_lv)
+            make_leaf = (counts <= self.leaf_size) | (level > 60)
 
-        center = 0.5 * (self.pos.min(axis=0) + self.pos.max(axis=0))
-        half = 0.5 * float((self.pos.max(axis=0) - self.pos.min(axis=0)).max())
-        half = max(half, 1e-12) * 1.0000001  # avoid particles exactly on faces
-        root = self._alloc_node(center, half)
-        self._subdivide(root, np.arange(self.n), depth=0)
-        self._trim()
-        self.stats.n_nodes = self._n_nodes
-        self.root = root
+            fc = np.full(n_lv, -1, dtype=np.int64)
+            nc = np.zeros(n_lv, dtype=np.int64)
+            ls = np.full(n_lv, -1, dtype=np.int64)
+            lc = np.zeros(n_lv, dtype=np.int64)
 
-    def _alloc_node(self, center, half) -> int:
-        i = self._n_nodes
-        if i >= len(self.node_half):
-            self._grow()
-        self.node_center[i] = center
-        self.node_half[i] = half
-        self._n_nodes += 1
-        return i
+            leaf_nodes = np.flatnonzero(make_leaf)
+            if leaf_nodes.size:
+                lcounts = counts[leaf_nodes]
+                starts = cursor + np.concatenate(([0], np.cumsum(lcounts[:-1])))
+                ls[leaf_nodes] = starts
+                lc[leaf_nodes] = lcounts
+                in_leaf = make_leaf[node_of]
+                done = idx[in_leaf]
+                self.leaf_perm[cursor : cursor + done.size] = done
+                cursor += done.size
+                n_leaves += leaf_nodes.size
 
-    def _array_names(self) -> tuple:
-        names = (
-            "node_center", "node_half", "node_mass", "node_com", "node_mom",
-            "node_first_child", "node_n_children", "node_leaf_start",
-            "node_leaf_count",
-        )
-        return names + ("node_quad",) if self.quadrupole else names
+            live = ~make_leaf[node_of]
+            idx2 = idx[live]
+            fc_lv.append(fc)
+            nc_lv.append(nc)
+            ls_lv.append(ls)
+            lc_lv.append(lc)
+            if idx2.size == 0:
+                break
 
-    def _grow(self) -> None:
-        for name in self._array_names():
-            arr = getattr(self, name)
-            pad = np.zeros((len(arr),) + arr.shape[1:], dtype=arr.dtype)
-            if name in ("node_first_child", "node_leaf_start"):
-                pad -= 1
-            setattr(self, name, np.concatenate([arr, pad]))
-
-    def _subdivide(self, node: int, idx: np.ndarray, depth: int) -> None:
-        self.stats.max_depth = max(self.stats.max_depth, depth)
-        m = self.mass[idx]
-        mtot = m.sum()
-        self.node_mass[node] = mtot
-        if mtot > 0:
-            self.node_com[node] = (m[:, None] * self.pos[idx]).sum(axis=0) / mtot
-        else:
-            self.node_com[node] = self.pos[idx].mean(axis=0)
-        if self.vel is not None:
-            self.node_mom[node] = (m[:, None] * self.vel[idx]).sum(axis=0)
-        if self.quadrupole:
-            y = self.pos[idx] - self.node_com[node]
-            y2 = np.einsum("ij,ij->i", y, y)
-            self.node_quad[node] = 3.0 * np.einsum("i,ij,ik->jk", m, y, y) - np.einsum(
-                "i,i->", m, y2
-            ) * np.eye(3)
-
-        if len(idx) <= self.leaf_size or depth > 60:
-            start = self._leaf_cursor
-            self.leaf_perm[start : start + len(idx)] = idx
-            self.node_leaf_start[node] = start
-            self.node_leaf_count[node] = len(idx)
-            self._leaf_cursor += len(idx)
-            self.stats.n_leaves += 1
-            return
-
-        center = self.node_center[node]
-        # octant index 0..7 from the sign of each coordinate offset
-        oct_idx = (
-            (self.pos[idx, 0] > center[0]).astype(np.int64)
-            + 2 * (self.pos[idx, 1] > center[1]).astype(np.int64)
-            + 4 * (self.pos[idx, 2] > center[2]).astype(np.int64)
-        )
-        half = self.node_half[node] * 0.5
-        children = []
-        for o in range(8):
-            sub = idx[oct_idx == o]
-            if sub.size == 0:
-                continue
-            offset = np.array(
-                [half if o & 1 else -half, half if o & 2 else -half, half if o & 4 else -half]
+            pn = node_of[live]
+            pc = centers_lv[level][pn]
+            octant = (
+                (pos[idx2, 0] > pc[:, 0]).astype(np.int64)
+                + 2 * (pos[idx2, 1] > pc[:, 1]).astype(np.int64)
+                + 4 * (pos[idx2, 2] > pc[:, 2]).astype(np.int64)
             )
-            child = self._alloc_node(center + offset, half)
-            children.append((child, sub))
-        self.node_first_child[node] = children[0][0]
-        self.node_n_children[node] = len(children)
-        self._children_of = getattr(self, "_children_of", {})
-        self._children_of[node] = [c for c, _ in children]
-        for child, sub in children:
-            self._subdivide(child, sub, depth + 1)
+            key = pn * 8 + octant
+            order = np.argsort(key, kind="stable")
+            idx2 = idx2[order]
+            key = key[order]
+            ukey, inv = np.unique(key, return_inverse=True)
 
-    def _trim(self) -> None:
-        n = self._n_nodes
-        for name in self._array_names():
-            setattr(self, name, getattr(self, name)[:n])
+            cpar = ukey // 8  # local parent id of each new child
+            coct = ukey % 8
+            nc_split = np.bincount(cpar, minlength=n_lv)
+            csum = np.concatenate(([0], np.cumsum(nc_split[:-1])))
+            splitters = np.flatnonzero(nc_split > 0)
+            fc[splitters] = offsets[level + 1] + csum[splitters]
+            nc[splitters] = nc_split[splitters]
+
+            qh = halves_lv[level][cpar] * 0.5
+            sign = np.stack(
+                [
+                    np.where(coct & 1, 1.0, -1.0),
+                    np.where(coct & 2, 1.0, -1.0),
+                    np.where(coct & 4, 1.0, -1.0),
+                ],
+                axis=1,
+            )
+            centers_lv.append(centers_lv[level][cpar] + sign * qh[:, None])
+            halves_lv.append(qh)
+            parents_lv.append(offsets[level] + cpar)
+            octants_lv.append(coct)
+
+            idx = idx2
+            node_of = inv
+            level += 1
+
+        self.node_center = np.concatenate(centers_lv[: level + 1])
+        self.node_half = np.concatenate(halves_lv[: level + 1])
+        self.node_parent = np.concatenate(parents_lv[: level + 1])
+        self.node_octant = np.concatenate(octants_lv[: level + 1])
+        self.node_first_child = np.concatenate(fc_lv)
+        self.node_n_children = np.concatenate(nc_lv)
+        self.node_leaf_start = np.concatenate(ls_lv)
+        self.node_leaf_count = np.concatenate(lc_lv)
+        self._n_nodes = self.node_half.shape[0]
+        self._level_offsets = offsets[: level + 2]
+
+        # CSR adjacency: child ids of node v are
+        # child_idx[child_ptr[v]:child_ptr[v+1]] (== first_child..+n).
+        self.child_ptr = np.concatenate(
+            ([0], np.cumsum(self.node_n_children))
+        )
+        has = self.node_n_children > 0
+        self.child_idx = concat_ranges(
+            self.node_first_child[has], self.node_n_children[has]
+        )
+
+        self._aggregate()
+        self.stats.n_nodes = self._n_nodes
+        self.stats.n_leaves = n_leaves
+        self.stats.max_depth = level
+        self.root = 0
+
+    def _aggregate(self) -> None:
+        """Bottom-up mass/COM/momentum/quadrupole over contiguous ranges."""
+        n_nodes = self._n_nodes
+        offsets = self._level_offsets
+        n_levels = len(offsets) - 1
+
+        mass_s = np.zeros(n_nodes)
+        wpos = np.zeros((n_nodes, 3))  # sum m x
+        psum = np.zeros((n_nodes, 3))  # sum x (zero-mass fallback)
+        cnt = np.zeros(n_nodes)
+        mom = np.zeros((n_nodes, 3))  # sum m v
+
+        leaves = np.flatnonzero(self.node_leaf_start >= 0)
+        lsorted = leaves[np.argsort(self.node_leaf_start[leaves])]
+        starts = self.node_leaf_start[lsorted]
+        pm = self.mass[self.leaf_perm]
+        pp = self.pos[self.leaf_perm]
+        mass_s[lsorted] = np.add.reduceat(pm, starts)
+        wpos[lsorted] = np.add.reduceat(pm[:, None] * pp, starts)
+        psum[lsorted] = np.add.reduceat(pp, starts)
+        cnt[lsorted] = self.node_leaf_count[lsorted]
+        if self.vel is not None:
+            pv = self.vel[self.leaf_perm]
+            mom[lsorted] = np.add.reduceat(pm[:, None] * pv, starts)
+
+        def roll_up(values: np.ndarray) -> None:
+            """Add each level's sums into its parents, deepest first."""
+            for lv in range(n_levels - 2, -1, -1):
+                child_sl = slice(offsets[lv + 1], offsets[lv + 2])
+                if child_sl.start == child_sl.stop:
+                    continue
+                ids = np.arange(offsets[lv], offsets[lv + 1])
+                internal = ids[self.node_first_child[ids] >= 0]
+                st = self.node_first_child[internal] - offsets[lv + 1]
+                values[internal] += np.add.reduceat(values[child_sl], st, axis=0)
+
+        for arr in (mass_s, wpos, psum, cnt):
+            roll_up(arr)
+        if self.vel is not None:
+            roll_up(mom)
+
+        safe = np.where(mass_s > 0, mass_s, 1.0)
+        self.node_mass = mass_s
+        self.node_com = np.where(
+            (mass_s > 0)[:, None], wpos / safe[:, None], psum / cnt[:, None]
+        )
+        self.node_mom = mom
+
+        if not self.quadrupole:
+            self.node_quad = None
+            return
+        # Hierarchical second moments M2 = sum m y y^T about each node's
+        # COM: leaves directly, parents by the parallel-axis shift
+        # M2_p = sum_c (M2_c + m_c d d^T), d = com_c - com_p.
+        m2 = np.zeros((n_nodes, 3, 3))
+        com_rep = np.repeat(
+            self.node_com[lsorted], self.node_leaf_count[lsorted], axis=0
+        )
+        y = pp - com_rep
+        m2[lsorted] = np.add.reduceat(
+            pm[:, None, None] * y[:, :, None] * y[:, None, :], starts, axis=0
+        )
+        for lv in range(n_levels - 2, -1, -1):
+            child_sl = slice(offsets[lv + 1], offsets[lv + 2])
+            if child_sl.start == child_sl.stop:
+                continue
+            ids = np.arange(offsets[lv], offsets[lv + 1])
+            internal = ids[self.node_first_child[ids] >= 0]
+            st = self.node_first_child[internal] - offsets[lv + 1]
+            d = self.node_com[child_sl] - self.node_com[self.node_parent[child_sl]]
+            shifted = m2[child_sl] + (
+                mass_s[child_sl][:, None, None] * d[:, :, None] * d[:, None, :]
+            )
+            m2[internal] += np.add.reduceat(shifted, st, axis=0)
+        tr = np.trace(m2, axis1=1, axis2=2)
+        self.node_quad = 3.0 * m2 - tr[:, None, None] * np.eye(3)
+
+    @property
+    def octant_masks(self) -> np.ndarray:
+        """Per-node uint8 bitmask of which octants have a child.
+
+        A sink descends without an 8-wide child table: its target child
+        is ``first_child + popcount(mask & (bit - 1))`` when
+        ``mask & bit`` is set (children are stored sorted by octant).
+        """
+        if self._oct_masks is None:
+            masks = np.zeros(self._n_nodes, dtype=np.uint8)
+            if self._n_nodes > 1:
+                np.bitwise_or.at(
+                    masks,
+                    self.node_parent[1:],
+                    (1 << self.node_octant[1:]).astype(np.uint8),
+                )
+            self._oct_masks = masks
+        return self._oct_masks
 
     def children(self, node: int) -> list[int]:
         """Child node indices (empty for a leaf)."""
-        if self.node_leaf_start[node] >= 0:
-            return []
-        return self._children_of[node]
+        return [int(c) for c in self.child_idx[self.child_ptr[node] : self.child_ptr[node + 1]]]
 
     # -- force evaluation -----------------------------------------------------
 
@@ -213,6 +394,9 @@ class Octree:
         vel_i: np.ndarray | None = None,
         exclude_self: np.ndarray | None = None,
         h_i: np.ndarray | float | None = None,
+        walk: str | None = None,
+        n_crit: int = 32,
+        engine=None,
     ) -> tuple[np.ndarray, np.ndarray | None]:
         """Tree forces (and jerks if velocities are available).
 
@@ -240,6 +424,16 @@ class Octree:
             direct summation without double counting.  Nodes are only
             accepted as multipoles when their cube lies wholly outside
             the sink's sphere.
+        walk:
+            Walk strategy override (:data:`WALK_MODES`); defaults to
+            ``REPRO_TREE_WALK`` / ``"grouped"``.
+        n_crit:
+            Grouped walk only: stop refining a sink group once its
+            population is at most this (bigger groups amortise the walk
+            over more sinks at the price of a looser bounding sphere).
+        engine:
+            Grouped walk only: a :class:`repro.accel.KernelEngine` to
+            evaluate the interaction lists (one is created on demand).
 
         Returns ``(acc, jerk_or_None)``.
         """
@@ -254,6 +448,22 @@ class Octree:
             h_i = np.broadcast_to(np.asarray(h_i, dtype=np.float64), (n_i,))
             if np.any(h_i < 0):
                 raise ConfigurationError("neighbour radius must be non-negative")
+
+        if resolve_walk_mode(walk) == "grouped":
+            from ..hybrid.walk import grouped_accelerations
+
+            acc, jerk, wstats = grouped_accelerations(
+                self, pos_i, theta, eps,
+                vel_i=vel_i if want_jerk else None,
+                exclude_self=exclude_self, h_i=h_i,
+                n_crit=n_crit, engine=engine,
+            )
+            self.walk_stats = wstats
+            self.stats.node_interactions += wstats.node_terms
+            self.stats.pp_interactions += wstats.pp_terms
+            return acc, jerk if want_jerk else None
+
+        self.walk_stats = None
         acc = np.zeros((n_i, 3))
         jerk = np.zeros((n_i, 3)) if want_jerk else None
         eps2 = float(eps) ** 2
@@ -267,8 +477,7 @@ class Octree:
             dist2 = np.einsum("ij,ij->i", d, d)
             size = 2.0 * self.node_half[nodes]
             is_leaf = self.node_leaf_start[nodes] >= 0
-            with np.errstate(divide="ignore"):
-                accept = (size * size < theta * theta * dist2) & ~is_leaf
+            accept = (size * size < theta * theta * dist2) & ~is_leaf
             if np.any(accept):
                 # A cube that contains the sink can satisfy the opening
                 # criterion once theta > 2/sqrt(3) (the sink is within
@@ -290,7 +499,11 @@ class Octree:
                 an = nodes[accept]
                 dr = self.node_com[an] - pos_i[ai]
                 r2 = np.einsum("ij,ij->i", dr, dr) + eps2
-                inv_r3 = 1.0 / (r2 * np.sqrt(r2))
+                # eps = 0 with a sink exactly on a node COM divides by
+                # zero; keep the inf (the term is genuinely singular
+                # there) but silence the runtime warning.
+                with np.errstate(divide="ignore"):
+                    inv_r3 = 1.0 / (r2 * np.sqrt(r2))
                 contrib = (self.node_mass[an] * inv_r3)[:, None] * dr
                 if self.quadrupole:
                     # a_quad = Q s / r^5 - (5/2)(s^T Q s) s / r^7 with
@@ -341,7 +554,8 @@ class Octree:
                         # ``dist2 < h**2`` range predicate (same unsoftened
                         # distances, so the near/far split is exact)
                         r2[dist2 < h_i[sink] ** 2] = np.inf
-                    inv_r3 = 1.0 / (r2 * np.sqrt(r2))
+                    with np.errstate(divide="ignore"):
+                        inv_r3 = 1.0 / (r2 * np.sqrt(r2))
                     w = self.mass[src] * inv_r3
                     acc[sink] += (w[:, None] * dr).sum(axis=0)
                     if want_jerk:
@@ -352,17 +566,15 @@ class Octree:
                         ).sum(axis=0)
                     self.stats.pp_interactions += count
 
-            # 3) rejected internal nodes expand to children
+            # 3) rejected internal nodes expand to children — CSR
+            #    fancy-index, same (sink, child) order the recursive
+            #    frontier produced
             expand = ~accept & ~is_leaf
             if np.any(expand):
-                new_pi = []
-                new_nodes = []
-                for sink, node in zip(pi[expand], nodes[expand]):
-                    for child in self._children_of[node]:
-                        new_pi.append(sink)
-                        new_nodes.append(child)
-                pi = np.array(new_pi, dtype=np.int64)
-                nodes = np.array(new_nodes, dtype=np.int64)
+                en = nodes[expand]
+                reps = self.node_n_children[en]
+                pi = np.repeat(pi[expand], reps)
+                nodes = concat_ranges(self.node_first_child[en], reps)
             else:
                 pi = np.empty(0, dtype=np.int64)
                 nodes = np.empty(0, dtype=np.int64)

@@ -22,7 +22,7 @@ from ..core.backends import ForceBackend
 from ..core.forces import InteractionCounter
 from ..core.predictor import predict_system
 from ..errors import ConfigurationError
-from .tree import Octree
+from .tree import Octree, resolve_walk_mode
 
 __all__ = ["TreeBackend"]
 
@@ -38,14 +38,28 @@ class TreeBackend(ForceBackend):
         Opening angle; smaller is more accurate and more expensive.
     leaf_size:
         Bucket size of the octree.
+    walk:
+        Tree-walk strategy (:data:`repro.baselines.tree.WALK_MODES`);
+        ``None`` resolves ``REPRO_TREE_WALK`` / ``"grouped"``.
+    n_crit:
+        Grouped-walk sink-group size target.
+    engine:
+        :class:`repro.accel.KernelEngine` for grouped-walk bulk
+        evaluation (defaults to the process-wide engine).
     """
 
-    def __init__(self, eps: float, theta: float = 0.5, leaf_size: int = 8) -> None:
+    def __init__(self, eps: float, theta: float = 0.5, leaf_size: int = 8,
+                 walk: str | None = None, n_crit: int = 32, engine=None) -> None:
         if theta < 0:
             raise ConfigurationError("theta must be non-negative")
+        if n_crit < 1:
+            raise ConfigurationError("n_crit must be >= 1")
         self.eps = float(eps)
         self.theta = float(theta)
         self.leaf_size = int(leaf_size)
+        self.walk = resolve_walk_mode(walk)
+        self.n_crit = int(n_crit)
+        self.engine = engine
         self.counter = InteractionCounter()
         #: trees built over the run (== block steps; the cost driver)
         self.builds = 0
@@ -68,6 +82,9 @@ class TreeBackend(ForceBackend):
             eps=self.eps,
             vel_i=system.pred_vel[active],
             exclude_self=_dense_exclusion(active, system.n),
+            walk=self.walk,
+            n_crit=self.n_crit,
+            engine=self.engine,
         )
         self.walk_interactions += tree.stats.total_interactions
         # Book as force_interactions for comparability with direct sums.

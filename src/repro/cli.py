@@ -73,6 +73,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="default neighbour-sphere radius [AU] (hybrid backend)",
     )
     p_run.add_argument(
+        "--tree-walk", choices=("grouped", "persink"), default=None,
+        help="tree-walk strategy (tree and hybrid backends; default "
+        "REPRO_TREE_WALK or grouped)",
+    )
+    p_run.add_argument(
+        "--n-crit", type=int, default=32,
+        help="grouped-walk sink-group size target",
+    )
+    p_run.add_argument(
         "--trace-out", metavar="PATH", default=None,
         help="write a Chrome-trace/Perfetto JSON of the run (enables tracing)",
     )
@@ -274,7 +283,8 @@ def _config_for(name: str):
 
 def _build_backend(name: str, eps: float, theta: float = 0.5,
                    r_neighbour: float = 0.05, ranks: int = 2,
-                   spmd_mode: str = "proc"):
+                   spmd_mode: str = "proc", tree_walk: str | None = None,
+                   n_crit: int = 32):
     """Construct a force backend; returns ``(backend, machine_or_None)``."""
     from .baselines import TreeBackend
     from .core import HostDirectBackend
@@ -283,11 +293,13 @@ def _build_backend(name: str, eps: float, theta: float = 0.5,
     if name == "host":
         return HostDirectBackend(eps=eps), None
     if name == "tree":
-        return TreeBackend(eps=eps, theta=theta), None
+        return TreeBackend(eps=eps, theta=theta, walk=tree_walk,
+                           n_crit=n_crit), None
     if name == "hybrid":
         from .hybrid import HybridBackend
 
-        return HybridBackend(eps=eps, theta=theta, r_neighbour=r_neighbour), None
+        return HybridBackend(eps=eps, theta=theta, r_neighbour=r_neighbour,
+                             walk=tree_walk, n_crit=n_crit), None
     if name == "spmd":
         from .parallel import SpmdBackend
 
@@ -304,7 +316,8 @@ def _cmd_run_managed(args) -> int:
     backend, _ = _build_backend(
         args.backend, args.eps, theta=args.theta,
         r_neighbour=args.r_neighbour, ranks=args.ranks,
-        spmd_mode=args.spmd_mode,
+        spmd_mode=args.spmd_mode, tree_walk=args.tree_walk,
+        n_crit=args.n_crit,
     )
     system = build_disk_system(
         PlanetesimalDiskConfig(n_planetesimals=args.n, seed=args.seed)
@@ -340,6 +353,8 @@ def _cmd_run_managed(args) -> int:
             "r_neighbour": args.r_neighbour,
             "ranks": args.ranks,
             "spmd_mode": args.spmd_mode,
+            "tree_walk": args.tree_walk,
+            "n_crit": args.n_crit,
         },
         run_id=f"disk-n{args.n}",
     )
@@ -374,6 +389,8 @@ def _cmd_run_resume(args) -> int:
         r_neighbour=cfg.get("r_neighbour", args.r_neighbour),
         ranks=cfg.get("ranks", args.ranks),
         spmd_mode=cfg.get("spmd_mode", args.spmd_mode),
+        tree_walk=cfg.get("tree_walk", args.tree_walk),
+        n_crit=cfg.get("n_crit", args.n_crit),
     )
     eta = cfg.get("eta", args.eta)
     run = ProductionRun.resume(
@@ -430,7 +447,8 @@ def _cmd_run(args) -> int:
     backend, machine = _build_backend(
         args.backend, args.eps, theta=args.theta,
         r_neighbour=args.r_neighbour, ranks=args.ranks,
-        spmd_mode=args.spmd_mode,
+        spmd_mode=args.spmd_mode, tree_walk=args.tree_walk,
+        n_crit=args.n_crit,
     )
 
     obs = None

@@ -10,5 +10,21 @@ for the scheme, error bounds and parameter guidance, and
 """
 
 from .backend import HybridBackend
+from .walk import (
+    InteractionLists,
+    SinkGroups,
+    WalkStats,
+    build_groups,
+    grouped_accelerations,
+    walk_groups,
+)
 
-__all__ = ["HybridBackend"]
+__all__ = [
+    "HybridBackend",
+    "SinkGroups",
+    "InteractionLists",
+    "WalkStats",
+    "build_groups",
+    "walk_groups",
+    "grouped_accelerations",
+]

@@ -33,7 +33,7 @@ from time import perf_counter
 
 import numpy as np
 
-from ..baselines.tree import Octree
+from ..baselines.tree import Octree, resolve_walk_mode
 from ..core.backends import ForceBackend
 from ..core.forces import InteractionCounter
 from ..core.predictor import predict_system
@@ -64,6 +64,13 @@ class HybridBackend(ForceBackend):
         A :class:`repro.accel.KernelEngine` for the near-field masked
         kernel and the diagnostic potential; defaults to the shared
         process-wide engine.
+    walk:
+        Tree-walk strategy (:data:`repro.baselines.tree.WALK_MODES`);
+        ``None`` resolves ``REPRO_TREE_WALK`` / ``"grouped"``.
+    n_crit:
+        Grouped-walk sink-group size target (bigger groups amortise
+        the walk over more sinks, at the price of a looser bounding
+        sphere and thus longer interaction lists).
     """
 
     def __init__(
@@ -73,6 +80,8 @@ class HybridBackend(ForceBackend):
         r_neighbour: float = 0.05,
         leaf_size: int = 8,
         engine=None,
+        walk: str | None = None,
+        n_crit: int = 32,
     ) -> None:
         if eps < 0:
             raise ConfigurationError("softening must be non-negative")
@@ -80,10 +89,14 @@ class HybridBackend(ForceBackend):
             raise ConfigurationError("theta must be non-negative")
         if r_neighbour < 0:
             raise ConfigurationError("r_neighbour must be non-negative")
+        if n_crit < 1:
+            raise ConfigurationError("n_crit must be >= 1")
         self.eps = float(eps)
         self.theta = float(theta)
         self.r_neighbour = float(r_neighbour)
         self.leaf_size = int(leaf_size)
+        self.walk = resolve_walk_mode(walk)
+        self.n_crit = int(n_crit)
         self.counter = InteractionCounter()
         if engine is None:
             from ..accel import get_engine
@@ -99,6 +112,9 @@ class HybridBackend(ForceBackend):
         #: wall seconds spent in tree build + walk / in the direct sum
         self.tree_seconds = 0.0
         self.direct_seconds = 0.0
+        #: the tree phase split out: construction vs. walk+evaluate
+        self.build_seconds = 0.0
+        self.walk_seconds = 0.0
         self.observe(NULL_OBS)
 
     # -- observability -----------------------------------------------------
@@ -112,6 +128,12 @@ class HybridBackend(ForceBackend):
         self._c_far = metrics.counter("hybrid.far_interactions_total")
         self._c_tree_s = metrics.counter("hybrid.tree_seconds")
         self._c_direct_s = metrics.counter("hybrid.direct_seconds")
+        self._c_build_s = metrics.counter("hybrid.tree_build_seconds")
+        self._c_walk_s = metrics.counter("hybrid.tree_walk_seconds")
+        self._c_groups = metrics.counter("hybrid.walk.groups_total")
+        self._c_node_terms = metrics.counter("hybrid.walk.node_terms_total")
+        self._c_pp_terms = metrics.counter("hybrid.walk.pp_terms_total")
+        self._h_group_size = metrics.histogram("hybrid.walk.group_size")
         self._h_nb_count = metrics.histogram("hybrid.neighbour_count")
         self._g_theta = metrics.gauge("hybrid.theta")
         self._g_theta.set(self.theta)
@@ -130,35 +152,45 @@ class HybridBackend(ForceBackend):
         pos_i = system.pred_pos[active]
         vel_i = system.pred_vel[active]
 
-        t0 = perf_counter()
         with self._tracer.span("hybrid.tree", n_active=int(active.size)):
-            tree = Octree(
-                system.pred_pos, system.mass,
-                vel=system.pred_vel, leaf_size=self.leaf_size,
-            )
-            acc, jerk = tree.accelerations(
-                pos_i,
-                theta=self.theta,
-                eps=self.eps,
-                vel_i=vel_i,
-                exclude_self=active.astype(np.int64),
-                h_i=h_act,
-            )
-        dt_tree = perf_counter() - t0
+            t0 = perf_counter()
+            with self._tracer.span("tree.build", n=int(n)):
+                tree = Octree(
+                    system.pred_pos, system.mass,
+                    vel=system.pred_vel, leaf_size=self.leaf_size,
+                )
+            dt_build = perf_counter() - t0
+            t0 = perf_counter()
+            with self._tracer.span("tree.walk", walk=self.walk):
+                acc, jerk = tree.accelerations(
+                    pos_i,
+                    theta=self.theta,
+                    eps=self.eps,
+                    vel_i=vel_i,
+                    exclude_self=active.astype(np.int64),
+                    h_i=h_act,
+                    walk=self.walk,
+                    n_crit=self.n_crit,
+                    engine=self.engine,
+                )
+            dt_walk = perf_counter() - t0
+        dt_tree = dt_build + dt_walk
         far = int(tree.stats.total_interactions)
 
         t0 = perf_counter()
         with self._tracer.span("hybrid.direct", n_active=int(active.size)):
-            nb = self._near_lists(system, active, h_act)
-            near = 0
-            nonempty = [lst for lst in nb.lists if lst.size]
-            if nonempty:
-                union = np.unique(np.concatenate(nonempty))
-                include = np.zeros((active.size, union.size), dtype=bool)
-                for local, lst in enumerate(nb.lists):
-                    if lst.size:
-                        include[local, np.searchsorted(union, lst)] = True
-                near = int(include.sum())
+            # the same strict range predicate neighbour_search answers
+            # (dr = source - sink, unsoftened dist2 < h**2, self masked
+            # to inf), evaluated as one boolean matrix — no per-sink
+            # list plumbing on the hot path
+            dr = system.pred_pos[None, :, :] - pos_i[:, None, :]
+            dist2 = np.einsum("ijk,ijk->ij", dr, dr)
+            dist2[np.arange(active.size), active] = np.inf
+            within = dist2 < h_act[:, None] ** 2
+            near = int(within.sum())
+            union = np.flatnonzero(within.any(axis=0))
+            if union.size:
+                include = within[:, union]
                 acc_near, jerk_near = self.engine.acc_jerk_masked(
                     pos_i, vel_i,
                     system.pred_pos[union], system.pred_vel[union],
@@ -175,11 +207,22 @@ class HybridBackend(ForceBackend):
         self.far_interactions += far
         self.tree_seconds += dt_tree
         self.direct_seconds += dt_direct
+        self.build_seconds += dt_build
+        self.walk_seconds += dt_walk
         self._c_builds.inc()
         self._c_near.inc(near)
         self._c_far.inc(far)
         self._c_tree_s.inc(dt_tree)
         self._c_direct_s.inc(dt_direct)
+        self._c_build_s.inc(dt_build)
+        self._c_walk_s.inc(dt_walk)
+        wstats = tree.walk_stats
+        if wstats is not None:
+            self._c_groups.inc(wstats.n_groups)
+            self._c_node_terms.inc(wstats.node_terms)
+            self._c_pp_terms.inc(wstats.pp_terms)
+            for size in wstats.group_sizes:
+                self._h_group_size.observe(float(size))
         if active.size:
             self._h_nb_count.observe(near / active.size)
         # Book the equivalent direct-sum load for cross-backend flop
@@ -201,14 +244,6 @@ class HybridBackend(ForceBackend):
         )
 
     # -- neighbour plumbing ------------------------------------------------
-
-    def _near_lists(self, system, active: np.ndarray, h_act: np.ndarray) -> NeighbourResult:
-        """Row-indexed neighbour lists of the active block (self excluded)."""
-        rows = np.arange(system.n, dtype=np.int64)
-        return neighbour_search(
-            system.pred_pos[active], system.pred_pos, rows, h_act,
-            exclude_keys=active.astype(np.int64),
-        )
 
     def neighbours_of(self, system, active: np.ndarray, t_now: float, h) -> NeighbourResult:
         """Key-indexed neighbour query at ``t_now``.

@@ -8,11 +8,16 @@ direct backend and the hybrid backend, and records, per backend and N:
   tree-walk terms), which is what O(N^2) vs O(N log N) is about and
   what a GRAPE-class pipeline would actually execute;
 * the measured python wall clock, split into t_tree / t_direct for the
-  hybrid (the per-sink leaf loops of the pure-python tree walk carry a
-  large constant factor, so the wall crossover sits far above the work
-  crossover — both are reported, see ``docs/HYBRID.md``);
+  hybrid, and t_tree further into build / walk;
 * the relative energy error, to show accuracy is preserved where the
   cost drops.
+
+The hybrid is run with **both** tree-walk strategies — the vectorised
+grouped walk (default) and the legacy per-sink python walk — so the
+document records the walk-vs-walk speedup alongside the
+hybrid-vs-direct crossover.  The ``crossover`` block is computed
+against the grouped walk; the per-sink entries exist to show the
+python-constant the grouped walk removes (see ``docs/HYBRID.md``).
 
 Writes the machine-readable baseline ``BENCH_hybrid.json`` at the
 repository root.  Run as a module (repo root)::
@@ -26,14 +31,20 @@ Document schema::
       "benchmark": "hybrid_crossover",
       "config":  {eps, theta, r_neighbour, t_end, ...},
       "entries": [
-        {"n": 512, "backend": "hybrid", "block_steps": ...,
-         "work_interactions": ..., "work_per_block": ...,
-         "wall_seconds": ..., "energy_error": ...,
-         "near_interactions": ..., "far_interactions": ...,
-         "tree_seconds": ..., "direct_seconds": ...},
+        {"n": 512, "backend": "hybrid", "walk": "grouped",
+         "block_steps": ..., "work_interactions": ...,
+         "work_per_block": ..., "wall_seconds": ...,
+         "energy_error": ..., "near_interactions": ...,
+         "far_interactions": ..., "tree_seconds": ...,
+         "tree_build_seconds": ..., "tree_walk_seconds": ...,
+         "direct_seconds": ...},
         ...
       ],
-      "crossover": {"work_n": 256, "wall_n": null}
+      "crossover": {"work_n": 256, "wall_n": 512},
+      "walk_comparison": {"n": 1024, "theta": 0.6,
+                          "grouped_walk_seconds": ...,
+                          "persink_walk_seconds": ...,
+                          "walk_speedup": ...}
     }
 """
 
@@ -79,15 +90,16 @@ def run_crossover(
     from ..core.backends import HostDirectBackend
     from .backend import HybridBackend
 
+    variants = (("direct", None), ("hybrid", "grouped"), ("hybrid", "persink"))
     entries = []
     per_n: dict[int, dict[str, dict]] = {}
     for n in grid:
-        for name in ("direct", "hybrid"):
+        for name, walk in variants:
             if name == "direct":
                 backend = HostDirectBackend(eps=_EPS)
             else:
                 backend = HybridBackend(
-                    eps=_EPS, theta=theta, r_neighbour=r_neighbour
+                    eps=_EPS, theta=theta, r_neighbour=r_neighbour, walk=walk
                 )
             res = _run_one(backend, n, t_end, seed, max_block_steps)
             if name == "direct":
@@ -98,6 +110,7 @@ def run_crossover(
             entry = {
                 "n": int(n),
                 "backend": name,
+                "walk": walk,
                 "block_steps": int(res.block_steps),
                 "work_interactions": work,
                 "work_per_block": work / blocks,
@@ -110,23 +123,46 @@ def run_crossover(
                     near_interactions=int(backend.near_interactions),
                     far_interactions=int(backend.far_interactions),
                     tree_seconds=float(backend.tree_seconds),
+                    tree_build_seconds=float(backend.build_seconds),
+                    tree_walk_seconds=float(backend.walk_seconds),
                     direct_seconds=float(backend.direct_seconds),
                 )
             entries.append(entry)
-            per_n.setdefault(int(n), {})[name] = entry
+            key = name if walk is None else f"{name}/{walk}"
+            per_n.setdefault(int(n), {})[key] = entry
             if log:
                 log(
-                    f"  n={n:>5d} {name:<7s} work/block {entry['work_per_block']:12.1f} "
+                    f"  n={n:>5d} {key:<15s} work/block {entry['work_per_block']:12.1f} "
                     f"wall {entry['wall_seconds']:7.2f} s  |dE/E| {entry['energy_error']:.2e}"
                 )
 
     def _first_win(metric: str):
+        """Smallest N where the grouped-walk hybrid beats direct."""
         for n in sorted(per_n):
             pair = per_n[n]
-            if "direct" in pair and "hybrid" in pair:
-                if pair["hybrid"][metric] < pair["direct"][metric]:
+            if "direct" in pair and "hybrid/grouped" in pair:
+                if pair["hybrid/grouped"][metric] < pair["direct"][metric]:
                     return int(n)
         return None
+
+    walk_comparison = None
+    n_max = max(per_n)
+    top = per_n[n_max]
+    if "hybrid/grouped" in top and "hybrid/persink" in top:
+        gw = top["hybrid/grouped"]["tree_walk_seconds"]
+        pw = top["hybrid/persink"]["tree_walk_seconds"]
+        walk_comparison = {
+            "n": int(n_max),
+            "theta": float(theta),
+            "grouped_walk_seconds": float(gw),
+            "persink_walk_seconds": float(pw),
+            "walk_speedup": float(pw / gw) if gw > 0 else None,
+        }
+        if log:
+            log(
+                f"  walk speedup at n={n_max}: {walk_comparison['walk_speedup']:.1f}x "
+                f"(persink {pw:.2f} s -> grouped {gw:.2f} s)"
+            )
 
     return {
         "config": {
@@ -145,6 +181,7 @@ def run_crossover(
             "work_n": _first_win("work_per_block"),
             "wall_n": _first_win("wall_per_block"),
         },
+        "walk_comparison": walk_comparison,
     }
 
 
@@ -185,6 +222,10 @@ def main(argv=None) -> int:
     cx = document["crossover"]
     print(f"work crossover:  N = {cx['work_n']}")
     print(f"wall crossover:  N = {cx['wall_n']}")
+    wc = document.get("walk_comparison")
+    if wc and wc.get("walk_speedup"):
+        print(f"grouped-vs-persink walk speedup at N={wc['n']}: "
+              f"{wc['walk_speedup']:.1f}x")
     return 0
 
 

@@ -1,0 +1,25 @@
+"""repro.hybrid.walk — vectorised grouped-walk tree-force engine.
+
+Fukushige & Kawai's GRAPE tree scheme in NumPy: partition sinks into
+spatially coherent groups along the octree itself
+(:func:`build_groups`), run one array-based frontier walk per group
+with conservative bounding-sphere acceptance (:func:`walk_groups`),
+and evaluate the shared interaction lists in bulk through the
+:mod:`repro.accel` kernel engine (:func:`grouped_accelerations`).
+
+This is the walk :meth:`repro.baselines.tree.Octree.accelerations`
+uses by default (``walk="grouped"`` / ``REPRO_TREE_WALK=grouped``);
+``walk="persink"`` keeps the legacy per-sink frontier for comparison.
+"""
+
+from .engine import WalkStats, grouped_accelerations
+from .groups import InteractionLists, SinkGroups, build_groups, walk_groups
+
+__all__ = [
+    "SinkGroups",
+    "InteractionLists",
+    "WalkStats",
+    "build_groups",
+    "walk_groups",
+    "grouped_accelerations",
+]

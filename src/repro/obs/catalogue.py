@@ -103,6 +103,30 @@ METRIC_CATALOGUE: dict[str, tuple[str, str]] = {
         "Mean neighbours per active particle, sampled per block",
     ),
     "hybrid.theta": ("gauge", "Opening angle of the hybrid's far-field tree"),
+    "hybrid.tree_build_seconds": (
+        "counter",
+        "Wall time constructing the octree (the rebuild-per-block cost)",
+    ),
+    "hybrid.tree_walk_seconds": (
+        "counter",
+        "Wall time walking the tree and evaluating far-field lists",
+    ),
+    "hybrid.walk.groups_total": (
+        "counter",
+        "Sink groups formed by the grouped tree walk",
+    ),
+    "hybrid.walk.node_terms_total": (
+        "counter",
+        "Sink-node multipole terms evaluated by the grouped walk",
+    ),
+    "hybrid.walk.pp_terms_total": (
+        "counter",
+        "Sink-particle terms evaluated from grouped-walk leaf lists",
+    ),
+    "hybrid.walk.group_size": (
+        "histogram",
+        "Sinks per grouped-walk group (n_crit caps the refinement)",
+    ),
     # -- software communication substrate --------------------------------
     "comm.bytes_sent": ("counter", "Payload bytes sent over simulated links"),
     "comm.messages_total": ("counter", "Point-to-point messages sent"),

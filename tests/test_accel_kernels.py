@@ -45,6 +45,8 @@ EQUIVALENCE_KERNELS = [
     "acc_jerk_active/fused",
     "acc_jerk_masked/reference",
     "acc_jerk_masked/accel",
+    "node_force/reference",
+    "node_force/accel",
 ]
 
 EPS = 0.008
@@ -98,6 +100,16 @@ def make_mask(system, active, seed=5):
     return include
 
 
+def make_quad(system, seed=5):
+    """Symmetric traceless per-source quadrupole moments (node-like)."""
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(system.n, 3, 3))
+    sym = a + np.swapaxes(a, 1, 2)
+    tr = np.trace(sym, axis1=1, axis2=2)
+    sym -= tr[:, None, None] * np.eye(3) / 3.0
+    return sym * system.mass[:, None, None] * 1e-4
+
+
 def run_spec(spec, engine, system, active, t_now=5e-4):
     """Invoke one registered kernel with its op's argument convention."""
     pos_i = system.pos[active]
@@ -119,6 +131,9 @@ def run_spec(spec, engine, system, active, t_now=5e-4):
     if spec.op == "acc_jerk_masked":
         return spec.runner(engine, pos_i, vel_i, system.pos, system.vel,
                            system.mass, EPS, make_mask(system, active))
+    if spec.op == "node_force":
+        return spec.runner(engine, pos_i, vel_i, system.pos, system.vel,
+                           system.mass, EPS, quad_j=make_quad(system))
     raise ValueError(spec.op)
 
 

@@ -130,6 +130,12 @@ class TestMetricNameLint:
             "hybrid.direct_seconds": "counter",
             "hybrid.neighbour_count": "histogram",
             "hybrid.theta": "gauge",
+            "hybrid.tree_build_seconds": "counter",
+            "hybrid.tree_walk_seconds": "counter",
+            "hybrid.walk.groups_total": "counter",
+            "hybrid.walk.node_terms_total": "counter",
+            "hybrid.walk.pp_terms_total": "counter",
+            "hybrid.walk.group_size": "histogram",
         }
 
     def test_bad_catalogue_entries_flagged(self):
